@@ -1,0 +1,168 @@
+package dgsf
+
+// One benchmark per table and figure of the paper's evaluation (§VIII).
+// Each benchmark regenerates its artifact through internal/experiments and
+// reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. cmd/dgsf-bench prints the same data in
+// the paper's row/series layout.
+
+import (
+	"testing"
+
+	"dgsf/internal/experiments"
+)
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(1, 1)
+		for _, r := range rows {
+			b.ReportMetric(r.Native.Seconds(), r.Workload+"-native-s")
+			b.ReportMetric(r.DGSF.Seconds(), r.Workload+"-dgsf-s")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure3(1)
+		for _, r := range rows {
+			if r.Mode == experiments.ModeDGSF {
+				b.ReportMetric(r.Phases.Process.Seconds(), r.Workload+"-process-s")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure4(1)
+		for _, r := range rows {
+			noopt := r.Times[experiments.TierNoOpt]
+			full := r.Times[experiments.TierBatching]
+			b.ReportMetric(100*(1-full.Seconds()/noopt.Seconds()), r.Workload+"-improvement-pct")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(1)
+		for _, r := range rows {
+			b.ReportMetric(r.ProviderE2E.Seconds(), r.Mix+"-"+r.Variant+"-e2e-s")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure5(1)
+		for _, r := range rows {
+			if r.Mix == "AW" {
+				b.ReportMetric(r.Queue.Seconds(), r.Workload+"-queue-s")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(1)
+		for _, r := range rows {
+			if r.GPUs == 3 {
+				b.ReportMetric(r.E2ESum.Seconds(), r.Variant+"-3gpu-sum-s")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure6(1)
+		for _, r := range rows {
+			if r.Mix == "no-sharing" {
+				b.ReportMetric((r.Queue + r.Exec).Seconds(), r.Workload+"-delay-s")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Figure7(1)
+		for _, r := range rs {
+			b.ReportMetric(r.MeanUtil, r.Variant+"-util-pct")
+			b.ReportMetric(r.ProviderE2E.Seconds(), r.Variant+"-e2e-s")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5(1, 1)
+		for _, r := range rows {
+			b.ReportMetric(r.MigrationDur.Seconds(), "mig-s-"+itoa(r.ArrayMB)+"MB")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Figure8(1)
+		for _, r := range rs {
+			b.ReportMetric(r.Total.Seconds(), r.Config+"-total-s")
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.SchedulingAblation(1)
+		for _, r := range rs {
+			b.ReportMetric(r.QueueMean.Seconds(), r.Policy+"-queue-mean-s")
+		}
+	}
+}
+
+func BenchmarkAblationSharingDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.SharingSweep(1)
+		for _, r := range rs {
+			b.ReportMetric(r.ProviderE2E.Seconds(), "per-gpu-"+itoa(int64(r.ServersPerGPU))+"-e2e-s")
+		}
+	}
+}
+
+func BenchmarkAblationRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.RTTSweep(1)
+		for _, r := range rs {
+			b.ReportMetric(r.DGSF.Seconds(), "rtt-"+r.RTT.String()+"-dgsf-s")
+		}
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.ScaleOut(1)
+		for _, r := range rs {
+			b.ReportMetric(r.E2ESum.Seconds(), itoa(int64(r.Servers))+"-"+r.Pick+"-sum-s")
+		}
+	}
+}

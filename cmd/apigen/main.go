@@ -1,0 +1,536 @@
+// Command apigen generates the DGSF remoting layer from a single list of
+// API calls, mirroring the paper's implementation strategy: "we list all
+// APIs and generate code for both sides of the API remoting system" (§VI).
+//
+// For every call it emits request/response structs with binary
+// Encode/Decode, an Append*Call helper (used by the guest library's batching
+// queue), a Client method (guest side), and a Dispatch case (API server
+// side), plus the API interface both sides implement.
+//
+// Usage: go run ./cmd/apigen -out internal/remoting/gen/gen.go
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Field is one request or response field.
+type Field struct {
+	Name string
+	Kind string
+}
+
+// Call describes one remoted API.
+type Call struct {
+	Name    string
+	ID      int
+	Doc     string
+	Req     []Field
+	Resp    []Field
+	Class   string // "remote", "local" (guest-answerable), "batchable"
+	ReqData string // request field carrying logical payload bytes guest→server
+	RspData string // request field carrying logical payload bytes server→guest
+}
+
+// kinds maps a spec kind to its Go type and encode/decode expressions.
+var kinds = map[string]struct {
+	GoType string
+	Enc    string // method on wire.Encoder; %s is the value
+	Dec    string // expression on wire.Decoder
+}{
+	"bool":    {"bool", "e.Bool(%s)", "d.Bool()"},
+	"byte":    {"byte", "e.U8(%s)", "d.U8()"},
+	"int":     {"int", "e.Int(%s)", "d.Int()"},
+	"i64":     {"int64", "e.I64(%s)", "d.I64()"},
+	"u64":     {"uint64", "e.U64(%s)", "d.U64()"},
+	"u64s":    {"[]uint64", "e.U64s(%s)", "d.U64s()"},
+	"dur":     {"time.Duration", "e.Dur(%s)", "d.Dur()"},
+	"str":     {"string", "e.Str(%s)", "d.Str()"},
+	"strs":    {"[]string", "e.Strs(%s)", "d.Strs()"},
+	"vec3":    {"[3]int", "e.Vec3(%s)", "d.Vec3()"},
+	"hostbuf": {"gpu.HostBuffer", "e.HostBuf(%s)", "d.HostBuf()"},
+	"prop":    {"cuda.DeviceProp", "e.Prop(%s)", "d.Prop()"},
+	"attrs":   {"cuda.PtrAttributes", "e.Attrs(%s)", "d.Attrs()"},
+	"launch":  {"cuda.LaunchParams", "e.Launch(%s)", "d.Launch()"},
+	"devptr":  {"cuda.DevPtr", "e.U64(uint64(%s))", "cuda.DevPtr(d.U64())"},
+	"devptrs": {"[]cuda.DevPtr", "e.DevPtrs(%s)", "d.DevPtrs()"},
+	"fnptr":   {"cuda.FnPtr", "e.U64(uint64(%s))", "cuda.FnPtr(d.U64())"},
+	"fnptrs":  {"[]cuda.FnPtr", "e.FnPtrs(%s)", "d.FnPtrs()"},
+	"stream":  {"cuda.StreamHandle", "e.U64(uint64(%s))", "cuda.StreamHandle(d.U64())"},
+	"event":   {"cuda.EventHandle", "e.U64(uint64(%s))", "cuda.EventHandle(d.U64())"},
+	"dnn":     {"cudalibs.DNNHandle", "e.U64(uint64(%s))", "cudalibs.DNNHandle(d.U64())"},
+	"blas":    {"cudalibs.BLASHandle", "e.U64(uint64(%s))", "cudalibs.BLASHandle(d.U64())"},
+	"desc":    {"cudalibs.Descriptor", "e.U64(uint64(%s))", "cudalibs.Descriptor(d.U64())"},
+}
+
+// spec is the remoted API surface: the CUDA runtime calls DGSF interposes,
+// the cuDNN/cuBLAS calls its workloads depend on, and the DGSF session
+// control calls. Classes follow §V-B/§V-C: "local" calls are answerable by
+// the guest library without remoting (at the appropriate optimization
+// tier); "batchable" calls produce no immediately-needed result and may be
+// accumulated and shipped in one batch message.
+var spec = []Call{
+	// --- DGSF session control ---
+	{Name: "Hello", Doc: "opens a function session on the API server, declaring the function's GPU memory requirement", Req: []Field{{"FnID", "str"}, {"MemLimit", "i64"}}, Class: "remote"},
+	{Name: "Bye", Doc: "ends the function session, releasing all of its server-side resources", Class: "remote"},
+	{Name: "RegisterKernels", Doc: "sends the function's kernel symbols ahead of execution (step 2 in Fig. 2) and returns their function handles", Req: []Field{{"Names", "strs"}}, Resp: []Field{{"Ptrs", "fnptrs"}}, Class: "remote"},
+
+	// --- device management (cudaGetDevice* etc.) ---
+	{Name: "GetDeviceCount", Doc: "mirrors cudaGetDeviceCount; DGSF API servers always answer 1", Resp: []Field{{"N", "int"}}, Class: "remote"},
+	{Name: "GetDeviceProperties", Doc: "mirrors cudaGetDeviceProperties for the virtual device", Req: []Field{{"Dev", "int"}}, Resp: []Field{{"Prop", "prop"}}, Class: "remote"},
+	{Name: "SetDevice", Doc: "mirrors cudaSetDevice; only virtual device 0 is valid", Req: []Field{{"Dev", "int"}}, Class: "remote"},
+	{Name: "GetDevice", Doc: "mirrors cudaGetDevice", Resp: []Field{{"Dev", "int"}}, Class: "local"},
+	{Name: "MemGetInfo", Doc: "mirrors cudaMemGetInfo, scoped to the function's memory limit", Resp: []Field{{"Free", "i64"}, {"Total", "i64"}}, Class: "remote"},
+	{Name: "DeviceSynchronize", Doc: "mirrors cudaDeviceSynchronize", Class: "remote"},
+	{Name: "GetLastError", Doc: "mirrors cudaGetLastError; tracked guest-side", Resp: []Field{{"Code", "int"}}, Class: "local"},
+	{Name: "DriverGetVersion", Doc: "mirrors cuDriverGetVersion; a constant, answered locally", Resp: []Field{{"V", "int"}}, Class: "local"},
+	{Name: "RuntimeGetVersion", Doc: "mirrors cudaRuntimeGetVersion; a constant, answered locally", Resp: []Field{{"V", "int"}}, Class: "local"},
+
+	// --- memory management ---
+	{Name: "Malloc", Doc: "mirrors cudaMalloc; the API server realizes it through the low-level VMM path so migration preserves the address", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "devptr"}}, Class: "remote"},
+	{Name: "Free", Doc: "mirrors cudaFree", Req: []Field{{"Ptr", "devptr"}}, Class: "batchable"},
+	{Name: "Memset", Doc: "mirrors cudaMemset", Req: []Field{{"Ptr", "devptr"}, {"Value", "byte"}, {"Size", "i64"}}, Class: "batchable"},
+	{Name: "MemcpyH2D", Doc: "mirrors cudaMemcpy(HostToDevice); the host payload rides with the request", Req: []Field{{"Dst", "devptr"}, {"Src", "hostbuf"}, {"Size", "i64"}}, Class: "remote", ReqData: "Size"},
+	{Name: "MemcpyD2H", Doc: "mirrors cudaMemcpy(DeviceToHost); the device payload rides with the response", Req: []Field{{"Src", "devptr"}, {"Size", "i64"}}, Resp: []Field{{"Buf", "hostbuf"}}, Class: "remote", RspData: "Size"},
+	{Name: "MemcpyD2D", Doc: "mirrors cudaMemcpy(DeviceToDevice)", Req: []Field{{"Dst", "devptr"}, {"Src", "devptr"}, {"Size", "i64"}}, Class: "remote"},
+	{Name: "MallocHost", Doc: "mirrors cudaMallocHost; host-only state, fully emulated by the guest library when optimized", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "u64"}}, Class: "local"},
+	{Name: "FreeHost", Doc: "mirrors cudaFreeHost", Req: []Field{{"Ptr", "u64"}}, Class: "local"},
+	{Name: "PointerGetAttributes", Doc: "mirrors cudaPointerGetAttributes; the optimized guest answers from tracked allocations", Req: []Field{{"Ptr", "devptr"}}, Resp: []Field{{"A", "attrs"}}, Class: "local"},
+
+	// --- execution ---
+	{Name: "PushCallConfiguration", Doc: "mirrors __cudaPushCallConfiguration; piggybacked onto the launch when optimized", Req: []Field{{"Grid", "vec3"}, {"Block", "vec3"}, {"Stream", "stream"}}, Class: "local"},
+	{Name: "PopCallConfiguration", Doc: "mirrors __cudaPopCallConfiguration", Class: "local"},
+	{Name: "LaunchKernel", Doc: "mirrors cudaLaunchKernel; asynchronous, so batchable", Req: []Field{{"LP", "launch"}}, Class: "batchable"},
+	{Name: "StreamCreate", Doc: "mirrors cudaStreamCreate; the server pre-replicates the stream in every context it holds (§V-D)", Resp: []Field{{"H", "stream"}}, Class: "remote"},
+	{Name: "StreamDestroy", Doc: "mirrors cudaStreamDestroy", Req: []Field{{"H", "stream"}}, Class: "batchable"},
+	{Name: "StreamSynchronize", Doc: "mirrors cudaStreamSynchronize", Req: []Field{{"H", "stream"}}, Class: "remote"},
+	{Name: "EventCreate", Doc: "mirrors cudaEventCreate", Resp: []Field{{"H", "event"}}, Class: "remote"},
+	{Name: "EventDestroy", Doc: "mirrors cudaEventDestroy", Req: []Field{{"H", "event"}}, Class: "batchable"},
+	{Name: "EventRecord", Doc: "mirrors cudaEventRecord", Req: []Field{{"H", "event"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "EventSynchronize", Doc: "mirrors cudaEventSynchronize", Req: []Field{{"H", "event"}}, Class: "remote"},
+	{Name: "EventElapsed", Doc: "mirrors cudaEventElapsedTime", Req: []Field{{"Start", "event"}, {"End", "event"}}, Resp: []Field{{"D", "dur"}}, Class: "remote"},
+
+	// --- cuDNN ---
+	{Name: "DnnCreate", Doc: "mirrors cudnnCreate; served from the API server's pre-created handle pool when optimized (§V-C)", Resp: []Field{{"H", "dnn"}}, Class: "remote"},
+	{Name: "DnnDestroy", Doc: "mirrors cudnnDestroy", Req: []Field{{"H", "dnn"}}, Class: "batchable"},
+	{Name: "DnnSetStream", Doc: "mirrors cudnnSetStream", Req: []Field{{"H", "dnn"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "DnnGetConvolutionWorkspaceSize", Doc: "mirrors cudnnGetConvolutionForwardWorkspaceSize", Req: []Field{{"D", "desc"}}, Resp: []Field{{"Size", "i64"}}, Class: "remote"},
+	{Name: "DnnForward", Doc: "runs a cuDNN compute primitive (convolution, batch-norm, ...) of the given nominal duration", Req: []Field{{"H", "dnn"}, {"Op", "str"}, {"Dur", "dur"}, {"Bufs", "devptrs"}, {"Descs", "u64s"}}, Class: "remote"},
+
+	// --- cuBLAS ---
+	{Name: "BlasCreate", Doc: "mirrors cublasCreate; pooled like cuDNN handles", Resp: []Field{{"H", "blas"}}, Class: "remote"},
+	{Name: "BlasDestroy", Doc: "mirrors cublasDestroy", Req: []Field{{"H", "blas"}}, Class: "batchable"},
+	{Name: "BlasSetStream", Doc: "mirrors cublasSetStream", Req: []Field{{"H", "blas"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "BlasGemm", Doc: "mirrors cublasSgemm with the given nominal duration", Req: []Field{{"H", "blas"}, {"Dur", "dur"}, {"Bufs", "devptrs"}}, Class: "remote"},
+}
+
+// descriptorSpecies expands into Create/Set/Destroy triples, mirroring the
+// cudnn*Descriptor API families (§V-C "Guest library").
+var descriptorSpecies = []string{"Tensor", "Filter", "Convolution", "Activation", "Pooling"}
+
+func buildSpec() []Call {
+	calls := make([]Call, 0, len(spec)+3*len(descriptorSpecies))
+	calls = append(calls, spec...)
+	for _, sp := range descriptorSpecies {
+		calls = append(calls,
+			Call{Name: "DnnCreate" + sp + "Descriptor", Doc: fmt.Sprintf("mirrors cudnnCreate%sDescriptor; pooled guest-side when optimized", sp), Resp: []Field{{"D", "desc"}}, Class: "local"},
+			Call{Name: "DnnSet" + sp + "Descriptor", Doc: fmt.Sprintf("mirrors cudnnSet%sDescriptor", sp), Req: []Field{{"D", "desc"}}, Class: "local"},
+			Call{Name: "DnnDestroy" + sp + "Descriptor", Doc: fmt.Sprintf("mirrors cudnnDestroy%sDescriptor", sp), Req: []Field{{"D", "desc"}}, Class: "local"},
+		)
+	}
+	for i := range calls {
+		calls[i].ID = i + 1
+	}
+	return calls
+}
+
+func lower(s string) string {
+	if s == "" {
+		return s
+	}
+	out := strings.ToLower(s[:1]) + s[1:]
+	switch out {
+	case "type", "func", "var", "map", "range":
+		out += "_"
+	}
+	return out
+}
+
+func goType(kind string) string {
+	k, ok := kinds[kind]
+	if !ok {
+		log.Fatalf("unknown kind %q", kind)
+	}
+	return k.GoType
+}
+
+// params renders an interface/method parameter list for the request fields.
+func params(c Call) string {
+	var b strings.Builder
+	for _, f := range c.Req {
+		fmt.Fprintf(&b, ", %s %s", lower(f.Name), goType(f.Kind))
+	}
+	return b.String()
+}
+
+// results renders the named result list (response fields + error).
+func results(c Call) string {
+	var b strings.Builder
+	b.WriteString("(")
+	for _, f := range c.Resp {
+		fmt.Fprintf(&b, "%s %s, ", lower(f.Name), goType(f.Kind))
+	}
+	b.WriteString("err error)")
+	return b.String()
+}
+
+func main() {
+	out := flag.String("out", "internal/remoting/gen/gen.go", "output file")
+	flag.Parse()
+	calls := buildSpec()
+
+	// Sanity: unique names and IDs.
+	seen := map[string]bool{}
+	for _, c := range calls {
+		if seen[c.Name] {
+			log.Fatalf("duplicate call %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	var b bytes.Buffer
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	p("// Code generated by cmd/apigen. DO NOT EDIT.")
+	p("")
+	p("// Package gen contains the generated DGSF remoting layer: call IDs,")
+	p("// request/response message types with binary encoding, the guest-side")
+	p("// Client, and the server-side Dispatch function. Regenerate with:")
+	p("//")
+	p("//\tgo run ./cmd/apigen -out internal/remoting/gen/gen.go")
+	p("package gen")
+	p("")
+	p("import (")
+	p("\t\"time\"")
+	p("")
+	p("\t\"dgsf/internal/cuda\"")
+	p("\t\"dgsf/internal/cudalibs\"")
+	p("\t\"dgsf/internal/gpu\"")
+	p("\t\"dgsf/internal/remoting\"")
+	p("\t\"dgsf/internal/remoting/wire\"")
+	p("\t\"dgsf/internal/sim\"")
+	p(")")
+	p("")
+	p("var _ time.Duration // some specs may not use every import")
+	p("var _ gpu.HostBuffer")
+	p("var _ cudalibs.Descriptor")
+	p("")
+
+	// Call IDs.
+	p("// Call identifiers. ID 0 is reserved; remoting.CallBatch (0xFFFF) is the")
+	p("// batch container.")
+	p("const (")
+	for _, c := range calls {
+		p("\tCall%s uint16 = %d", c.Name, c.ID)
+	}
+	p(")")
+	p("")
+	p("// NumCalls is the number of generated calls.")
+	p("const NumCalls = %d", len(calls))
+	p("")
+
+	// Name table and classes.
+	p("// callNames maps IDs to API names for diagnostics and statistics.")
+	p("var callNames = map[uint16]string{")
+	for _, c := range calls {
+		p("\tCall%s: %q,", c.Name, c.Name)
+	}
+	p("}")
+	p("")
+	p("// CallName returns the API name for a call ID.")
+	p("func CallName(id uint16) string {")
+	p("\tif id == remoting.CallBatch {")
+	p("\t\treturn \"Batch\"")
+	p("\t}")
+	p("\tif n, ok := callNames[id]; ok {")
+	p("\t\treturn n")
+	p("\t}")
+	p("\treturn \"?\"")
+	p("}")
+	p("")
+	p("// Class constants classify calls per §V-B: Remote calls need the API")
+	p("// server; Local calls are answerable by the guest library; Batchable")
+	p("// calls have no immediately-needed result and may be deferred.")
+	p("type Class int")
+	p("")
+	p("// Call classes.")
+	p("const (")
+	p("\tClassRemote Class = iota")
+	p("\tClassLocal")
+	p("\tClassBatchable")
+	p(")")
+	p("")
+	p("var callClasses = map[uint16]Class{")
+	for _, c := range calls {
+		cl := map[string]string{"remote": "ClassRemote", "local": "ClassLocal", "batchable": "ClassBatchable"}[c.Class]
+		if cl == "" {
+			log.Fatalf("call %s: bad class %q", c.Name, c.Class)
+		}
+		p("\tCall%s: %s,", c.Name, cl)
+	}
+	p("}")
+	p("")
+	p("// CallClass returns the class of a call ID.")
+	p("func CallClass(id uint16) Class { return callClasses[id] }")
+	p("")
+
+	// Interface.
+	p("// API is the remoted DGSF API surface. The guest library, the API")
+	p("// server backend and the native (non-remoted) baseline all implement it.")
+	p("type API interface {")
+	for _, c := range calls {
+		p("\t// %s %s.", c.Name, c.Doc)
+		p("\t%s(p *sim.Proc%s) %s", c.Name, params(c), results(c))
+		p("")
+	}
+	p("}")
+	p("")
+
+	// Messages, Append helpers, Client methods.
+	p("// Client implements API by remoting every call over a transport.")
+	p("// Higher layers (the guest library) add localization and batching.")
+	p("type Client struct {")
+	p("\tT remoting.Caller")
+	p("}")
+	p("")
+	for _, c := range calls {
+		emitCall(p, c)
+	}
+
+	// Dispatch.
+	p("// errResp encodes an error-only response.")
+	p("func errResp(err error) []byte {")
+	p("\tvar e wire.Encoder")
+	p("\te.I32(int32(cuda.Code(err)))")
+	p("\treturn e.Bytes()")
+	p("}")
+	p("")
+	p("// Dispatch decodes one call from payload and executes it against the")
+	p("// backend, returning the encoded response and the logical payload bytes")
+	p("// that flow back with it (for bandwidth accounting).")
+	p("func Dispatch(p *sim.Proc, b API, payload []byte) (resp []byte, respData int64) {")
+	p("\tdec := wire.NewDecoder(payload)")
+	p("\tid := dec.U16()")
+	p("\tif dec.Err() != nil {")
+	p("\t\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("\t}")
+	p("\tswitch id {")
+	for _, c := range calls {
+		emitDispatchCase(p, c)
+	}
+	p("\t}")
+	p("\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("}")
+
+	src, err := format.Source(b.Bytes())
+	if err != nil {
+		// Dump the unformatted source to ease generator debugging.
+		_ = os.WriteFile(*out+".bad", b.Bytes(), 0o644)
+		log.Fatalf("format: %v (unformatted source in %s.bad)", err, *out)
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	// Report surface size for the curious.
+	classes := map[string]int{}
+	for _, c := range calls {
+		classes[c.Class]++
+	}
+	var keys []string
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("apigen: %d calls (", len(calls))
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d %s", classes[k], k)
+	}
+	fmt.Printf(") -> %s\n", *out)
+}
+
+// emitCall writes the message types, Append helper and Client method.
+func emitCall(p func(string, ...any), c Call) {
+	p("// --- %s ---", c.Name)
+	p("")
+
+	// Request struct.
+	p("// %sReq is the request message of %s.", c.Name, c.Name)
+	p("type %sReq struct {", c.Name)
+	for _, f := range c.Req {
+		p("\t%s %s", f.Name, goType(f.Kind))
+	}
+	p("}")
+	p("")
+	p("// Encode serializes the request.")
+	p("func (m *%sReq) Encode(e *wire.Encoder) {", c.Name)
+	for _, f := range c.Req {
+		p("\t"+kinds[f.Kind].Enc, "m."+f.Name)
+	}
+	if len(c.Req) == 0 {
+		p("\t_ = e")
+	}
+	p("}")
+	p("")
+	p("// Decode deserializes the request.")
+	p("func (m *%sReq) Decode(d *wire.Decoder) {", c.Name)
+	for _, f := range c.Req {
+		p("\tm.%s = %s", f.Name, kinds[f.Kind].Dec)
+	}
+	if len(c.Req) == 0 {
+		p("\t_ = d")
+	}
+	p("}")
+	p("")
+
+	// Response struct.
+	p("// %sResp is the response message of %s.", c.Name, c.Name)
+	p("type %sResp struct {", c.Name)
+	for _, f := range c.Resp {
+		p("\t%s %s", f.Name, goType(f.Kind))
+	}
+	p("}")
+	p("")
+	p("// Encode serializes the response.")
+	p("func (m *%sResp) Encode(e *wire.Encoder) {", c.Name)
+	for _, f := range c.Resp {
+		p("\t"+kinds[f.Kind].Enc, "m."+f.Name)
+	}
+	if len(c.Resp) == 0 {
+		p("\t_ = e")
+	}
+	p("}")
+	p("")
+	p("// Decode deserializes the response.")
+	p("func (m *%sResp) Decode(d *wire.Decoder) {", c.Name)
+	for _, f := range c.Resp {
+		p("\tm.%s = %s", f.Name, kinds[f.Kind].Dec)
+	}
+	if len(c.Resp) == 0 {
+		p("\t_ = d")
+	}
+	p("}")
+	p("")
+
+	// Append helper.
+	p("// Append%sCall appends an encoded %s call (ID + request) to e,", c.Name, c.Name)
+	p("// for direct sends and for batch assembly.")
+	p("func Append%sCall(e *wire.Encoder%s) {", c.Name, params(c))
+	var lits []string
+	for _, f := range c.Req {
+		lits = append(lits, fmt.Sprintf("%s: %s", f.Name, lower(f.Name)))
+	}
+	p("\te.U16(Call%s)", c.Name)
+	p("\t(&%sReq{%s}).Encode(e)", c.Name, strings.Join(lits, ", "))
+	p("}")
+	p("")
+
+	// Client method.
+	reqData := "0"
+	if c.ReqData != "" {
+		reqData = lower(c.ReqData)
+	}
+	p("// %s %s.", c.Name, c.Doc)
+	p("func (c *Client) %s(p *sim.Proc%s) %s {", c.Name, params(c), results(c))
+	p("\tvar enc wire.Encoder")
+	var args []string
+	for _, f := range c.Req {
+		args = append(args, lower(f.Name))
+	}
+	callArgs := ""
+	if len(args) > 0 {
+		callArgs = ", " + strings.Join(args, ", ")
+	}
+	p("\tAppend%sCall(&enc%s)", c.Name, callArgs)
+	p("\trespB, rerr := c.T.Roundtrip(p, enc.Bytes(), int64(%s))", reqData)
+	p("\tif rerr != nil {")
+	p("\t\terr = rerr")
+	p("\t\treturn")
+	p("\t}")
+	p("\tdec := wire.NewDecoder(respB)")
+	p("\tif statusCode := int(dec.I32()); statusCode != 0 {")
+	p("\t\terr = cuda.FromCode(statusCode)")
+	p("\t\treturn")
+	p("\t}")
+	if len(c.Resp) > 0 {
+		p("\tvar resp %sResp", c.Name)
+		p("\tresp.Decode(dec)")
+		p("\tif err = dec.Err(); err != nil {")
+		p("\t\treturn")
+		p("\t}")
+		for _, f := range c.Resp {
+			p("\t%s = resp.%s", lower(f.Name), f.Name)
+		}
+	} else {
+		p("\terr = dec.Err()")
+	}
+	p("\treturn")
+	p("}")
+	p("")
+}
+
+// emitDispatchCase writes the server-side switch case for one call.
+func emitDispatchCase(p func(string, ...any), c Call) {
+	p("\tcase Call%s:", c.Name)
+	p("\t\tvar req %sReq", c.Name)
+	p("\t\treq.Decode(dec)")
+	p("\t\tif dec.Err() != nil {")
+	p("\t\t\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("\t\t}")
+	var args []string
+	for _, f := range c.Req {
+		args = append(args, "req."+f.Name)
+	}
+	callArgs := ""
+	if len(args) > 0 {
+		callArgs = ", " + strings.Join(args, ", ")
+	}
+	var outs []string
+	for _, f := range c.Resp {
+		outs = append(outs, lower(f.Name))
+	}
+	if len(outs) > 0 {
+		p("\t\t%s, err := b.%s(p%s)", strings.Join(outs, ", "), c.Name, callArgs)
+	} else {
+		p("\t\terr := b.%s(p%s)", c.Name, callArgs)
+	}
+	p("\t\tvar enc wire.Encoder")
+	p("\t\tenc.I32(int32(cuda.Code(err)))")
+	if len(c.Resp) > 0 {
+		var lits []string
+		for _, f := range c.Resp {
+			lits = append(lits, fmt.Sprintf("%s: %s", f.Name, lower(f.Name)))
+		}
+		p("\t\tif err == nil {")
+		p("\t\t\t(&%sResp{%s}).Encode(&enc)", c.Name, strings.Join(lits, ", "))
+		p("\t\t}")
+	}
+	if c.RspData != "" {
+		p("\t\tvar respBytes int64")
+		p("\t\tif err == nil {")
+		p("\t\t\trespBytes = int64(req.%s)", c.RspData)
+		p("\t\t}")
+		p("\t\treturn enc.Bytes(), respBytes")
+	} else {
+		p("\t\treturn enc.Bytes(), 0")
+	}
+}

@@ -1,0 +1,139 @@
+package dgsf
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuickstartInvoke(t *testing.T) {
+	c := NewCluster(Config{Seed: 1, GPUs: 4})
+	var res Result
+	c.Simulate(func(s *Session) {
+		var err error
+		res, err = s.Invoke("faceidentification")
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if res.E2E <= 0 || res.Exec <= 0 || res.Download <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	// Pre-warmed DGSF: roughly Table II's 10.5 s.
+	if res.E2E < 7*time.Second || res.E2E > 14*time.Second {
+		t.Fatalf("faceidentification E2E = %v, want ~10s", res.E2E)
+	}
+	if res.Queue != 0 {
+		t.Fatalf("uncontended invoke queued %v", res.Queue)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	c := NewCluster(Config{Seed: 1})
+	c.Simulate(func(s *Session) {
+		if _, err := s.Invoke("not-a-workload"); err == nil {
+			t.Error("unknown workload did not fail")
+		}
+	})
+}
+
+func TestWorkloadsCatalog(t *testing.T) {
+	if got := len(Workloads()); got != 6 {
+		t.Fatalf("Workloads() = %d names, want 6", got)
+	}
+}
+
+func TestConcurrentSubmissionsAndSummary(t *testing.T) {
+	c := NewCluster(Config{Seed: 2, GPUs: 2, APIServersPerGPU: 2})
+	var agg map[string]Aggregate
+	var utils []float64
+	c.Simulate(func(s *Session) {
+		for i := 0; i < 3; i++ {
+			if _, err := s.Submit("kmeans"); err != nil {
+				t.Fatal(err)
+			}
+			s.Sleep(time.Second)
+		}
+		if _, err := s.Submit("nlp"); err != nil {
+			t.Fatal(err)
+		}
+		// Simulate() drains; collect stats after a settling sleep so the
+		// samplers observe the activity.
+		s.Sleep(60 * time.Second)
+		agg = s.Summary()
+		utils = s.Utilization()
+	})
+	if agg["kmeans"].Count != 3 || agg["nlp"].Count != 1 {
+		t.Fatalf("summary = %+v", agg)
+	}
+	if len(utils) != 2 {
+		t.Fatalf("utilization for %d GPUs, want 2", len(utils))
+	}
+	if utils[0] <= 0 && utils[1] <= 0 {
+		t.Fatal("no GPU utilization recorded")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() time.Duration {
+		c := NewCluster(Config{Seed: 42, GPUs: 1})
+		var e2e time.Duration
+		c.Simulate(func(s *Session) {
+			res, err := s.Invoke("resnet")
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2e = res.E2E
+		})
+		return e2e
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestNoPrewarmSlower(t *testing.T) {
+	run := func(noPrewarm bool) time.Duration {
+		c := NewCluster(Config{Seed: 1, GPUs: 1, NoPrewarm: noPrewarm})
+		var e2e time.Duration
+		c.Simulate(func(s *Session) {
+			res, err := s.Invoke("faceidentification")
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2e = res.E2E
+		})
+		return e2e
+	}
+	warm, cold := run(false), run(true)
+	if cold < warm+3*time.Second {
+		t.Fatalf("cold start (%v) not clearly slower than pre-warmed (%v)", cold, warm)
+	}
+}
+
+func TestSharingConfigIncreasesConcurrency(t *testing.T) {
+	run := func(perGPU int) time.Duration {
+		c := NewCluster(Config{Seed: 3, GPUs: 1, APIServersPerGPU: perGPU})
+		var sum time.Duration
+		c.Simulate(func(s *Session) {
+			var pds []*Pending
+			for i := 0; i < 3; i++ {
+				pd, err := s.Submit("kmeans")
+				if err != nil {
+					t.Fatal(err)
+				}
+				pds = append(pds, pd)
+			}
+			for _, pd := range pds {
+				r, err := pd.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += r.E2E
+			}
+		})
+		return sum
+	}
+	if shared, exclusive := run(2), run(1); shared >= exclusive {
+		t.Fatalf("sharing E2E sum (%v) not below exclusive (%v)", shared, exclusive)
+	}
+}

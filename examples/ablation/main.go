@@ -1,0 +1,41 @@
+// Ablation: reproduce the Figure 4 study for one workload — how each of
+// DGSF's serverless specializations (server-side handle pools, guest-side
+// descriptor pooling, call batching) contributes to closing the gap between
+// unoptimized remoting and native execution.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/experiments"
+)
+
+func main() {
+	fmt.Println("DGSF ablation for faceidentification (ArcFace/ONNX), downloads excluded")
+	rows := experiments.Figure4(1)
+	for _, r := range rows {
+		if r.Workload != "faceidentification" {
+			continue
+		}
+		prev := time.Duration(0)
+		for _, tier := range experiments.Tiers() {
+			t := r.Times[tier]
+			delta := ""
+			if prev > 0 && tier != experiments.TierNoOpt {
+				delta = fmt.Sprintf("  (%+.1fs)", (t - prev).Seconds())
+			}
+			st := r.Stats[tier]
+			calls := ""
+			if st.Total > 0 {
+				calls = fmt.Sprintf("  [%d calls: %d remoted, %d batched, %d local]",
+					st.Total, st.Remoted, st.Batched, st.Localized)
+			}
+			fmt.Printf("  %-14s %8.1fs%s%s\n", tier, t.Seconds(), delta, calls)
+			prev = t
+		}
+		noopt, full := r.Times[experiments.TierNoOpt], r.Times[experiments.TierBatching]
+		fmt.Printf("  total improvement over unoptimized DGSF: %.0f%% (paper: 67%% for this workload)\n",
+			100*(1-float64(full)/float64(noopt)))
+	}
+}

@@ -1,0 +1,3 @@
+module dgsf
+
+go 1.22

@@ -1,0 +1,296 @@
+package apiserver
+
+import (
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/sim"
+)
+
+// cuDNN / cuBLAS backend. Handle-creating calls are served from the
+// pre-created pool when the PoolHandles optimization is on, "simply
+// returning one of them when the API is called" (§V-A); otherwise the full
+// creation cost lands on the function's critical path.
+
+// DnnCreate mirrors cudnnCreate.
+func (s *Server) DnnCreate(p *sim.Proc) (cudalibs.DNNHandle, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	var real cudalibs.DNNHandle
+	if n := len(s.pooledDNN); n > 0 {
+		real = s.pooledDNN[n-1]
+		s.pooledDNN = s.pooledDNN[:n-1]
+		// A pooled handle may have been created on the home context; make
+		// sure it is bound to the device we currently execute on.
+		if ctx, ok := s.libs.DNNContext(real); ok && ctx.Device().ID() != s.curDev {
+			cur, err := s.rt.Context(p, s.curDev)
+			if err != nil {
+				return 0, err
+			}
+			if err := s.libs.RebindDNN(p, real, cur); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		ctx, err := s.ctx(p)
+		if err != nil {
+			return 0, err
+		}
+		h, err := s.libs.DNNCreate(p, ctx)
+		if err != nil {
+			return 0, err
+		}
+		real = h
+	}
+	sess.nextVirt++
+	virt := cudalibs.DNNHandle(0x7200_0000 + sess.nextVirt)
+	sess.dnns[virt] = real
+	return virt, nil
+}
+
+// DnnDestroy returns the handle to the pool (or destroys it when pooling is
+// off).
+func (s *Server) DnnDestroy(p *sim.Proc, h cudalibs.DNNHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	real, ok := sess.dnns[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	delete(sess.dnns, h)
+	s.releaseDNN(p, real)
+	return nil
+}
+
+// DnnSetStream mirrors cudnnSetStream; stream binding is implicit in this
+// model, so only handle validity is checked.
+func (s *Server) DnnSetStream(p *sim.Proc, h cudalibs.DNNHandle, stream cuda.StreamHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if _, ok := sess.dnns[h]; !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if stream != 0 {
+		if _, err := s.translateStream(stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DnnGetConvolutionWorkspaceSize mirrors its cuDNN namesake.
+func (s *Server) DnnGetConvolutionWorkspaceSize(p *sim.Proc, d cudalibs.Descriptor) (int64, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	if !sess.descs[d] {
+		return 0, cuda.ErrInvalidResourceHandle
+	}
+	return 64 << 20, nil
+}
+
+// DnnForward translates the virtual handle and runs the primitive.
+func (s *Server) DnnForward(p *sim.Proc, h cudalibs.DNNHandle, op string, dur time.Duration, bufs []cuda.DevPtr, descs []uint64) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	real, ok := sess.dnns[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	return s.libs.DNNForward(p, real, op, dur, bufs)
+}
+
+// BlasCreate mirrors cublasCreate, pool-backed like DnnCreate.
+func (s *Server) BlasCreate(p *sim.Proc) (cudalibs.BLASHandle, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	var real cudalibs.BLASHandle
+	if n := len(s.pooledBLAS); n > 0 {
+		real = s.pooledBLAS[n-1]
+		s.pooledBLAS = s.pooledBLAS[:n-1]
+	} else {
+		ctx, err := s.ctx(p)
+		if err != nil {
+			return 0, err
+		}
+		h, err := s.libs.BLASCreate(p, ctx)
+		if err != nil {
+			return 0, err
+		}
+		real = h
+	}
+	sess.nextVirt++
+	virt := cudalibs.BLASHandle(0x7300_0000 + sess.nextVirt)
+	sess.blass[virt] = real
+	return virt, nil
+}
+
+// BlasDestroy returns the handle to the pool (or destroys it).
+func (s *Server) BlasDestroy(p *sim.Proc, h cudalibs.BLASHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	real, ok := sess.blass[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	delete(sess.blass, h)
+	s.releaseBLAS(p, real)
+	return nil
+}
+
+// BlasSetStream mirrors cublasSetStream.
+func (s *Server) BlasSetStream(p *sim.Proc, h cudalibs.BLASHandle, stream cuda.StreamHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if _, ok := sess.blass[h]; !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if stream != 0 {
+		if _, err := s.translateStream(stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlasGemm translates the virtual handle and runs the GEMM.
+func (s *Server) BlasGemm(p *sim.Proc, h cudalibs.BLASHandle, dur time.Duration, bufs []cuda.DevPtr) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	real, ok := sess.blass[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	return s.libs.GEMM(p, real, dur, bufs)
+}
+
+// --- descriptor backend (for unoptimized guests that remote them) ---
+
+func (s *Server) createDesc(p *sim.Proc, kind cudalibs.DescriptorKind) (cudalibs.Descriptor, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	d, err := s.libs.CreateDescriptor(p, kind)
+	if err != nil {
+		return 0, err
+	}
+	sess.descs[d] = true
+	return d, nil
+}
+
+func (s *Server) setDesc(p *sim.Proc, d cudalibs.Descriptor) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if !sess.descs[d] {
+		return cuda.ErrInvalidResourceHandle
+	}
+	return s.libs.SetDescriptor(p, d)
+}
+
+func (s *Server) destroyDesc(p *sim.Proc, d cudalibs.Descriptor) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if !sess.descs[d] {
+		return cuda.ErrInvalidResourceHandle
+	}
+	delete(sess.descs, d)
+	return s.libs.DestroyDescriptor(p, d)
+}
+
+// DnnCreateTensorDescriptor mirrors cudnnCreateTensorDescriptor.
+func (s *Server) DnnCreateTensorDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return s.createDesc(p, cudalibs.TensorDescriptor)
+}
+
+// DnnSetTensorDescriptor mirrors cudnnSetTensorNdDescriptor.
+func (s *Server) DnnSetTensorDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.setDesc(p, d)
+}
+
+// DnnDestroyTensorDescriptor mirrors cudnnDestroyTensorDescriptor.
+func (s *Server) DnnDestroyTensorDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.destroyDesc(p, d)
+}
+
+// DnnCreateFilterDescriptor mirrors cudnnCreateFilterDescriptor.
+func (s *Server) DnnCreateFilterDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return s.createDesc(p, cudalibs.FilterDescriptor)
+}
+
+// DnnSetFilterDescriptor mirrors cudnnSetFilterNdDescriptor.
+func (s *Server) DnnSetFilterDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.setDesc(p, d)
+}
+
+// DnnDestroyFilterDescriptor mirrors cudnnDestroyFilterDescriptor.
+func (s *Server) DnnDestroyFilterDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.destroyDesc(p, d)
+}
+
+// DnnCreateConvolutionDescriptor mirrors cudnnCreateConvolutionDescriptor.
+func (s *Server) DnnCreateConvolutionDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return s.createDesc(p, cudalibs.ConvolutionDescriptor)
+}
+
+// DnnSetConvolutionDescriptor mirrors cudnnSetConvolutionNdDescriptor.
+func (s *Server) DnnSetConvolutionDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.setDesc(p, d)
+}
+
+// DnnDestroyConvolutionDescriptor mirrors cudnnDestroyConvolutionDescriptor.
+func (s *Server) DnnDestroyConvolutionDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.destroyDesc(p, d)
+}
+
+// DnnCreateActivationDescriptor mirrors cudnnCreateActivationDescriptor.
+func (s *Server) DnnCreateActivationDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return s.createDesc(p, cudalibs.ActivationDescriptor)
+}
+
+// DnnSetActivationDescriptor mirrors cudnnSetActivationDescriptor.
+func (s *Server) DnnSetActivationDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.setDesc(p, d)
+}
+
+// DnnDestroyActivationDescriptor mirrors cudnnDestroyActivationDescriptor.
+func (s *Server) DnnDestroyActivationDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.destroyDesc(p, d)
+}
+
+// DnnCreatePoolingDescriptor mirrors cudnnCreatePoolingDescriptor.
+func (s *Server) DnnCreatePoolingDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return s.createDesc(p, cudalibs.PoolingDescriptor)
+}
+
+// DnnSetPoolingDescriptor mirrors cudnnSetPoolingNdDescriptor.
+func (s *Server) DnnSetPoolingDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.setDesc(p, d)
+}
+
+// DnnDestroyPoolingDescriptor mirrors cudnnDestroyPoolingDescriptor.
+func (s *Server) DnnDestroyPoolingDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return s.destroyDesc(p, d)
+}

@@ -1,0 +1,139 @@
+package apiserver
+
+import (
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+	"dgsf/internal/sim"
+)
+
+// Migrate moves the API server's execution to another GPU (§V-D). It runs
+// at an API call boundary (the monitor injects it through the inbox) and:
+//
+//  1. waits for all pending device work to complete;
+//  2. obtains (creating if needed) a context on the target GPU;
+//  3. rebuilds the application's virtual address space on the target using
+//     the low-level VMM API — reserving the *same* virtual addresses with
+//     MemAddressReserveAt, allocating fresh physical memory with MemCreate,
+//     copying device-to-device and mapping with MemMap — so every pointer
+//     the application holds, including indirect device pointers stored in
+//     device memory, remains valid;
+//  4. rebinds cuDNN/cuBLAS handles and re-creates streams, events and kernel
+//     registrations in the target context, extending the translation maps.
+//
+// It returns the migration duration.
+func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
+	if target == s.curDev {
+		return 0, nil
+	}
+	start := p.Now()
+	oldCtx, err := s.rt.Context(p, s.curDev)
+	if err != nil {
+		return 0, err
+	}
+
+	// 1. Stop: wait for completion of all pending operations.
+	if err := oldCtx.DeviceSynchronize(p); err != nil {
+		return 0, err
+	}
+
+	// 2. Target context (one per GPU, created on first use).
+	newCtx, err := s.rt.Context(p, target)
+	if err != nil {
+		return 0, err
+	}
+
+	// 3. Move every mapped reservation, preserving virtual addresses.
+	for _, r := range oldCtx.Reservations() {
+		va := cuda.DevPtr(r.Addr)
+		if err := newCtx.MemAddressReserveAt(p, va, r.Size); err != nil {
+			return 0, err
+		}
+		if r.Phys == 0 {
+			continue // reserved but unmapped: nothing to copy
+		}
+		oldAlloc, ok := oldCtx.PhysAlloc(r.Phys)
+		if !ok {
+			return 0, cuda.ErrInvalidResourceHandle
+		}
+		newPhys, err := newCtx.MemCreate(p, oldAlloc.Size())
+		if err != nil {
+			return 0, err
+		}
+		newAlloc, _ := newCtx.PhysAlloc(newPhys)
+		gpu.CopyD2D(p, newAlloc, oldAlloc)
+		if err := newCtx.MemMap(p, va, newPhys); err != nil {
+			return 0, err
+		}
+		// Release the source: unmap, free physical, drop the reservation.
+		if err := oldCtx.MemUnmap(p, va); err != nil {
+			return 0, err
+		}
+		if err := oldCtx.MemRelease(p, r.Phys); err != nil {
+			return 0, err
+		}
+		if err := oldCtx.MemAddressFree(p, va); err != nil {
+			return 0, err
+		}
+	}
+
+	if sess := s.sess; sess != nil {
+		// 4a. Re-register kernels so launches can translate to valid
+		// per-context function pointers.
+		for _, name := range sess.kernelNames {
+			if _, err := newCtx.RegisterFunction(p, name); err != nil {
+				return 0, err
+			}
+		}
+		// 4b. Replicate streams and events into the new context.
+		for _, perDev := range sess.streams {
+			if _, ok := perDev[target]; ok {
+				continue
+			}
+			real, err := newCtx.StreamCreate(p)
+			if err != nil {
+				return 0, err
+			}
+			perDev[target] = real
+		}
+		for _, perDev := range sess.events {
+			if _, ok := perDev[target]; ok {
+				continue
+			}
+			real, err := newCtx.EventCreate(p)
+			if err != nil {
+				return 0, err
+			}
+			perDev[target] = real
+		}
+		// 4c. Rebind library handles (their workspaces move devices).
+		for _, real := range sess.dnns {
+			if err := s.libs.RebindDNN(p, real, newCtx); err != nil {
+				return 0, err
+			}
+		}
+		for _, real := range sess.blass {
+			if err := s.libs.RebindBLAS(p, real, newCtx); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Pooled (idle) handles follow the server so the pool stays usable.
+	for _, h := range s.pooledDNN {
+		if err := s.libs.RebindDNN(p, h, newCtx); err != nil {
+			return 0, err
+		}
+	}
+	for _, h := range s.pooledBLAS {
+		if err := s.libs.RebindBLAS(p, h, newCtx); err != nil {
+			return 0, err
+		}
+	}
+
+	s.curDev = target
+	d := p.Now() - start
+	s.stats.Migrations++
+	s.stats.MigrationTime += d
+	return d, nil
+}

@@ -1,0 +1,185 @@
+package apiserver
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+	"dgsf/internal/guest"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+// opCode drives the randomized migration-equivalence program.
+type opCode struct {
+	Kind    uint8  // alloc, free, memset, h2d, launch, migrate
+	Arg     uint16 // size selector / buffer selector / content
+	Migrate bool
+}
+
+// TestMigrationEquivalenceProperty is the core correctness property of
+// DGSF's live migration (§V-D): for ANY sequence of memory and kernel
+// operations, interleaving forced migrations at arbitrary API-call
+// boundaries must not change what the application observes. We run every
+// random program twice — once pinned to GPU 0, once with migrations — and
+// require identical device-content fingerprints at every read.
+func TestMigrationEquivalenceProperty(t *testing.T) {
+	run := func(ops []opCode, migrate bool) (fps []uint64, ok bool) {
+		e := sim.NewEngine(99)
+		e.Run("prog", func(p *sim.Proc) {
+			r := newRig(e, p, 3, fastCfg(), guest.OptNone)
+			lib := r.lib
+			if err := lib.Hello(p, "prog", 8<<30); err != nil {
+				t.Fatal(err)
+			}
+			fns, err := lib.RegisterKernels(p, []string{"mutA", "mutB"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bufs []cuda.DevPtr
+			target := 1
+			for _, op := range ops {
+				if migrate && op.Migrate {
+					done := sim.NewQueue[time.Duration](e)
+					r.srv.Inbox.Send(remoting.Request{Ctrl: MigrateRequest{TargetDev: target, Done: done}})
+					done.Recv(p)
+					target = (target + 1) % 3
+				}
+				switch op.Kind % 5 {
+				case 0: // alloc
+					size := int64(op.Arg%64+1) << 20
+					ptr, err := lib.Malloc(p, size)
+					if err != nil {
+						ok = false
+						return
+					}
+					bufs = append(bufs, ptr)
+				case 1: // free
+					if len(bufs) > 0 {
+						i := int(op.Arg) % len(bufs)
+						if err := lib.Free(p, bufs[i]); err != nil {
+							ok = false
+							return
+						}
+						bufs = append(bufs[:i], bufs[i+1:]...)
+					}
+				case 2: // memset
+					if len(bufs) > 0 {
+						i := int(op.Arg) % len(bufs)
+						if err := lib.Memset(p, bufs[i], byte(op.Arg), 1<<20); err != nil {
+							ok = false
+							return
+						}
+					}
+				case 3: // h2d copy
+					if len(bufs) > 0 {
+						i := int(op.Arg) % len(bufs)
+						if err := lib.MemcpyH2D(p, bufs[i], gpu.HostBuffer{FP: uint64(op.Arg), Size: 1 << 20}, 1<<20); err != nil {
+							ok = false
+							return
+						}
+					}
+				case 4: // kernel over a buffer, then read it back
+					if len(bufs) > 0 {
+						i := int(op.Arg) % len(bufs)
+						fn := fns[int(op.Arg)%len(fns)]
+						if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fn, Duration: 100 * time.Microsecond, Mutates: []cuda.DevPtr{bufs[i]}}); err != nil {
+							ok = false
+							return
+						}
+						if err := lib.StreamSynchronize(p, 0); err != nil {
+							ok = false
+							return
+						}
+						hb, err := lib.MemcpyD2H(p, bufs[i], 1<<20)
+						if err != nil {
+							ok = false
+							return
+						}
+						fps = append(fps, hb.FP)
+					}
+				}
+			}
+			// Final read of every live buffer.
+			for _, b := range bufs {
+				hb, err := lib.MemcpyD2H(p, b, 1<<20)
+				if err != nil {
+					ok = false
+					return
+				}
+				fps = append(fps, hb.FP)
+			}
+			if err := lib.Bye(p); err != nil {
+				ok = false
+				return
+			}
+			ok = true
+		})
+		return fps, ok
+	}
+
+	f := func(ops []opCode) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		base, ok1 := run(ops, false)
+		moved, ok2 := run(ops, true)
+		if !ok1 || !ok2 || len(base) != len(moved) {
+			return false
+		}
+		for i := range base {
+			if base[i] != moved[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedMigrationRoundTrip bounces a session across all GPUs several
+// times and back; pointers, contents and accounting must survive every hop.
+func TestRepeatedMigrationRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		r := newRig(e, p, 3, fastCfg(), guest.OptNone)
+		lib := r.lib
+		if err := lib.Hello(p, "fn", 4<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := lib.Malloc(p, 512<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 1234, Size: 512 << 20}, 512<<20); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := lib.MemcpyD2H(p, ptr, 512<<20)
+		for hop := 0; hop < 6; hop++ {
+			target := (hop + 1) % 3
+			done := sim.NewQueue[time.Duration](e)
+			r.srv.Inbox.Send(remoting.Request{Ctrl: MigrateRequest{TargetDev: target, Done: done}})
+			done.Recv(p)
+			got, err := lib.MemcpyD2H(p, ptr, 512<<20)
+			if err != nil {
+				t.Fatalf("hop %d: %v", hop, err)
+			}
+			if got.FP != want.FP {
+				t.Fatalf("hop %d: contents diverged", hop)
+			}
+		}
+		if err := lib.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+		// After Bye + return home, every non-home device is fully free.
+		for i := 1; i < 3; i++ {
+			if got := r.devs[i].UsedBytes(); got != 0 {
+				t.Fatalf("device %d holds %d bytes after session end", i, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,859 @@
+// Package apiserver implements a DGSF API server: the process on a GPU
+// server that executes remoted API calls on behalf of exactly one serverless
+// function at a time (§V-A).
+//
+// An API server owns one CUDA runtime with (by construction) at most one
+// context per physical GPU. It is initially bound to a home GPU; while a
+// function runs, the monitor may migrate it to another GPU at an API-call
+// boundary, and when the function finishes it returns to its home GPU.
+//
+// Serverless specializations implemented here (§V-C):
+//
+//   - pre-initialized CUDA runtime and pooled cuDNN/cuBLAS handles, taking
+//     ~3.2 s + 1.2 s + 0.2 s of initialization off the function's critical
+//     path (an idle pre-warmed server occupies ~755 MB of device memory);
+//   - device virtualization: the function always sees exactly one GPU;
+//   - memory accounting against the function's declared limit, enforced at
+//     allocation time;
+//   - every allocation goes through the CUDA low-level virtual-memory API so
+//     migration can rebuild an identical virtual address space elsewhere.
+package apiserver
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/gpu"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/sim"
+)
+
+// Config parameterizes an API server.
+type Config struct {
+	ID      int
+	HomeDev int // initially assigned GPU
+
+	// PoolHandles enables the startup optimization: the CUDA runtime is
+	// initialized and DNNPool/BLASPool handles are created when the server
+	// starts, not when a function first needs them.
+	PoolHandles bool
+	DNNPool     int
+	BLASPool    int
+
+	CUDACosts cuda.Costs
+	LibCosts  cudalibs.Costs
+}
+
+// Stats is a snapshot of server activity for the monitor.
+type Stats struct {
+	CallsHandled   int
+	BatchesHandled int
+	Kernels        int
+	Migrations     int
+	MigrationTime  time.Duration // cumulative
+	SessionMem     int64         // bytes allocated by the current function
+	Busy           bool          // a function session is active
+	CurrentDev     int
+}
+
+// Server is one API server.
+type Server struct {
+	cfg  Config
+	e    *sim.Engine
+	rt   *cuda.Runtime
+	libs *cudalibs.Libs
+
+	// Inbox carries both guest requests and monitor control messages; both
+	// are processed in FIFO order, which is what confines migration to API
+	// call boundaries.
+	Inbox *sim.Queue[remoting.Request]
+
+	curDev  int
+	prewarm bool // pools are ready
+
+	pooledDNN  []cudalibs.DNNHandle
+	pooledBLAS []cudalibs.BLASHandle
+
+	sess       *session
+	stats      Stats
+	callCounts map[uint16]int
+}
+
+// session is the state of the one function currently being served.
+type session struct {
+	fnID     string
+	memLimit int64
+	used     int64
+
+	allocs map[cuda.DevPtr]int64 // base va -> size
+
+	kernelNames []string
+	virtFn      map[cuda.FnPtr]string
+	nextVirt    uint64
+
+	// Virtual handle -> per-device concrete handle translation maps. The
+	// server pre-replicates streams in new contexts on migration (§V-D).
+	streams map[cuda.StreamHandle]map[int]cuda.StreamHandle
+	events  map[cuda.EventHandle]map[int]cuda.EventHandle
+
+	dnns  map[cudalibs.DNNHandle]cudalibs.DNNHandle   // virtual -> real
+	blass map[cudalibs.BLASHandle]cudalibs.BLASHandle // virtual -> real
+	descs map[cudalibs.Descriptor]bool                // server-held descriptors
+
+	hostAllocs map[uint64]int64
+	nextHost   uint64
+}
+
+var _ gen.API = (*Server)(nil)
+
+// NewServer creates an API server over the GPU server's devices.
+func NewServer(e *sim.Engine, rt *cuda.Runtime, cfg Config) *Server {
+	if cfg.DNNPool == 0 {
+		cfg.DNNPool = 1
+	}
+	if cfg.BLASPool == 0 {
+		cfg.BLASPool = 1
+	}
+	return &Server{
+		cfg:        cfg,
+		e:          e,
+		rt:         rt,
+		libs:       cudalibs.New(cfg.LibCosts),
+		Inbox:      sim.NewQueue[remoting.Request](e),
+		curDev:     cfg.HomeDev,
+		callCounts: make(map[uint16]int),
+	}
+}
+
+// ID returns the server's identifier on its GPU server.
+func (s *Server) ID() int { return s.cfg.ID }
+
+// HomeDev returns the server's originally assigned GPU.
+func (s *Server) HomeDev() int { return s.cfg.HomeDev }
+
+// CurrentDev returns the GPU the server currently executes on.
+func (s *Server) CurrentDev() int { return s.curDev }
+
+// Busy reports whether a function session is active.
+func (s *Server) Busy() bool { return s.sess != nil }
+
+// Stats returns an activity snapshot for the monitor (step 3 in Fig. 2).
+func (s *Server) Stats() Stats {
+	st := s.stats
+	st.Busy = s.sess != nil
+	st.CurrentDev = s.curDev
+	if s.sess != nil {
+		st.SessionMem = s.sess.used
+	}
+	return st
+}
+
+// Prewarm initializes the CUDA runtime and fills the handle pools. The GPU
+// server's manager runs this for every API server it creates, off any
+// function's critical path.
+func (s *Server) Prewarm(p *sim.Proc) error {
+	if s.prewarm {
+		return nil
+	}
+	if err := s.rt.SetDevice(p, s.cfg.HomeDev); err != nil {
+		return err
+	}
+	if err := s.rt.Init(p); err != nil {
+		return err
+	}
+	ctx, err := s.rt.Context(p, s.cfg.HomeDev)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.cfg.DNNPool; i++ {
+		h, err := s.libs.DNNCreate(p, ctx)
+		if err != nil {
+			return err
+		}
+		s.pooledDNN = append(s.pooledDNN, h)
+	}
+	for i := 0; i < s.cfg.BLASPool; i++ {
+		h, err := s.libs.BLASCreate(p, ctx)
+		if err != nil {
+			return err
+		}
+		s.pooledBLAS = append(s.pooledBLAS, h)
+	}
+	s.prewarm = true
+	return nil
+}
+
+// Run is the server's request loop. Spawn as a daemon process. If the
+// PoolHandles optimization is on, the server pre-warms before serving.
+func (s *Server) Run(p *sim.Proc) {
+	if s.cfg.PoolHandles {
+		if err := s.Prewarm(p); err != nil {
+			panic(fmt.Sprintf("apiserver %d: prewarm: %v", s.cfg.ID, err))
+		}
+	}
+	for {
+		req, ok := s.Inbox.Recv(p)
+		if !ok {
+			return
+		}
+		if req.Ctrl != nil {
+			s.handleCtrl(p, req)
+			continue
+		}
+		resp, data := s.handle(p, req.Payload)
+		req.ReplyTo.Send(remoting.Response{Payload: resp, RespData: data})
+	}
+}
+
+// MigrateRequest asks the server to move to another GPU. The monitor sends
+// it through the inbox so it executes at an API call boundary. Done, if
+// non-nil, receives the migration duration (0 if the move was a no-op).
+type MigrateRequest struct {
+	TargetDev int
+	Done      *sim.Queue[time.Duration]
+}
+
+// ResetRequest forcibly ends the current session, releasing all of its
+// resources. The TCP front end sends it when a guest connection drops
+// without a proper Bye.
+type ResetRequest struct {
+	Done *sim.Queue[struct{}]
+}
+
+func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
+	switch c := req.Ctrl.(type) {
+	case MigrateRequest:
+		d, err := s.Migrate(p, c.TargetDev)
+		if err != nil {
+			d = 0
+		}
+		if c.Done != nil {
+			c.Done.Send(d)
+		}
+	case ResetRequest:
+		if s.sess != nil {
+			_ = s.Bye(p)
+		}
+		if c.Done != nil {
+			c.Done.Send(struct{}{})
+		}
+	default:
+		panic(fmt.Sprintf("apiserver %d: unknown control message %T", s.cfg.ID, req.Ctrl))
+	}
+}
+
+// handle executes one wire message (a single call or a batch).
+func (s *Server) handle(p *sim.Proc, payload []byte) ([]byte, int64) {
+	d := wire.NewDecoder(payload)
+	if id := d.U16(); id == remoting.CallBatch {
+		return s.handleBatch(p, d), 0
+	} else {
+		s.callCounts[id]++
+	}
+	s.stats.CallsHandled++
+	return gen.Dispatch(p, s, payload)
+}
+
+// CallCounts reports how often each API has been executed, keyed by name —
+// the per-server statistics the monitor collects (Fig. 2, step 3).
+func (s *Server) CallCounts() map[string]int {
+	out := make(map[string]int, len(s.callCounts))
+	for id, n := range s.callCounts {
+		out[gen.CallName(id)] += n
+	}
+	return out
+}
+
+// handleBatch executes the entries of a batch message in order, replying
+// with the first error encountered (subsequent entries still execute, like
+// asynchronous CUDA work after a sticky error).
+func (s *Server) handleBatch(p *sim.Proc, d *wire.Decoder) []byte {
+	n := int(d.U32())
+	s.stats.BatchesHandled++
+	firstErr := 0
+	for i := 0; i < n && d.Err() == nil; i++ {
+		entry := d.BytesField()
+		if d.Err() != nil {
+			break
+		}
+		s.stats.CallsHandled++
+		if len(entry) >= 2 {
+			s.callCounts[uint16(entry[0])|uint16(entry[1])<<8]++
+		}
+		resp, _ := gen.Dispatch(p, s, entry)
+		rd := wire.NewDecoder(resp)
+		if code := int(rd.I32()); code != 0 && firstErr == 0 {
+			firstErr = code
+		}
+	}
+	if d.Err() != nil && firstErr == 0 {
+		firstErr = cuda.Code(cuda.ErrInvalidValue)
+	}
+	var e wire.Encoder
+	e.I32(int32(firstErr))
+	return e.Bytes()
+}
+
+// ctx returns the context on the server's current device.
+func (s *Server) ctx(p *sim.Proc) (*cuda.Context, error) {
+	if s.sess == nil {
+		return nil, cuda.ErrNotInitialized
+	}
+	return s.rt.Context(p, s.curDev)
+}
+
+// --- session control ---
+
+// Hello opens a function session. Without the pooling optimization, the
+// CUDA runtime initializes here — on the function's critical path, exactly
+// the cost DGSF's pre-initialization removes.
+func (s *Server) Hello(p *sim.Proc, fnID string, memLimit int64) error {
+	if s.sess != nil {
+		return cuda.ErrInitializationError
+	}
+	if !s.prewarm {
+		if err := s.rt.SetDevice(p, s.cfg.HomeDev); err != nil {
+			return err
+		}
+		if err := s.rt.Init(p); err != nil {
+			return err
+		}
+	}
+	s.sess = &session{
+		fnID:       fnID,
+		memLimit:   memLimit,
+		allocs:     make(map[cuda.DevPtr]int64),
+		virtFn:     make(map[cuda.FnPtr]string),
+		streams:    make(map[cuda.StreamHandle]map[int]cuda.StreamHandle),
+		events:     make(map[cuda.EventHandle]map[int]cuda.EventHandle),
+		dnns:       make(map[cudalibs.DNNHandle]cudalibs.DNNHandle),
+		blass:      make(map[cudalibs.BLASHandle]cudalibs.BLASHandle),
+		descs:      make(map[cudalibs.Descriptor]bool),
+		hostAllocs: make(map[uint64]int64),
+	}
+	return nil
+}
+
+// Bye tears down the session: all function-owned resources are released,
+// pooled handles are returned, and the server migrates back to its home GPU
+// if the monitor had moved it (§V-A).
+func (s *Server) Bye(p *sim.Proc) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	ctx, err := s.rt.Context(p, s.curDev)
+	if err != nil {
+		return err
+	}
+	_ = ctx.DeviceSynchronize(p)
+	for ptr := range sess.allocs {
+		_ = ctx.Free(p, ptr)
+	}
+	for _, perDev := range sess.streams {
+		for dev, h := range perDev {
+			c, err := s.rt.Context(p, dev)
+			if err == nil {
+				_ = c.StreamDestroy(p, h)
+			}
+		}
+	}
+	for _, perDev := range sess.events {
+		for dev, h := range perDev {
+			c, err := s.rt.Context(p, dev)
+			if err == nil {
+				_ = c.EventDestroy(p, h)
+			}
+		}
+	}
+	// Non-pooled handles created for this session are destroyed; pooled
+	// ones were already returned by DnnDestroy/BlasDestroy or are returned
+	// now.
+	for _, real := range sess.dnns {
+		s.releaseDNN(p, real)
+	}
+	for _, real := range sess.blass {
+		s.releaseBLAS(p, real)
+	}
+	for d := range sess.descs {
+		_ = s.libs.DestroyDescriptor(p, d)
+	}
+	s.sess = nil
+	// Return home. No function memory remains, so this is cheap; the extra
+	// context created at the destination is torn down to release its
+	// footprint.
+	if s.curDev != s.cfg.HomeDev {
+		away := s.curDev
+		if _, err := s.Migrate(p, s.cfg.HomeDev); err != nil {
+			return err
+		}
+		if awayCtx, err := s.rt.Context(p, away); err == nil {
+			awayCtx.Destroy()
+		}
+	}
+	return nil
+}
+
+func (s *Server) releaseDNN(p *sim.Proc, real cudalibs.DNNHandle) {
+	if len(s.pooledDNN) < s.cfg.DNNPool && s.cfg.PoolHandles {
+		s.pooledDNN = append(s.pooledDNN, real)
+		return
+	}
+	_ = s.libs.DNNDestroy(p, real)
+}
+
+func (s *Server) releaseBLAS(p *sim.Proc, real cudalibs.BLASHandle) {
+	if len(s.pooledBLAS) < s.cfg.BLASPool && s.cfg.PoolHandles {
+		s.pooledBLAS = append(s.pooledBLAS, real)
+		return
+	}
+	_ = s.libs.BLASDestroy(p, real)
+}
+
+// RegisterKernels registers the function's kernels in the current context
+// and hands back stable virtual handles; launches translate them to the
+// context-local pointers, which migration re-creates on the target GPU.
+func (s *Server) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
+	sess := s.sess
+	if sess == nil {
+		return nil, cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cuda.FnPtr, 0, len(names))
+	for _, name := range names {
+		if _, err := ctx.RegisterFunction(p, name); err != nil {
+			return nil, err
+		}
+		sess.kernelNames = append(sess.kernelNames, name)
+		sess.nextVirt++
+		virt := cuda.FnPtr(0x5000_0000_0000 + sess.nextVirt)
+		sess.virtFn[virt] = name
+		out = append(out, virt)
+	}
+	return out, nil
+}
+
+// --- device management (virtualized: the function sees one GPU) ---
+
+// GetDeviceCount always answers 1 (§V-B, "Device management functions").
+func (s *Server) GetDeviceCount(p *sim.Proc) (int, error) {
+	if _, err := s.ctx(p); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// GetDeviceProperties reports the currently assigned GPU as device 0.
+func (s *Server) GetDeviceProperties(p *sim.Proc, dev int) (cuda.DeviceProp, error) {
+	if _, err := s.ctx(p); err != nil {
+		return cuda.DeviceProp{}, err
+	}
+	if dev != 0 {
+		return cuda.DeviceProp{}, cuda.ErrInvalidDevice
+	}
+	return s.rt.DeviceProperties(p, s.curDev)
+}
+
+// SetDevice accepts only the virtual device 0.
+func (s *Server) SetDevice(p *sim.Proc, dev int) error {
+	if _, err := s.ctx(p); err != nil {
+		return err
+	}
+	if dev != 0 {
+		return cuda.ErrInvalidDevice
+	}
+	return nil
+}
+
+// GetDevice always answers 0.
+func (s *Server) GetDevice(p *sim.Proc) (int, error) {
+	if _, err := s.ctx(p); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// MemGetInfo is scoped to the function's declared memory limit.
+func (s *Server) MemGetInfo(p *sim.Proc) (int64, int64, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, 0, cuda.ErrNotInitialized
+	}
+	return sess.memLimit - sess.used, sess.memLimit, nil
+}
+
+// DeviceSynchronize drains all streams in the current context.
+func (s *Server) DeviceSynchronize(p *sim.Proc) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	return ctx.DeviceSynchronize(p)
+}
+
+// GetLastError reports no error; errors are returned per call on the wire.
+func (s *Server) GetLastError(p *sim.Proc) (int, error) { return 0, nil }
+
+// DriverGetVersion reports CUDA 10.2, the driver version the paper's GPU
+// servers run.
+func (s *Server) DriverGetVersion(p *sim.Proc) (int, error) { return 10020, nil }
+
+// RuntimeGetVersion reports CUDA 10.1, the runtime exposed to functions.
+func (s *Server) RuntimeGetVersion(p *sim.Proc) (int, error) { return 10010, nil }
+
+// --- memory management ---
+
+// Malloc allocates through the VMM path (reserve + create + map) and checks
+// the function's declared limit: DGSF "knows exactly how much memory an
+// application is using and ensures it is not violating its limits" (§V-B).
+func (s *Server) Malloc(p *sim.Proc, size int64) (cuda.DevPtr, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	if size <= 0 {
+		return 0, cuda.ErrInvalidValue
+	}
+	if sess.used+size > sess.memLimit {
+		return 0, cuda.ErrMemoryAllocation
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return 0, err
+	}
+	ptr, err := ctx.Malloc(p, size)
+	if err != nil {
+		return 0, err
+	}
+	sess.allocs[ptr] = size
+	sess.used += size
+	return ptr, nil
+}
+
+// Free releases a function allocation.
+func (s *Server) Free(p *sim.Proc, ptr cuda.DevPtr) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	size, ok := sess.allocs[ptr]
+	if !ok {
+		return cuda.ErrInvalidValue
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Free(p, ptr); err != nil {
+		return err
+	}
+	delete(sess.allocs, ptr)
+	sess.used -= size
+	return nil
+}
+
+// Memset mirrors cudaMemset.
+func (s *Server) Memset(p *sim.Proc, ptr cuda.DevPtr, value byte, size int64) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	return ctx.Memset(p, ptr, value, size)
+}
+
+// MemcpyH2D mirrors cudaMemcpy(HostToDevice).
+func (s *Server) MemcpyH2D(p *sim.Proc, dst cuda.DevPtr, src gpu.HostBuffer, size int64) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	return ctx.MemcpyH2D(p, dst, src, size)
+}
+
+// MemcpyD2H mirrors cudaMemcpy(DeviceToHost).
+func (s *Server) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostBuffer, error) {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return gpu.HostBuffer{}, err
+	}
+	return ctx.MemcpyD2H(p, src, size)
+}
+
+// MemcpyD2D mirrors cudaMemcpy(DeviceToDevice).
+func (s *Server) MemcpyD2D(p *sim.Proc, dst, src cuda.DevPtr, size int64) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	return ctx.MemcpyD2D(p, dst, src, size)
+}
+
+// MallocHost emulates pinned host allocation server-side (the optimized
+// guest never forwards it).
+func (s *Server) MallocHost(p *sim.Proc, size int64) (uint64, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	sess.nextHost++
+	ptr := 0x6100_0000_0000 + sess.nextHost<<12
+	sess.hostAllocs[ptr] = size
+	return ptr, nil
+}
+
+// FreeHost mirrors cudaFreeHost.
+func (s *Server) FreeHost(p *sim.Proc, ptr uint64) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if _, ok := sess.hostAllocs[ptr]; !ok {
+		return cuda.ErrInvalidValue
+	}
+	delete(sess.hostAllocs, ptr)
+	return nil
+}
+
+// PointerGetAttributes answers from the session allocation table.
+func (s *Server) PointerGetAttributes(p *sim.Proc, ptr cuda.DevPtr) (cuda.PtrAttributes, error) {
+	sess := s.sess
+	if sess == nil {
+		return cuda.PtrAttributes{}, cuda.ErrNotInitialized
+	}
+	for base, size := range sess.allocs {
+		if ptr >= base && uint64(ptr) < uint64(base)+uint64(size) {
+			return cuda.PtrAttributes{Device: 0, Size: size, IsDevice: true}, nil
+		}
+	}
+	return cuda.PtrAttributes{}, cuda.ErrInvalidValue
+}
+
+// --- execution ---
+
+// PushCallConfiguration is accepted for unoptimized guests; the
+// configuration is implicit in the subsequent launch.
+func (s *Server) PushCallConfiguration(p *sim.Proc, grid, block [3]int, stream cuda.StreamHandle) error {
+	if _, err := s.ctx(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PopCallConfiguration matches PushCallConfiguration.
+func (s *Server) PopCallConfiguration(p *sim.Proc) error {
+	if _, err := s.ctx(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LaunchKernel translates the virtual function pointer and stream handle to
+// the current context's and enqueues the kernel.
+func (s *Server) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	name, ok := sess.virtFn[lp.Fn]
+	if !ok {
+		return cuda.ErrInvalidFunction
+	}
+	real, err := ctx.FunctionPtr(name)
+	if err != nil {
+		return err
+	}
+	lp.Fn = real
+	if lp.Stream != 0 {
+		realStream, err := s.translateStream(lp.Stream)
+		if err != nil {
+			return err
+		}
+		lp.Stream = realStream
+	}
+	s.stats.Kernels++
+	return ctx.LaunchKernel(p, lp)
+}
+
+func (s *Server) translateStream(virt cuda.StreamHandle) (cuda.StreamHandle, error) {
+	perDev, ok := s.sess.streams[virt]
+	if !ok {
+		return 0, cuda.ErrInvalidResourceHandle
+	}
+	real, ok := perDev[s.curDev]
+	if !ok {
+		return 0, cuda.ErrInvalidResourceHandle
+	}
+	return real, nil
+}
+
+func (s *Server) translateEvent(virt cuda.EventHandle) (cuda.EventHandle, error) {
+	perDev, ok := s.sess.events[virt]
+	if !ok {
+		return 0, cuda.ErrInvalidResourceHandle
+	}
+	real, ok := perDev[s.curDev]
+	if !ok {
+		return 0, cuda.ErrInvalidResourceHandle
+	}
+	return real, nil
+}
+
+// StreamCreate creates a stream and returns a stable virtual handle; the
+// per-context concrete handle lives in the translation map.
+func (s *Server) StreamCreate(p *sim.Proc) (cuda.StreamHandle, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return 0, err
+	}
+	real, err := ctx.StreamCreate(p)
+	if err != nil {
+		return 0, err
+	}
+	sess.nextVirt++
+	virt := cuda.StreamHandle(0x7000_0000 + sess.nextVirt)
+	sess.streams[virt] = map[int]cuda.StreamHandle{s.curDev: real}
+	return virt, nil
+}
+
+// StreamDestroy destroys the stream in every context holding a replica.
+func (s *Server) StreamDestroy(p *sim.Proc, h cuda.StreamHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	perDev, ok := sess.streams[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	for dev, real := range perDev {
+		c, err := s.rt.Context(p, dev)
+		if err != nil {
+			continue
+		}
+		_ = c.StreamDestroy(p, real)
+	}
+	delete(sess.streams, h)
+	return nil
+}
+
+// StreamSynchronize synchronizes the stream in the current context.
+func (s *Server) StreamSynchronize(p *sim.Proc, h cuda.StreamHandle) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	if h == 0 {
+		return ctx.StreamSynchronize(p, 0)
+	}
+	real, err := s.translateStream(h)
+	if err != nil {
+		return err
+	}
+	return ctx.StreamSynchronize(p, real)
+}
+
+// EventCreate creates an event behind a stable virtual handle.
+func (s *Server) EventCreate(p *sim.Proc) (cuda.EventHandle, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return 0, err
+	}
+	real, err := ctx.EventCreate(p)
+	if err != nil {
+		return 0, err
+	}
+	sess.nextVirt++
+	virt := cuda.EventHandle(0x7100_0000 + sess.nextVirt)
+	sess.events[virt] = map[int]cuda.EventHandle{s.curDev: real}
+	return virt, nil
+}
+
+// EventDestroy destroys the event in every context holding a replica.
+func (s *Server) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	perDev, ok := sess.events[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	for dev, real := range perDev {
+		c, err := s.rt.Context(p, dev)
+		if err != nil {
+			continue
+		}
+		_ = c.EventDestroy(p, real)
+	}
+	delete(sess.events, h)
+	return nil
+}
+
+// EventRecord records the event on the translated stream.
+func (s *Server) EventRecord(p *sim.Proc, h cuda.EventHandle, stream cuda.StreamHandle) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	real, err := s.translateEvent(h)
+	if err != nil {
+		return err
+	}
+	realStream := cuda.StreamHandle(0)
+	if stream != 0 {
+		realStream, err = s.translateStream(stream)
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.EventRecord(p, real, realStream)
+}
+
+// EventSynchronize waits for the translated event.
+func (s *Server) EventSynchronize(p *sim.Proc, h cuda.EventHandle) error {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	real, err := s.translateEvent(h)
+	if err != nil {
+		return err
+	}
+	return ctx.EventSynchronize(p, real)
+}
+
+// EventElapsed reports time between two translated events.
+func (s *Server) EventElapsed(p *sim.Proc, start, end cuda.EventHandle) (time.Duration, error) {
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := s.translateEvent(start)
+	if err != nil {
+		return 0, err
+	}
+	re, err := s.translateEvent(end)
+	if err != nil {
+		return 0, err
+	}
+	return ctx.EventElapsed(p, rs, re)
+}

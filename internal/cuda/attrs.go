@@ -1,0 +1,10 @@
+package cuda
+
+// PtrAttributes mirrors the cudaPointerAttributes fields workloads inspect.
+// DGSF's optimized guest library answers cudaPointerGetAttributes locally
+// from the addresses it tracked at allocation time (§V-C).
+type PtrAttributes struct {
+	Device   int   // owning device index as the application sees it
+	Size     int64 // size of the containing allocation
+	IsDevice bool  // true for device memory
+}

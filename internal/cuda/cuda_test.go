@@ -1,0 +1,441 @@
+package cuda
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dgsf/internal/gpu"
+	"dgsf/internal/sim"
+)
+
+// testRig builds an initialized runtime over n fast-config devices.
+func testRig(e *sim.Engine, p *sim.Proc, n int, costs Costs) (*Runtime, []*gpu.Device) {
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		cfg := gpu.V100Config(i)
+		cfg.CopyLat = 0
+		cfg.KernelLat = 0
+		devs[i] = gpu.New(e, cfg)
+	}
+	rt := NewRuntime(e, devs, costs)
+	if err := rt.Init(p); err != nil {
+		panic(err)
+	}
+	return rt, devs
+}
+
+func zeroCosts() Costs { return Costs{} }
+
+func TestInitCostAndFootprint(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		dev := gpu.New(e, gpu.V100Config(0))
+		costs := DefaultCosts()
+		costs.InitJitter = 0
+		rt := NewRuntime(e, []*gpu.Device{dev}, costs)
+		if _, err := rt.CurrentContext(p); !errors.Is(err, ErrNotInitialized) {
+			t.Fatalf("pre-init Context err = %v, want ErrNotInitialized", err)
+		}
+		start := p.Now()
+		if err := rt.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Now() - start; got != 3200*time.Millisecond {
+			t.Fatalf("Init took %v, want 3.2s", got)
+		}
+		if got := dev.UsedBytes(); got != 303<<20 {
+			t.Fatalf("context footprint = %d, want 303MB", got)
+		}
+		// Idempotent: second Init is free.
+		start = p.Now()
+		if err := rt.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Now() - start; got != 0 {
+			t.Fatalf("repeat Init took %v, want 0", got)
+		}
+	})
+}
+
+func TestInitJitterWithinBand(t *testing.T) {
+	e := sim.NewEngine(7)
+	e.Run("root", func(p *sim.Proc) {
+		dev := gpu.New(e, gpu.V100Config(0))
+		costs := DefaultCosts()
+		rt := NewRuntime(e, []*gpu.Device{dev}, costs)
+		start := p.Now()
+		if err := rt.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		got := p.Now() - start
+		lo, hi := costs.InitTime-costs.InitJitter, costs.InitTime+costs.InitJitter
+		if got < lo || got > hi {
+			t.Fatalf("Init took %v, want within [%v, %v]", got, lo, hi)
+		}
+	})
+}
+
+func TestDeviceManagement(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 4, zeroCosts())
+		if n, _ := rt.DeviceCount(p); n != 4 {
+			t.Fatalf("DeviceCount = %d, want 4", n)
+		}
+		prop, err := rt.DeviceProperties(p, 2)
+		if err != nil || prop.TotalMem != 16<<30 {
+			t.Fatalf("DeviceProperties = %+v, %v", prop, err)
+		}
+		if _, err := rt.DeviceProperties(p, 9); !errors.Is(err, ErrInvalidDevice) {
+			t.Fatalf("out-of-range props err = %v", err)
+		}
+		if err := rt.SetDevice(p, 3); err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := rt.GetDevice(p); d != 3 {
+			t.Fatalf("GetDevice = %d, want 3", d)
+		}
+		if err := rt.SetDevice(p, -1); !errors.Is(err, ErrInvalidDevice) {
+			t.Fatalf("SetDevice(-1) err = %v", err)
+		}
+	})
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, devs := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		ptr, err := ctx.Malloc(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ptr == 0 {
+			t.Fatal("Malloc returned null pointer")
+		}
+		if got := devs[0].UsedBytes(); got != 1<<20 {
+			t.Fatalf("device usage = %d, want 1MiB", got)
+		}
+		if err := ctx.Free(p, ptr); err != nil {
+			t.Fatal(err)
+		}
+		if got := devs[0].UsedBytes(); got != 0 {
+			t.Fatalf("device usage after Free = %d, want 0", got)
+		}
+		if err := ctx.Free(p, ptr); !errors.Is(err, ErrInvalidValue) {
+			t.Fatalf("double Free err = %v, want ErrInvalidValue", err)
+		}
+	})
+}
+
+func TestMallocOOM(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		if _, err := ctx.Malloc(p, 17<<30); !errors.Is(err, ErrMemoryAllocation) {
+			t.Fatalf("oversized Malloc err = %v, want ErrMemoryAllocation", err)
+		}
+	})
+}
+
+func TestVMMLifecycle(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		va, err := ctx.MemAddressReserve(p, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ctx.MemCreate(p, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Release while mapped / free while mapped must fail.
+		if err := ctx.MemMap(p, va, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.MemRelease(p, h); !errors.Is(err, ErrAlreadyMapped) {
+			t.Fatalf("MemRelease while mapped = %v", err)
+		}
+		if err := ctx.MemAddressFree(p, va); !errors.Is(err, ErrAlreadyMapped) {
+			t.Fatalf("MemAddressFree while mapped = %v", err)
+		}
+		if err := ctx.MemMap(p, va, h); !errors.Is(err, ErrAlreadyMapped) {
+			t.Fatalf("double MemMap = %v", err)
+		}
+		if err := ctx.MemUnmap(p, va); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.MemUnmap(p, va); !errors.Is(err, ErrNotMapped) {
+			t.Fatalf("double MemUnmap = %v", err)
+		}
+		if err := ctx.MemRelease(p, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.MemAddressFree(p, va); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMemAddressReserveAt(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 2, zeroCosts())
+		ctx0, _ := rt.Context(p, 0)
+		ctx1, _ := rt.Context(p, 1)
+		va, _ := ctx0.MemAddressReserve(p, 1<<20)
+		// The same address is reservable in a different context...
+		if err := ctx1.MemAddressReserveAt(p, va, 1<<20); err != nil {
+			t.Fatalf("ReserveAt in fresh context: %v", err)
+		}
+		// ...but conflicts within the same context.
+		if err := ctx0.MemAddressReserveAt(p, va, 1<<20); !errors.Is(err, ErrAddressInUse) {
+			t.Fatalf("overlapping ReserveAt = %v, want ErrAddressInUse", err)
+		}
+		// Partial overlap also conflicts.
+		if err := ctx0.MemAddressReserveAt(p, va+4096, 1<<20); !errors.Is(err, ErrAddressInUse) {
+			t.Fatalf("partial-overlap ReserveAt = %v, want ErrAddressInUse", err)
+		}
+	})
+}
+
+func TestResolveInteriorPointer(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		ptr, _ := ctx.Malloc(p, 1<<20)
+		// Memset through an interior pointer must find the allocation.
+		if err := ctx.Memset(p, ptr+4096, 0, 100); err != nil {
+			t.Fatalf("interior-pointer Memset: %v", err)
+		}
+		if err := ctx.Memset(p, ptr+DevPtr(1<<20)+1<<21, 0, 1); err == nil {
+			t.Fatal("Memset far past the allocation succeeded")
+		}
+	})
+}
+
+func TestMemcpyContentFlow(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		a, _ := ctx.Malloc(p, 1<<20)
+		b, _ := ctx.Malloc(p, 1<<20)
+		if err := ctx.MemcpyH2D(p, a, gpu.HostBuffer{FP: 123, Size: 1 << 20}, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.MemcpyD2D(p, b, a, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		ha, err := ctx.MemcpyD2H(p, a, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, _ := ctx.MemcpyD2H(p, b, 1<<20)
+		if ha.FP != hb.FP {
+			t.Fatalf("D2D copy did not preserve content: %x vs %x", ha.FP, hb.FP)
+		}
+	})
+}
+
+func TestKernelLaunchAndStreamOrdering(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		fn, _ := ctx.RegisterFunction(p, "k")
+		start := p.Now()
+		for i := 0; i < 3; i++ {
+			if err := ctx.LaunchKernel(p, LaunchParams{Fn: fn, Duration: 100 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Launches are async.
+		if got := p.Now() - start; got != 0 {
+			t.Fatalf("launches blocked for %v", got)
+		}
+		if err := ctx.StreamSynchronize(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Same-stream kernels serialize: 3 x 100ms.
+		if got := p.Now() - start; got != 300*time.Millisecond {
+			t.Fatalf("3 serialized kernels took %v, want 300ms", got)
+		}
+	})
+}
+
+func TestConcurrentStreamsShareDevice(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		fn, _ := ctx.RegisterFunction(p, "k")
+		s1, _ := ctx.StreamCreate(p)
+		s2, _ := ctx.StreamCreate(p)
+		start := p.Now()
+		_ = ctx.LaunchKernel(p, LaunchParams{Fn: fn, Stream: s1, Duration: time.Second})
+		_ = ctx.LaunchKernel(p, LaunchParams{Fn: fn, Stream: s2, Duration: time.Second})
+		_ = ctx.DeviceSynchronize(p)
+		// Two streams contend under processor sharing: 2s total.
+		if got := p.Now() - start; got != 2*time.Second {
+			t.Fatalf("two contending streams took %v, want 2s", got)
+		}
+	})
+}
+
+func TestLaunchRejectsForeignFunctionPointer(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 2, zeroCosts())
+		ctx0, _ := rt.Context(p, 0)
+		ctx1, _ := rt.Context(p, 1)
+		fn0, _ := ctx0.RegisterFunction(p, "k")
+		fn1, _ := ctx1.RegisterFunction(p, "k")
+		if fn0 == fn1 {
+			t.Fatal("function pointers identical across contexts")
+		}
+		if err := ctx1.LaunchKernel(p, LaunchParams{Fn: fn0}); !errors.Is(err, ErrInvalidFunction) {
+			t.Fatalf("foreign-pointer launch err = %v, want ErrInvalidFunction", err)
+		}
+	})
+}
+
+func TestEvents(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		fn, _ := ctx.RegisterFunction(p, "k")
+		ev1, _ := ctx.EventCreate(p)
+		ev2, _ := ctx.EventCreate(p)
+		_ = ctx.EventRecord(p, ev1, 0)
+		_ = ctx.LaunchKernel(p, LaunchParams{Fn: fn, Duration: 250 * time.Millisecond})
+		_ = ctx.EventRecord(p, ev2, 0)
+		if err := ctx.EventSynchronize(p, ev2); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ctx.EventElapsed(p, ev1, ev2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 250*time.Millisecond {
+			t.Fatalf("EventElapsed = %v, want 250ms", d)
+		}
+		if err := ctx.EventSynchronize(p, EventHandle(999)); !errors.Is(err, ErrInvalidResourceHandle) {
+			t.Fatalf("bad handle err = %v", err)
+		}
+	})
+}
+
+func TestKernelMutatesBuffers(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, _ := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		fn, _ := ctx.RegisterFunction(p, "saxpy")
+		ptr, _ := ctx.Malloc(p, 4096)
+		_ = ctx.Memset(p, ptr, 0, 4096)
+		before, _ := ctx.MemcpyD2H(p, ptr, 4096)
+		_ = ctx.LaunchKernel(p, LaunchParams{Fn: fn, Duration: time.Millisecond, Mutates: []DevPtr{ptr}})
+		_ = ctx.StreamSynchronize(p, 0)
+		after, _ := ctx.MemcpyD2H(p, ptr, 4096)
+		if before.FP == after.FP {
+			t.Fatal("kernel did not mutate buffer contents")
+		}
+	})
+}
+
+func TestContextDestroyReleasesEverything(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		rt, devs := testRig(e, p, 1, zeroCosts())
+		ctx, _ := rt.CurrentContext(p)
+		_, _ = ctx.Malloc(p, 1<<20)
+		_, _ = ctx.StreamCreate(p)
+		ctx.Destroy()
+		if got := devs[0].UsedBytes(); got != 0 {
+			t.Fatalf("device usage after Destroy = %d, want 0", got)
+		}
+		if _, err := ctx.Malloc(p, 1); !errors.Is(err, ErrContextDestroyed) {
+			t.Fatalf("Malloc on destroyed ctx err = %v", err)
+		}
+	})
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	for _, err := range []Error{ErrInvalidValue, ErrMemoryAllocation, ErrNotMapped, ErrInvalidFunction} {
+		if got := FromCode(Code(err)); got != err {
+			t.Errorf("FromCode(Code(%v)) = %v", err, got)
+		}
+	}
+	if FromCode(Code(nil)) != nil {
+		t.Error("nil error did not round-trip")
+	}
+}
+
+// Property: any sequence of Malloc/Free operations keeps device usage equal
+// to the sum of live allocation sizes, and distinct live pointers never
+// overlap.
+func TestMallocInvariantProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint32
+	}
+	f := func(ops []op, seed int64) bool {
+		e := sim.NewEngine(seed)
+		ok := true
+		e.Run("root", func(p *sim.Proc) {
+			rt, devs := testRig(e, p, 1, zeroCosts())
+			ctx, _ := rt.CurrentContext(p)
+			type live struct {
+				ptr  DevPtr
+				size int64
+			}
+			var lives []live
+			var sum int64
+			for _, o := range ops {
+				if o.Alloc || len(lives) == 0 {
+					size := int64(o.Size%(1<<20)) + 1
+					ptr, err := ctx.Malloc(p, size)
+					if err != nil {
+						ok = false
+						return
+					}
+					lives = append(lives, live{ptr, size})
+					sum += size
+				} else {
+					i := int(o.Size) % len(lives)
+					if err := ctx.Free(p, lives[i].ptr); err != nil {
+						ok = false
+						return
+					}
+					sum -= lives[i].size
+					lives = append(lives[:i], lives[i+1:]...)
+				}
+				if devs[0].UsedBytes() != sum {
+					ok = false
+					return
+				}
+				for i := range lives {
+					for j := i + 1; j < len(lives); j++ {
+						a, b := lives[i], lives[j]
+						if uint64(a.ptr) < uint64(b.ptr)+uint64(b.size) && uint64(b.ptr) < uint64(a.ptr)+uint64(a.size) {
+							ok = false
+							return
+						}
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package cuda
+
+import "fmt"
+
+// Error is a CUDA-style status code carried as a Go error. Codes mirror the
+// subset of cudaError_t / CUresult values the DGSF stack distinguishes.
+type Error int
+
+// CUDA error codes used by the simulated runtime.
+const (
+	ErrInvalidValue          Error = 1   // cudaErrorInvalidValue
+	ErrMemoryAllocation      Error = 2   // cudaErrorMemoryAllocation
+	ErrInitializationError   Error = 3   // cudaErrorInitializationError
+	ErrInvalidDevice         Error = 101 // cudaErrorInvalidDevice
+	ErrInvalidResourceHandle Error = 400
+	ErrInvalidAddressSpace   Error = 717
+	ErrNotInitialized        Error = 3000 + iota
+	ErrAlreadyMapped
+	ErrNotMapped
+	ErrAddressInUse
+	ErrContextDestroyed
+	ErrInvalidFunction
+)
+
+var errNames = map[Error]string{
+	ErrInvalidValue:          "cudaErrorInvalidValue",
+	ErrMemoryAllocation:      "cudaErrorMemoryAllocation",
+	ErrInitializationError:   "cudaErrorInitializationError",
+	ErrInvalidDevice:         "cudaErrorInvalidDevice",
+	ErrInvalidResourceHandle: "cudaErrorInvalidResourceHandle",
+	ErrInvalidAddressSpace:   "cudaErrorInvalidAddressSpace",
+	ErrNotInitialized:        "cudaErrorNotInitialized",
+	ErrAlreadyMapped:         "cudaErrorAlreadyMapped",
+	ErrNotMapped:             "cudaErrorNotMapped",
+	ErrAddressInUse:          "cudaErrorAddressInUse",
+	ErrContextDestroyed:      "cudaErrorContextIsDestroyed",
+	ErrInvalidFunction:       "cudaErrorInvalidDeviceFunction",
+}
+
+func (e Error) Error() string {
+	if n, ok := errNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("cudaError(%d)", int(e))
+}
+
+// Code returns the numeric error code, or 0 for nil errors. Used by the
+// remoting layer to put status codes on the wire.
+func Code(err error) int {
+	if err == nil {
+		return 0
+	}
+	if e, ok := err.(Error); ok {
+		return int(e)
+	}
+	return -1
+}
+
+// FromCode converts a wire status code back into an error.
+func FromCode(c int) error {
+	if c == 0 {
+		return nil
+	}
+	return Error(c)
+}

@@ -1,0 +1,291 @@
+// Package cudalibs emulates the vendor math libraries DGSF interposes on
+// top of the CUDA runtime: cuDNN (deep-learning primitives) and cuBLAS
+// (dense linear algebra).
+//
+// The paper's serverless optimizations act on two properties of these
+// libraries, both reproduced here:
+//
+//   - handle creation is expensive and memory-hungry (cuDNN: ~1.2 s and
+//     ~386 MB; cuBLAS: ~0.2 s and ~70 MB), which makes per-API-server handle
+//     pools worth 1.4 s of critical-path latency (§V-C);
+//   - model loading issues large numbers of cheap descriptor-management
+//     calls (cudnnCreate*Descriptor / cudnnSet*Descriptor), each of which
+//     costs a network round trip when remoted naively — the motivation for
+//     guest-side descriptor pooling and call batching.
+package cudalibs
+
+import (
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+	"dgsf/internal/sim"
+)
+
+// Handle identifiers crossing the remoting wire.
+type (
+	// DNNHandle names a cuDNN handle.
+	DNNHandle uint64
+	// BLASHandle names a cuBLAS handle.
+	BLASHandle uint64
+	// Descriptor names a cuDNN descriptor (tensor, filter, convolution, ...).
+	Descriptor uint64
+)
+
+// DescriptorKind enumerates the cuDNN descriptor types the workloads create.
+type DescriptorKind int
+
+// Descriptor kinds.
+const (
+	TensorDescriptor DescriptorKind = iota + 1
+	FilterDescriptor
+	ConvolutionDescriptor
+	ActivationDescriptor
+	PoolingDescriptor
+)
+
+// Costs models library-side fixed costs, calibrated from §V-C.
+type Costs struct {
+	DNNCreateTime  time.Duration // cudnnCreate
+	DNNBytes       int64         // workspace held by a cuDNN handle
+	BLASCreateTime time.Duration // cublasCreate
+	BLASBytes      int64         // workspace held by a cuBLAS handle
+	DescTime       time.Duration // CPU cost of descriptor create/set/destroy
+}
+
+// DefaultCosts returns the paper-calibrated values.
+func DefaultCosts() Costs {
+	return Costs{
+		DNNCreateTime:  1200 * time.Millisecond,
+		DNNBytes:       386 << 20,
+		BLASCreateTime: 200 * time.Millisecond,
+		BLASBytes:      70 << 20,
+		DescTime:       1200 * time.Nanosecond,
+	}
+}
+
+// Libs is the per-context library state: live handles and descriptors.
+type Libs struct {
+	costs Costs
+
+	nextID uint64
+	dnn    map[DNNHandle]*dnnState
+	blas   map[BLASHandle]*blasState
+	descs  map[Descriptor]DescriptorKind
+}
+
+type dnnState struct {
+	ctx       *cuda.Context
+	workspace *gpu.PhysAlloc
+}
+
+type blasState struct {
+	ctx       *cuda.Context
+	workspace *gpu.PhysAlloc
+}
+
+// New returns empty library state with the given cost model.
+func New(costs Costs) *Libs {
+	return &Libs{
+		costs: costs,
+		dnn:   make(map[DNNHandle]*dnnState),
+		blas:  make(map[BLASHandle]*blasState),
+		descs: make(map[Descriptor]DescriptorKind),
+	}
+}
+
+// Costs returns the cost model.
+func (l *Libs) Costs() Costs { return l.costs }
+
+func (l *Libs) id() uint64 {
+	l.nextID++
+	return l.nextID
+}
+
+// --- cuDNN ---
+
+// DNNCreate mirrors cudnnCreate: expensive, and pins workspace memory on the
+// context's device.
+func (l *Libs) DNNCreate(p *sim.Proc, ctx *cuda.Context) (DNNHandle, error) {
+	if l.costs.DNNCreateTime > 0 {
+		p.Sleep(l.costs.DNNCreateTime)
+	}
+	var ws *gpu.PhysAlloc
+	if l.costs.DNNBytes > 0 {
+		a, err := ctx.Device().AllocPhys(l.costs.DNNBytes)
+		if err != nil {
+			return 0, cuda.ErrMemoryAllocation
+		}
+		ws = a
+	}
+	h := DNNHandle(l.id())
+	l.dnn[h] = &dnnState{ctx: ctx, workspace: ws}
+	return h, nil
+}
+
+// DNNDestroy mirrors cudnnDestroy.
+func (l *Libs) DNNDestroy(p *sim.Proc, h DNNHandle) error {
+	s, ok := l.dnn[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if s.workspace != nil {
+		s.workspace.Free()
+	}
+	delete(l.dnn, h)
+	return nil
+}
+
+// DNNContext returns the context a handle is bound to (the migration engine
+// needs this to rebind handles after a context switch).
+func (l *Libs) DNNContext(h DNNHandle) (*cuda.Context, bool) {
+	s, ok := l.dnn[h]
+	if !ok {
+		return nil, false
+	}
+	return s.ctx, true
+}
+
+// RebindDNN points an existing handle at a new context, moving its workspace
+// allocation to the new device. Used on migration.
+func (l *Libs) RebindDNN(p *sim.Proc, h DNNHandle, ctx *cuda.Context) error {
+	s, ok := l.dnn[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if s.workspace != nil {
+		ws, err := ctx.Device().AllocPhys(s.workspace.Size())
+		if err != nil {
+			return cuda.ErrMemoryAllocation
+		}
+		s.workspace.Free()
+		s.workspace = ws
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// CreateDescriptor mirrors cudnnCreate*Descriptor: a host-side allocation.
+func (l *Libs) CreateDescriptor(p *sim.Proc, kind DescriptorKind) (Descriptor, error) {
+	if l.costs.DescTime > 0 {
+		p.Sleep(l.costs.DescTime)
+	}
+	d := Descriptor(l.id())
+	l.descs[d] = kind
+	return d, nil
+}
+
+// SetDescriptor mirrors cudnnSet*Descriptor: host-side state only.
+func (l *Libs) SetDescriptor(p *sim.Proc, d Descriptor) error {
+	if l.costs.DescTime > 0 {
+		p.Sleep(l.costs.DescTime)
+	}
+	if _, ok := l.descs[d]; !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	return nil
+}
+
+// DestroyDescriptor mirrors cudnnDestroy*Descriptor.
+func (l *Libs) DestroyDescriptor(p *sim.Proc, d Descriptor) error {
+	if l.costs.DescTime > 0 {
+		p.Sleep(l.costs.DescTime)
+	}
+	if _, ok := l.descs[d]; !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	delete(l.descs, d)
+	return nil
+}
+
+// DescriptorCount returns the number of live descriptors (tests).
+func (l *Libs) DescriptorCount() int { return len(l.descs) }
+
+// DNNForward mirrors a cuDNN compute call (cudnnConvolutionForward and
+// friends): it launches a kernel of the given nominal duration on the
+// handle's context.
+func (l *Libs) DNNForward(p *sim.Proc, h DNNHandle, op string, dur time.Duration, bufs []cuda.DevPtr) error {
+	s, ok := l.dnn[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	fn, err := s.ctx.RegisterFunction(p, "cudnn::"+op)
+	if err != nil {
+		return err
+	}
+	if err := s.ctx.LaunchKernel(p, cuda.LaunchParams{Fn: fn, Duration: dur, Mutates: bufs}); err != nil {
+		return err
+	}
+	return s.ctx.StreamSynchronize(p, 0)
+}
+
+// --- cuBLAS ---
+
+// BLASCreate mirrors cublasCreate.
+func (l *Libs) BLASCreate(p *sim.Proc, ctx *cuda.Context) (BLASHandle, error) {
+	if l.costs.BLASCreateTime > 0 {
+		p.Sleep(l.costs.BLASCreateTime)
+	}
+	var ws *gpu.PhysAlloc
+	if l.costs.BLASBytes > 0 {
+		a, err := ctx.Device().AllocPhys(l.costs.BLASBytes)
+		if err != nil {
+			return 0, cuda.ErrMemoryAllocation
+		}
+		ws = a
+	}
+	h := BLASHandle(l.id())
+	l.blas[h] = &blasState{ctx: ctx, workspace: ws}
+	return h, nil
+}
+
+// BLASDestroy mirrors cublasDestroy.
+func (l *Libs) BLASDestroy(p *sim.Proc, h BLASHandle) error {
+	s, ok := l.blas[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if s.workspace != nil {
+		s.workspace.Free()
+	}
+	delete(l.blas, h)
+	return nil
+}
+
+// RebindBLAS points an existing handle at a new context on migration.
+func (l *Libs) RebindBLAS(p *sim.Proc, h BLASHandle, ctx *cuda.Context) error {
+	s, ok := l.blas[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	if s.workspace != nil {
+		ws, err := ctx.Device().AllocPhys(s.workspace.Size())
+		if err != nil {
+			return cuda.ErrMemoryAllocation
+		}
+		s.workspace.Free()
+		s.workspace = ws
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// GEMM mirrors cublasSgemm: one kernel on the handle's context.
+func (l *Libs) GEMM(p *sim.Proc, h BLASHandle, dur time.Duration, bufs []cuda.DevPtr) error {
+	s, ok := l.blas[h]
+	if !ok {
+		return cuda.ErrInvalidResourceHandle
+	}
+	fn, err := s.ctx.RegisterFunction(p, "cublas::gemm")
+	if err != nil {
+		return err
+	}
+	if err := s.ctx.LaunchKernel(p, cuda.LaunchParams{Fn: fn, Duration: dur, Mutates: bufs}); err != nil {
+		return err
+	}
+	return s.ctx.StreamSynchronize(p, 0)
+}
+
+// DNNCount and BLASCount return live handle counts (tests, monitor).
+func (l *Libs) DNNCount() int  { return len(l.dnn) }
+func (l *Libs) BLASCount() int { return len(l.blas) }

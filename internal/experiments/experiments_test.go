@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/workloads"
+)
+
+// Table II shape: GPU acceleration is preserved through DGSF, optimized
+// DGSF beats native end-to-end, and the Lambda deployment spikes exactly
+// for the download-heavy workloads (§VIII-B).
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(1, 1)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.DGSF >= r.Native {
+			t.Errorf("%s: DGSF (%v) not faster than native (%v)", r.Workload, r.DGSF, r.Native)
+		}
+		if float64(r.CPU) < 1.5*float64(r.DGSF) {
+			t.Errorf("%s: CPU (%v) not clearly slower than DGSF (%v) — GPU benefit lost", r.Workload, r.CPU, r.DGSF)
+		}
+		if r.Lambda < r.DGSF {
+			t.Errorf("%s: Lambda (%v) faster than OpenFaaS DGSF (%v)", r.Workload, r.Lambda, r.DGSF)
+		}
+		if r.Migration <= 0 {
+			t.Errorf("%s: no migration time measured", r.Workload)
+		}
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	// The spike: NLP and image classification suffer far more on Lambda
+	// than face detection does (paper: +28s / +22s vs +1.5s).
+	nlpPenalty := byName["nlp"].Lambda - byName["nlp"].DGSF
+	fdPenalty := byName["facedetection"].Lambda - byName["facedetection"].DGSF
+	if nlpPenalty < 4*fdPenalty {
+		t.Errorf("NLP Lambda penalty (%v) not dominating face detection's (%v)", nlpPenalty, fdPenalty)
+	}
+	// Within-ballpark absolute calibration vs Table II (±25%).
+	paper := map[string]time.Duration{
+		"kmeans": 14 * time.Second, "covidctnet": 25100 * time.Millisecond,
+		"facedetection": 18500 * time.Millisecond, "faceidentification": 13400 * time.Millisecond,
+		"nlp": 34300 * time.Millisecond, "resnet": 26700 * time.Millisecond,
+	}
+	for name, want := range paper {
+		got := byName[name].Native
+		if got < time.Duration(float64(want)*0.75) || got > time.Duration(float64(want)*1.25) {
+			t.Errorf("%s native = %v, outside ±25%% of paper's %v", name, got, want)
+		}
+	}
+}
+
+// Figure 3 shape: DGSF removes CUDA initialization from the critical path
+// and loads models faster than native thanks to pooled handles.
+func TestFigure3Shape(t *testing.T) {
+	rows := Figure3(1)
+	get := func(wl string, mode Mode) workloads.Phases {
+		for _, r := range rows {
+			if r.Workload == wl && r.Mode == mode {
+				return r.Phases
+			}
+		}
+		t.Fatalf("missing row %s/%s", wl, mode)
+		return workloads.Phases{}
+	}
+	for _, spec := range workloads.All() {
+		nat := get(spec.Name, ModeNative)
+		opt := get(spec.Name, ModeDGSF)
+		noopt := get(spec.Name, ModeDGSFNoOpt)
+		if nat.Init < 2800*time.Millisecond {
+			t.Errorf("%s native init = %v, want >= 2.8s", spec.Name, nat.Init)
+		}
+		if opt.Init > 100*time.Millisecond {
+			t.Errorf("%s DGSF init = %v, want ~0 (pre-initialized)", spec.Name, opt.Init)
+		}
+		if noopt.Init < 2800*time.Millisecond {
+			t.Errorf("%s unoptimized DGSF init = %v, want >= 2.8s (cold runtime)", spec.Name, noopt.Init)
+		}
+		if spec.UsesDNN && opt.Load >= nat.Load {
+			t.Errorf("%s DGSF load (%v) not faster than native (%v) despite handle pools", spec.Name, opt.Load, nat.Load)
+		}
+		if opt.Process < nat.Process {
+			t.Errorf("%s DGSF processing (%v) faster than native (%v): remoting overhead vanished", spec.Name, opt.Process, nat.Process)
+		}
+		if noopt.Total() <= opt.Total() {
+			t.Errorf("%s: unoptimized DGSF (%v) not slower than optimized (%v)", spec.Name, noopt.Total(), opt.Total())
+		}
+	}
+}
+
+// Figure 4 shape: each cumulative optimization tier helps, and the overall
+// improvement reaches the paper's headline range ("API remoting
+// optimizations can improve the runtime of a function by up to 50%
+// relative to unoptimized DGSF", §I).
+func TestFigure4Shape(t *testing.T) {
+	rows := Figure4(1)
+	var bestImprovement float64
+	for _, r := range rows {
+		noopt := r.Times[TierNoOpt]
+		pool := r.Times[TierHandlePool]
+		desc := r.Times[TierDescPool]
+		batch := r.Times[TierBatching]
+		if pool > noopt || desc > pool || batch > desc {
+			t.Errorf("%s: tiers not monotonic: %v -> %v -> %v -> %v", r.Workload, noopt, pool, desc, batch)
+		}
+		impr := 1 - float64(batch)/float64(noopt)
+		if impr > bestImprovement {
+			bestImprovement = impr
+		}
+		// Handle pooling must recover roughly the 4.6 s of initialization
+		// for the cuDNN workloads.
+		spec, _ := workloads.ByName(r.Workload)
+		if spec.UsesDNN {
+			if saved := noopt - pool; saved < 3500*time.Millisecond {
+				t.Errorf("%s: handle pooling saved only %v, want >= 3.5s", r.Workload, saved)
+			}
+		}
+	}
+	if bestImprovement < 0.40 {
+		t.Errorf("best tier improvement = %.0f%%, want >= 40%% (paper: up to 50%%)", bestImprovement*100)
+	}
+}
+
+// The call-reduction claim (§V-C): optimizations cut forwarded API calls by
+// up to 48% for the ONNX workloads and up to 96% for TensorFlow.
+func TestForwardedCallReduction(t *testing.T) {
+	rows := Figure4(1)
+	for _, r := range rows {
+		spec, _ := workloads.ByName(r.Workload)
+		if !spec.UsesDNN {
+			continue
+		}
+		noopt := r.Stats[TierHandlePool] // same guest tier as no-opt, warm server
+		full := r.Stats[TierBatching]
+		red := 1 - float64(full.Forwarded())/float64(noopt.Forwarded())
+		min := 0.40
+		if r.Workload == "covidctnet" { // the TensorFlow workload
+			min = 0.80
+		}
+		if red < min {
+			t.Errorf("%s: forwarded-call reduction %.0f%%, want >= %.0f%%", r.Workload, red*100, min*100)
+		}
+		if full.Roundtrips() >= noopt.Roundtrips() {
+			t.Errorf("%s: round trips did not drop (%d -> %d)", r.Workload, noopt.Roundtrips(), full.Roundtrips())
+		}
+	}
+}
+
+// Table III shape: under heavy load, sharing reduces both the provider's
+// end-to-end time and the function E2E sum (§VIII-D: "sharing can reduce it
+// by 20%"), for both mixes.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load experiment")
+	}
+	rows := Table3(1)
+	byKey := map[string]MixResult{}
+	for _, r := range rows {
+		byKey[r.Mix+"/"+r.Variant] = r
+	}
+	for _, mix := range []string{"AW", "SW"} {
+		ns := byKey[mix+"/no-sharing"]
+		bf := byKey[mix+"/sharing-2-best-fit"]
+		wf := byKey[mix+"/sharing-2-worst-fit"]
+		if bf.E2ESum >= ns.E2ESum || wf.E2ESum >= ns.E2ESum {
+			t.Errorf("%s: sharing did not reduce E2E sum: ns=%v bf=%v wf=%v", mix, ns.E2ESum, bf.E2ESum, wf.E2ESum)
+		}
+		if bf.ProviderE2E >= ns.ProviderE2E {
+			t.Errorf("%s: sharing did not reduce provider E2E: ns=%v bf=%v", mix, ns.ProviderE2E, bf.ProviderE2E)
+		}
+		if bf.MeanUtil <= ns.MeanUtil {
+			t.Errorf("%s: sharing did not raise utilization: %v vs %v", mix, bf.MeanUtil, ns.MeanUtil)
+		}
+	}
+}
+
+// Figure 5 shape: under heavy load every workload sees queueing, and
+// queueing delays are a substantial share of E2E.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load experiment")
+	}
+	rows := Figure5(1)
+	if len(rows) != 10 { // 6 AW + 4 SW
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	queued := 0
+	for _, r := range rows {
+		if r.Exec <= 0 {
+			t.Errorf("%s/%s: no execution time", r.Mix, r.Workload)
+		}
+		if r.Queue > 0 {
+			queued++
+		}
+	}
+	if queued < 6 {
+		t.Errorf("only %d/10 workload rows show queueing under heavy load", queued)
+	}
+}
+
+// Table IV shape: under low load with four GPUs sharing barely matters;
+// with three GPUs sharing clearly reduces the E2E sum (paper: -27/28%).
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load experiment")
+	}
+	rows := Table4(1)
+	byKey := map[string]MixResult{}
+	for _, r := range rows {
+		byKey[string(rune('0'+r.GPUs))+"/"+r.Variant] = r
+	}
+	ns4 := byKey["4/no-sharing"]
+	ns3, wf3 := byKey["3/no-sharing"], byKey["3/sharing-2-worst-fit"]
+	// Three GPUs are more contended than four.
+	if ns3.E2ESum <= ns4.E2ESum {
+		t.Errorf("3-GPU E2E sum (%v) not larger than 4-GPU (%v)", ns3.E2ESum, ns4.E2ESum)
+	}
+	if ns3.ProviderE2E <= ns4.ProviderE2E {
+		t.Errorf("3-GPU provider E2E (%v) not larger than 4-GPU (%v)", ns3.ProviderE2E, ns4.ProviderE2E)
+	}
+	// In the contended three-GPU setting, sharing clearly reduces the E2E
+	// sum (paper: -27/28%). Our calibrated workloads hold GPUs ~16 s on
+	// average vs the paper's ~12 s, so the four-GPU point is also somewhat
+	// contended here and shows a benefit the paper does not; see
+	// EXPERIMENTS.md.
+	gain3 := 1 - float64(wf3.E2ESum)/float64(ns3.E2ESum)
+	if gain3 < 0.10 {
+		t.Errorf("sharing gain at 3 GPUs = %.0f%%, want >= 10%% (paper: ~27%%)", gain3*100)
+	}
+	if wf3.ProviderE2E >= ns3.ProviderE2E {
+		t.Errorf("3-GPU sharing provider E2E (%v) not below no-sharing (%v)", wf3.ProviderE2E, ns3.ProviderE2E)
+	}
+}
+
+// Figure 7 shape: during bursts, sharing raises average GPU utilization and
+// completes the burst sooner (§VIII-D: 31.8% -> 37.1%, 220s -> 200s).
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load experiment")
+	}
+	rs := Figure7(1)
+	ns, sh := rs[0], rs[1]
+	if sh.MeanUtil <= ns.MeanUtil {
+		t.Errorf("sharing utilization (%.1f%%) not above no-sharing (%.1f%%)", sh.MeanUtil, ns.MeanUtil)
+	}
+	if sh.ProviderE2E >= ns.ProviderE2E {
+		t.Errorf("sharing burst E2E (%v) not below no-sharing (%v)", sh.ProviderE2E, ns.ProviderE2E)
+	}
+	if len(ns.Series) != 4 || len(ns.Series[0]) == 0 {
+		t.Errorf("missing utilization series")
+	}
+}
+
+// Table V shape: native is dominated by CUDA initialization (~3s,
+// size-independent); DGSF is orders of magnitude faster; migration cost
+// grows with the array and dominates the migrated end-to-end time.
+func TestTable5Shape(t *testing.T) {
+	rows := Table5(1, 1)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.NativeE2E < 2800*time.Millisecond || r.NativeE2E > 4*time.Second {
+			t.Errorf("%dMB native = %v, want ~3s", r.ArrayMB, r.NativeE2E)
+		}
+		if r.DGSFE2E > 200*time.Millisecond {
+			t.Errorf("%dMB DGSF = %v, want <0.2s", r.ArrayMB, r.DGSFE2E)
+		}
+		if r.MigratedE2E < r.DGSFE2E+r.MigrationDur/2 {
+			t.Errorf("%dMB migrated E2E (%v) inconsistent with migration cost (%v)", r.ArrayMB, r.MigratedE2E, r.MigrationDur)
+		}
+		if i > 0 && r.MigrationDur <= rows[i-1].MigrationDur {
+			t.Errorf("migration cost not increasing with size: %v then %v", rows[i-1].MigrationDur, r.MigrationDur)
+		}
+	}
+	// The largest array migrates in roughly the paper's ~2.1s.
+	last := rows[len(rows)-1]
+	if last.MigrationDur < 1500*time.Millisecond || last.MigrationDur > 3500*time.Millisecond {
+		t.Errorf("13194MB migration = %v, want ~2s", last.MigrationDur)
+	}
+}
+
+// Figure 8 shape: worst fit beats no sharing; best fit is the pathological
+// case; migration repairs best fit (§VIII-E).
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario experiment")
+	}
+	rs := Figure8(1)
+	byName := map[string]Fig8Result{}
+	for _, r := range rs {
+		byName[r.Config] = r
+	}
+	ns := byName["no-sharing"]
+	wf := byName["worst-fit"]
+	bf := byName["best-fit"]
+	mig := byName["best-fit+migration"]
+	if wf.Total >= ns.Total {
+		t.Errorf("worst-fit (%v) not better than no-sharing (%v)", wf.Total, ns.Total)
+	}
+	if bf.Total <= wf.Total {
+		t.Errorf("best-fit (%v) not worse than worst-fit (%v)", bf.Total, wf.Total)
+	}
+	if mig.Migrations == 0 {
+		t.Error("migration scenario performed no migrations")
+	}
+	if mig.Total >= bf.Total {
+		t.Errorf("migration (%v) did not improve on best-fit (%v)", mig.Total, bf.Total)
+	}
+	if ns.Migrations != 0 || wf.Migrations != 0 || bf.Migrations != 0 {
+		t.Error("unexpected migrations in non-migration configs")
+	}
+}

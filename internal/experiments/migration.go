@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/apiserver"
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/faas"
+	"dgsf/internal/gpu"
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/guest"
+	"dgsf/internal/native"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/sim"
+	"dgsf/internal/workloads"
+)
+
+// Table5Row is one row of Table V: the synthetic migration microbenchmark
+// at one array size.
+type Table5Row struct {
+	ArrayMB      int64
+	NativeE2E    time.Duration
+	DGSFE2E      time.Duration
+	MigratedE2E  time.Duration
+	MigrationDur time.Duration
+}
+
+// Table5Sizes are the array sizes the paper measures: the memory
+// requirements of three of its workloads plus K-means.
+var Table5Sizes = []int64{323, 3514, 7802, 13194}
+
+// syntheticApp is the paper's migration microbenchmark: allocate one array,
+// zero it with cudaMemset, and launch two kernels that touch every element
+// (§VIII-E). A single large array is the worst case for migration because
+// the copy cannot be parallelized.
+func syntheticApp(p *sim.Proc, api gen.API, bytes int64, betweenKernels func(*sim.Proc)) error {
+	fns, err := api.RegisterKernels(p, []string{"touch"})
+	if err != nil {
+		return err
+	}
+	arr, err := api.Malloc(p, bytes)
+	if err != nil {
+		return err
+	}
+	if err := api.Memset(p, arr, 0, bytes); err != nil {
+		return err
+	}
+	launch := func() error {
+		if err := api.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: 5 * time.Millisecond, Mutates: []cuda.DevPtr{arr}}); err != nil {
+			return err
+		}
+		return api.StreamSynchronize(p, 0)
+	}
+	if err := launch(); err != nil {
+		return err
+	}
+	if betweenKernels != nil {
+		betweenKernels(p)
+	}
+	if err := launch(); err != nil {
+		return err
+	}
+	return api.Free(p, arr)
+}
+
+// Table5 reproduces Table V: native vs DGSF vs DGSF-with-forced-migration
+// end-to-end times of the synthetic application, averaged over runs.
+func Table5(seed int64, runs int) []Table5Row {
+	if runs <= 0 {
+		runs = 3
+	}
+	out := make([]Table5Row, 0, len(Table5Sizes))
+	for _, mb := range Table5Sizes {
+		row := Table5Row{ArrayMB: mb}
+		for r := 0; r < runs; r++ {
+			s := seed + int64(r)
+			n, d, m, md := runMicro(s, mb<<20)
+			row.NativeE2E += n
+			row.DGSFE2E += d
+			row.MigratedE2E += m
+			row.MigrationDur += md
+		}
+		row.NativeE2E /= time.Duration(runs)
+		row.DGSFE2E /= time.Duration(runs)
+		row.MigratedE2E /= time.Duration(runs)
+		row.MigrationDur /= time.Duration(runs)
+		out = append(out, row)
+	}
+	return out
+}
+
+// runMicro measures the three Table V configurations at one array size.
+func runMicro(seed int64, bytes int64) (nativeE2E, dgsfE2E, migratedE2E, migDur time.Duration) {
+	// Native: CUDA initialization dominates (~3 s, §VIII-E).
+	e := sim.NewEngine(seed)
+	e.Run("native", func(p *sim.Proc) {
+		dev := gpu.New(e, gpu.V100Config(0))
+		rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.DefaultCosts())
+		api := nativeBackend(rt)
+		start := p.Now()
+		if err := api.Hello(p, "micro", 15<<30); err != nil {
+			panic(err)
+		}
+		if err := syntheticApp(p, api, bytes, nil); err != nil {
+			panic(err)
+		}
+		nativeE2E = p.Now() - start
+	})
+
+	// DGSF with and without a forced migration right before the second
+	// kernel.
+	for _, migrate := range []bool{false, true} {
+		e := sim.NewEngine(seed)
+		e.Run("dgsf", func(p *sim.Proc) {
+			devs := []*gpu.Device{gpu.New(e, gpu.V100Config(0)), gpu.New(e, gpu.V100Config(1))}
+			rt := cuda.NewRuntime(e, devs, cuda.DefaultCosts())
+			srv := apiserver.NewServer(e, rt, apiserver.Config{
+				PoolHandles: true,
+				CUDACosts:   cuda.DefaultCosts(),
+				LibCosts:    cudalibs.DefaultCosts(),
+			})
+			if err := srv.Prewarm(p); err != nil {
+				panic(err)
+			}
+			p.SpawnDaemon("apiserver", srv.Run)
+			conn := remoting.Dial(e, &remoting.Listener{Incoming: srv.Inbox}, remoting.OpenFaaSNet())
+			lib := guest.New(conn, guest.OptAll)
+			start := p.Now()
+			if err := lib.Hello(p, "micro", 15<<30); err != nil {
+				panic(err)
+			}
+			between := func(p *sim.Proc) {}
+			if migrate {
+				between = func(p *sim.Proc) {
+					done := sim.NewQueue[time.Duration](e)
+					srv.Inbox.Send(remoting.Request{Ctrl: apiserver.MigrateRequest{TargetDev: 1, Done: done}})
+					migDur, _ = done.Recv(p)
+				}
+			}
+			if err := syntheticApp(p, lib, bytes, between); err != nil {
+				panic(err)
+			}
+			lib.FlushBatch(p)
+			if err := lib.Bye(p); err != nil {
+				panic(err)
+			}
+			if migrate {
+				migratedE2E = p.Now() - start
+			} else {
+				dgsfE2E = p.Now() - start
+			}
+		})
+	}
+	return
+}
+
+// Fig8Result is one configuration of the Figure 8 scenario.
+type Fig8Result struct {
+	Config      string
+	Total       time.Duration // time to finish all four functions
+	Migrations  int
+	UtilSeries  [][]gpu.Sample // per GPU, moving average window 5
+	PerWorkload map[string]time.Duration
+}
+
+// Figure8 reproduces the §VIII-E migration case study: two NLP and two
+// image-classification functions on a two-GPU server. The image
+// classifications download more data, so the NLPs reach the GPUs first.
+// Configurations: no sharing, worst-fit sharing, best-fit sharing (the
+// pathological case: both NLPs pack onto one GPU) and best-fit sharing with
+// migration (the monitor repairs the imbalance once the classifications
+// finish).
+func Figure8(seed int64) []Fig8Result {
+	configs := []struct {
+		name      string
+		perGPU    int
+		policy    gpuserver.Policy
+		migration bool
+	}{
+		{"no-sharing", 1, gpuserver.BestFit, false},
+		{"worst-fit", 2, gpuserver.WorstFit, false},
+		{"best-fit", 2, gpuserver.BestFit, false},
+		{"best-fit+migration", 2, gpuserver.BestFit, true},
+	}
+	var out []Fig8Result
+	for _, c := range configs {
+		r := Fig8Result{Config: c.name, PerWorkload: map[string]time.Duration{}}
+		e := sim.NewEngine(seed)
+		e.Run("fig8", func(p *sim.Proc) {
+			gcfg := gpuserver.DefaultConfig()
+			gcfg.GPUs = 2
+			gcfg.ServersPerGPU = c.perGPU
+			gcfg.Policy = c.policy
+			gcfg.EnableMigration = c.migration
+			gcfg.MinImbalanceTicks = 3
+			gs := gpuserver.New(e, gcfg)
+			gs.Start(p)
+			// Deterministic downloads: the scenario depends on the NLP
+			// functions (1262 MB) reaching the GPUs just before the image
+			// classifications (1297 MB), as in the paper's run.
+			env := faas.OpenFaaSEnv()
+			env.Download.JitterFrac = 0
+			backend := faas.NewBackend(e, gs, env)
+			nlp := workloads.QuestionAnswering().Function()
+			img := workloads.ImageClassification().Function()
+			start := p.Now()
+			for i := 0; i < 2; i++ {
+				backend.Submit(p, nlp)
+			}
+			for i := 0; i < 2; i++ {
+				backend.Submit(p, img)
+			}
+			backend.Drain(p)
+			r.Total = p.Now() - start
+			r.Migrations = gs.Migrations()
+			for name, s := range backend.PerFunction() {
+				r.PerWorkload[name] = s.MeanE2E()
+			}
+			for _, inv := range backend.Invocations() {
+				if inv.Err != nil {
+					panic(fmt.Sprintf("fig8 %s: %v", c.name, inv.Err))
+				}
+			}
+			for _, s := range gs.Samplers() {
+				r.UtilSeries = append(r.UtilSeries, s.MovingAverage(5))
+			}
+		})
+		out = append(out, r)
+	}
+	return out
+}
+
+// nativeBackend adapts a runtime to the generated API for the micro
+// benchmark's native arm.
+func nativeBackend(rt *cuda.Runtime) gen.API {
+	return native.New(rt, cudalibs.DefaultCosts())
+}

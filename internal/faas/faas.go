@@ -1,0 +1,390 @@
+// Package faas implements the serverless backend side of the DGSF
+// deployment: function submission, warm execution environments, GPU-server
+// selection, and per-invocation bookkeeping (queueing and end-to-end
+// latency), plus the arrival processes the evaluation uses (fixed-interval,
+// exponential, bursts).
+//
+// Per the paper's scope (§IV), general function management — container
+// creation, cold starts — is factored out: every invocation runs in a warm
+// environment, and the measured quantities are download time, GPU queueing
+// delay at the GPU server, and GPU execution time.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/guest"
+	"dgsf/internal/metrics"
+	"dgsf/internal/objstore"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/sim"
+)
+
+// ErrNoCapacity reports a GPU memory requirement no GPU server can satisfy.
+var ErrNoCapacity = errors.New("faas: no GPU server can satisfy the function's GPU memory requirement")
+
+// Env is an execution-environment profile: how fast this environment
+// downloads from the object store and what its network to the GPU server
+// looks like.
+type Env struct {
+	Name     string
+	Download objstore.Env        // path from S3 to the function container
+	Net      remoting.NetProfile // path from the container to the GPU server
+	GuestOpt guest.Opt
+}
+
+// OpenFaaSEnv models the paper's primary deployment: OpenFaaS on an EC2
+// instance co-located with the GPU server.
+func OpenFaaSEnv() Env {
+	return Env{
+		Name:     "openfaas",
+		Download: objstore.Env{Bps: 280e6, Latency: 30 * time.Millisecond, JitterFrac: 0.05},
+		Net:      remoting.OpenFaaSNet(),
+		GuestOpt: guest.OptAll,
+	}
+}
+
+// LambdaEnv models the AWS Lambda deployment: lower bandwidth, larger
+// variance (§VIII-B).
+func LambdaEnv() Env {
+	return Env{
+		Name:     "lambda",
+		Download: objstore.Env{Bps: 45e6, Latency: 60 * time.Millisecond, JitterFrac: 0.30},
+		Net:      remoting.LambdaNet(),
+		GuestOpt: guest.OptAll,
+	}
+}
+
+// Function is a deployed serverless function.
+type Function struct {
+	Name          string
+	GPUMem        int64 // declared GPU memory requirement (§II)
+	DownloadBytes int64 // models + inputs fetched before GPU work
+	// Run executes the function's GPU phase against an attached guest
+	// library. The backend has already opened the session (Hello) and will
+	// close it (Bye) afterwards.
+	Run func(p *sim.Proc, api gen.API) error
+}
+
+// Invocation records one function execution.
+type Invocation struct {
+	Fn  *Function
+	Seq int
+
+	SubmittedAt  time.Duration
+	DownloadDone time.Duration
+	Granted      time.Duration
+	Done         time.Duration
+	QueueDelay   time.Duration
+	Err          error
+}
+
+// E2E returns the invocation's end-to-end latency (launch to completion).
+func (inv *Invocation) E2E() time.Duration { return inv.Done - inv.SubmittedAt }
+
+// ServerPick selects a GPU server for a function when the deployment has
+// several. The paper's prototype uses a fixed policy (§IV) and notes that a
+// commercial deployment could choose "the least loaded GPU server to
+// optimize latency or the opposite to increase utilization".
+type ServerPick int
+
+// GPU-server selection policies.
+const (
+	PickFixed ServerPick = iota // always the first server (paper's prototype)
+	PickRoundRobin
+	PickLeastLoaded
+)
+
+// Backend dispatches function invocations onto one or more GPU servers.
+type Backend struct {
+	e       *sim.Engine
+	servers []*gpuserver.GPUServer
+	pick    ServerPick
+	rr      int
+	env     Env
+
+	nextSeq     int
+	invocations []*Invocation
+	inflight    *sim.WaitGroup
+	history     map[string]time.Duration // learned exec time per function (EWMA)
+	outstanding []int                    // backend-side in-flight count per server
+}
+
+// NewBackend returns a backend over one GPU server. The paper's prototype
+// likewise "uses a fixed policy to choose, given a function requesting a
+// GPU, which GPU server to use" (§IV).
+func NewBackend(e *sim.Engine, gs *gpuserver.GPUServer, env Env) *Backend {
+	return NewMultiBackend(e, []*gpuserver.GPUServer{gs}, PickFixed, env)
+}
+
+// NewMultiBackend returns a backend balancing over several GPU servers.
+func NewMultiBackend(e *sim.Engine, servers []*gpuserver.GPUServer, pick ServerPick, env Env) *Backend {
+	if len(servers) == 0 {
+		panic("faas: backend needs at least one GPU server")
+	}
+	return &Backend{
+		e:           e,
+		servers:     servers,
+		pick:        pick,
+		env:         env,
+		inflight:    sim.NewWaitGroup(e),
+		history:     make(map[string]time.Duration),
+		outstanding: make([]int, len(servers)),
+	}
+}
+
+// selectServer applies the GPU-server selection policy, returning the
+// chosen server's index. The backend keeps its own in-flight counters so
+// that simultaneous selections do not herd onto one server before the GPU
+// servers' monitors observe the load.
+func (b *Backend) selectServer() int {
+	switch b.pick {
+	case PickRoundRobin:
+		i := b.rr % len(b.servers)
+		b.rr++
+		return i
+	case PickLeastLoaded:
+		best := 0
+		bestLoad := b.load(0)
+		for i := 1; i < len(b.servers); i++ {
+			if l := b.load(i); l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	default:
+		return 0
+	}
+}
+
+// load scores a server: monitor-visible occupancy plus the backend's own
+// not-yet-visible dispatches; queued work weighs double — it is all delay.
+func (b *Backend) load(i int) int {
+	active, queued := b.servers[i].Load()
+	return active + 2*queued + b.outstanding[i]
+}
+
+// recordExec folds an observed execution time into the per-function EWMA
+// that seeds SJF hints.
+func (b *Backend) recordExec(name string, d time.Duration) {
+	if prev, ok := b.history[name]; ok {
+		b.history[name] = (prev*3 + d) / 4
+	} else {
+		b.history[name] = d
+	}
+}
+
+// Env returns the backend's environment profile.
+func (b *Backend) Env() Env { return b.env }
+
+// Submit launches one invocation asynchronously and returns its record.
+func (b *Backend) Submit(p *sim.Proc, fn *Function) *Invocation {
+	b.nextSeq++
+	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now()}
+	b.invocations = append(b.invocations, inv)
+	b.inflight.Add(1)
+	p.Spawn(fmt.Sprintf("fn-%s-%d", fn.Name, inv.Seq), func(p *sim.Proc) {
+		defer b.inflight.Done()
+		b.execute(p, inv)
+	})
+	return inv
+}
+
+// execute runs one invocation: download, acquire a GPU, run, release.
+func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
+	fn := inv.Fn
+	// Phase 1: fetch models and inputs from the object store. This happens
+	// before the GPU is requested, which is why slow-downloading functions
+	// reach the GPU later (§VIII-E).
+	if fn.DownloadBytes > 0 {
+		p.Sleep(b.env.Download.TransferTime(p, fn.DownloadBytes))
+	}
+	inv.DownloadDone = p.Now()
+
+	// Phase 2: request a virtual GPU from the serverless backend's chosen
+	// GPU server; queueing happens inside its monitor. The expected-GPU-time
+	// hint comes from the backend's history of this function (for SJF).
+	si := b.selectServer()
+	b.outstanding[si]++
+	gs := b.servers[si]
+	lease := gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
+	if lease == nil {
+		// The GPU server can never satisfy this memory requirement.
+		b.outstanding[si]--
+		inv.Err = ErrNoCapacity
+		inv.Done = p.Now()
+		return
+	}
+	inv.Granted = p.Now()
+	inv.QueueDelay = lease.QueueDelay
+
+	// Phase 3: attach the guest library and run the function body.
+	conn := remoting.Dial(b.e, lease.Listener(), b.env.Net)
+	lib := guest.New(conn, b.env.GuestOpt)
+	err := lib.Hello(p, fn.Name, fn.GPUMem)
+	if err == nil {
+		err = fn.Run(p, lib)
+		lib.FlushBatch(p)
+		if byeErr := lib.Bye(p); err == nil {
+			err = byeErr
+		}
+	}
+	conn.Close()
+	gs.Release(lease)
+	b.outstanding[si]--
+	inv.Err = err
+	inv.Done = p.Now()
+	if err == nil {
+		b.recordExec(fn.Name, inv.Done-inv.Granted)
+	}
+}
+
+// Drain blocks until every submitted invocation has finished.
+func (b *Backend) Drain(p *sim.Proc) { b.inflight.Wait(p) }
+
+// Invocations returns all records, in submission order.
+func (b *Backend) Invocations() []*Invocation { return b.invocations }
+
+// E2ESum returns the sum of all invocations' end-to-end times — the
+// "Function E2E Sum" column of Tables III and IV.
+func (b *Backend) E2ESum() time.Duration {
+	var sum time.Duration
+	for _, inv := range b.invocations {
+		sum += inv.E2E()
+	}
+	return sum
+}
+
+// ProviderEndToEnd returns the provider-side makespan: first submission to
+// last completion — the "End to end" column of Tables III and IV.
+func (b *Backend) ProviderEndToEnd() time.Duration {
+	if len(b.invocations) == 0 {
+		return 0
+	}
+	first := b.invocations[0].SubmittedAt
+	var last time.Duration
+	for _, inv := range b.invocations {
+		if inv.SubmittedAt < first {
+			first = inv.SubmittedAt
+		}
+		if inv.Done > last {
+			last = inv.Done
+		}
+	}
+	return last - first
+}
+
+// QueueSeries returns every invocation's queueing delay as a statistics
+// series (Table III reports "the average, standard deviation and the sum").
+func (b *Backend) QueueSeries() *metrics.Series {
+	var s metrics.Series
+	for _, inv := range b.invocations {
+		s.Add(inv.QueueDelay)
+	}
+	return &s
+}
+
+// E2ESeries returns every invocation's end-to-end latency as a series.
+func (b *Backend) E2ESeries() *metrics.Series {
+	var s metrics.Series
+	for _, inv := range b.invocations {
+		s.Add(inv.E2E())
+	}
+	return &s
+}
+
+// PerFunction aggregates mean queue delay and mean E2E per function name.
+func (b *Backend) PerFunction() map[string]FnSummary {
+	acc := map[string]FnSummary{}
+	for _, inv := range b.invocations {
+		s := acc[inv.Fn.Name]
+		s.Count++
+		s.TotalQueue += inv.QueueDelay
+		s.TotalE2E += inv.E2E()
+		s.TotalExec += inv.Done - inv.Granted
+		acc[inv.Fn.Name] = s
+	}
+	return acc
+}
+
+// FnSummary aggregates invocations of one function.
+type FnSummary struct {
+	Count      int
+	TotalQueue time.Duration
+	TotalE2E   time.Duration
+	TotalExec  time.Duration
+}
+
+// MeanQueue returns the mean queueing delay.
+func (s FnSummary) MeanQueue() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalQueue / time.Duration(s.Count)
+}
+
+// MeanE2E returns the mean end-to-end latency.
+func (s FnSummary) MeanE2E() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalE2E / time.Duration(s.Count)
+}
+
+// MeanExec returns the mean post-grant execution time.
+func (s FnSummary) MeanExec() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalExec / time.Duration(s.Count)
+}
+
+// --- arrival processes (§VIII-D) ---
+
+// Arrivals yields the delay before each successive submission.
+type Arrivals func(i int) time.Duration
+
+// FixedArrivals launches a function every d.
+func FixedArrivals(d time.Duration) Arrivals {
+	return func(int) time.Duration { return d }
+}
+
+// ExponentialArrivals draws inter-arrival gaps from an exponential
+// distribution with the given mean, using the engine's deterministic RNG.
+// The paper's "rate equal to 2" heavy load is a 2 s mean; "rate equal to 3"
+// light load is a 3 s mean.
+func ExponentialArrivals(p *sim.Proc, mean time.Duration) Arrivals {
+	return func(int) time.Duration {
+		return time.Duration(p.Rand().ExpFloat64() * float64(mean))
+	}
+}
+
+// SubmitSequence submits fns in order, sleeping per the arrival process
+// between submissions (the first submission happens immediately).
+func (b *Backend) SubmitSequence(p *sim.Proc, fns []*Function, next Arrivals) []*Invocation {
+	out := make([]*Invocation, 0, len(fns))
+	for i, fn := range fns {
+		if i > 0 {
+			p.Sleep(next(i))
+		}
+		out = append(out, b.Submit(p, fn))
+	}
+	return out
+}
+
+// SubmitBursts submits the whole set of fns at once, repeated rounds times
+// with gap between bursts (§VIII-D's burst experiment).
+func (b *Backend) SubmitBursts(p *sim.Proc, fns []*Function, rounds int, gap time.Duration) {
+	for r := 0; r < rounds; r++ {
+		if r > 0 {
+			p.Sleep(gap)
+		}
+		for _, fn := range fns {
+			b.Submit(p, fn)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/sim"
+)
+
+func testGS(e *sim.Engine, p *sim.Proc, gpus, perGPU int) *gpuserver.GPUServer {
+	cfg := gpuserver.DefaultConfig()
+	cfg.GPUs = gpus
+	cfg.ServersPerGPU = perGPU
+	cfg.CUDACosts = cuda.Costs{}
+	cfg.LibCosts.DNNCreateTime = 0
+	cfg.LibCosts.BLASCreateTime = 0
+	cfg.LibCosts.DNNBytes = 0
+	cfg.LibCosts.BLASBytes = 0
+	cfg.GPUConfig = func(i int) gpu.Config {
+		c := gpu.V100Config(i)
+		c.CopyLat, c.KernelLat = 0, 0
+		return c
+	}
+	gs := gpuserver.New(e, cfg)
+	gs.Start(p)
+	return gs
+}
+
+// sleepFn returns a function whose GPU phase is a fixed-length kernel.
+func sleepFn(name string, mem int64, download int64, kernel time.Duration) *Function {
+	return &Function{
+		Name:          name,
+		GPUMem:        mem,
+		DownloadBytes: download,
+		Run: func(p *sim.Proc, api gen.API) error {
+			fns, err := api.RegisterKernels(p, []string{"work"})
+			if err != nil {
+				return err
+			}
+			if err := api.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: kernel}); err != nil {
+				return err
+			}
+			return api.DeviceSynchronize(p)
+		},
+	}
+}
+
+func fastEnv() Env {
+	env := OpenFaaSEnv()
+	env.Download.Bps = 100e6
+	env.Download.Latency = 0
+	env.Download.JitterFrac = 0
+	env.Net.JitterFrac = 0
+	return env
+}
+
+func TestInvocationLifecycleTimestamps(t *testing.T) {
+	e := sim.NewEngine(1)
+	var inv *Invocation
+	e.Run("root", func(p *sim.Proc) {
+		gs := testGS(e, p, 1, 1)
+		b := NewBackend(e, gs, fastEnv())
+		inv = b.Submit(p, sleepFn("f", 1<<30, 100e6, time.Second))
+		b.Drain(p)
+	})
+	if inv.Err != nil {
+		t.Fatal(inv.Err)
+	}
+	// Download: 100MB at 100MB/s = 1s.
+	if d := inv.DownloadDone - inv.SubmittedAt; d != time.Second {
+		t.Fatalf("download took %v, want 1s", d)
+	}
+	if inv.QueueDelay != 0 {
+		t.Fatalf("uncontended queue delay = %v", inv.QueueDelay)
+	}
+	// GPU phase ~1s kernel.
+	if exec := inv.Done - inv.Granted; exec < time.Second || exec > 1100*time.Millisecond {
+		t.Fatalf("exec took %v, want ~1s", exec)
+	}
+	if inv.E2E() < 2*time.Second {
+		t.Fatalf("E2E = %v, want >= 2s", inv.E2E())
+	}
+}
+
+func TestQueueingUnderContention(t *testing.T) {
+	e := sim.NewEngine(1)
+	var b *Backend
+	e.Run("root", func(p *sim.Proc) {
+		gs := testGS(e, p, 1, 1) // one API server total
+		b = NewBackend(e, gs, fastEnv())
+		fn := sleepFn("f", 1<<30, 0, time.Second)
+		for i := 0; i < 3; i++ {
+			b.Submit(p, fn)
+		}
+		b.Drain(p)
+	})
+	invs := b.Invocations()
+	if len(invs) != 3 {
+		t.Fatalf("%d invocations", len(invs))
+	}
+	// Serialized on one server: queue delays roughly 0s, 1s, 2s.
+	if invs[0].QueueDelay > 100*time.Millisecond {
+		t.Fatalf("first invocation queued %v", invs[0].QueueDelay)
+	}
+	if invs[2].QueueDelay < 1900*time.Millisecond {
+		t.Fatalf("third invocation queued %v, want ~2s", invs[2].QueueDelay)
+	}
+	if sum := b.E2ESum(); sum < 5*time.Second {
+		t.Fatalf("E2E sum = %v, want ~1+2+3=6s", sum)
+	}
+}
+
+func TestSharingReducesQueueing(t *testing.T) {
+	// Sharing pays off for functions that interleave GPU kernels with
+	// host-side work (downloads, pre/post-processing) — which all of the
+	// paper's workloads do. A function that is GPU-bound for 200 ms, does
+	// 800 ms of host work, then another 200 ms of GPU work leaves the GPU
+	// idle most of its lease; a second API server on the GPU fills the gap.
+	mixedFn := &Function{
+		Name:   "mixed",
+		GPUMem: 1 << 30,
+		Run: func(p *sim.Proc, api gen.API) error {
+			fns, err := api.RegisterKernels(p, []string{"k"})
+			if err != nil {
+				return err
+			}
+			for phase := 0; phase < 2; phase++ {
+				if err := api.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: 200 * time.Millisecond}); err != nil {
+					return err
+				}
+				if err := api.DeviceSynchronize(p); err != nil {
+					return err
+				}
+				if phase == 0 {
+					p.Sleep(800 * time.Millisecond) // host-side work
+				}
+			}
+			return nil
+		},
+	}
+	run := func(perGPU int) time.Duration {
+		e := sim.NewEngine(1)
+		var sum time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			gs := testGS(e, p, 1, perGPU)
+			b := NewBackend(e, gs, fastEnv())
+			for i := 0; i < 4; i++ {
+				b.Submit(p, mixedFn)
+			}
+			b.Drain(p)
+			sum = b.E2ESum()
+		})
+		return sum
+	}
+	noShare, share := run(1), run(2)
+	if share >= noShare {
+		t.Fatalf("sharing did not reduce E2E sum: %v vs %v", share, noShare)
+	}
+}
+
+func TestExponentialArrivalsDeterministicAndMeanish(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		e := sim.NewEngine(seed)
+		var out []time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			arr := ExponentialArrivals(p, 2*time.Second)
+			for i := 0; i < 200; i++ {
+				out = append(out, arr(i))
+			}
+		})
+		return out
+	}
+	a, b := draw(5), draw(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrivals not deterministic for same seed")
+		}
+	}
+	var sum time.Duration
+	for _, d := range a {
+		sum += d
+	}
+	mean := sum / time.Duration(len(a))
+	if mean < 1500*time.Millisecond || mean > 2500*time.Millisecond {
+		t.Fatalf("empirical mean %v, want ~2s", mean)
+	}
+}
+
+func TestSubmitSequenceSpacing(t *testing.T) {
+	e := sim.NewEngine(1)
+	var b *Backend
+	e.Run("root", func(p *sim.Proc) {
+		gs := testGS(e, p, 4, 1)
+		b = NewBackend(e, gs, fastEnv())
+		fn := sleepFn("f", 1<<30, 0, 100*time.Millisecond)
+		b.SubmitSequence(p, []*Function{fn, fn, fn}, FixedArrivals(3*time.Second))
+		b.Drain(p)
+	})
+	invs := b.Invocations()
+	if d := invs[1].SubmittedAt - invs[0].SubmittedAt; d != 3*time.Second {
+		t.Fatalf("spacing = %v, want 3s", d)
+	}
+}
+
+func TestSubmitBursts(t *testing.T) {
+	e := sim.NewEngine(1)
+	var b *Backend
+	e.Run("root", func(p *sim.Proc) {
+		gs := testGS(e, p, 4, 1)
+		b = NewBackend(e, gs, fastEnv())
+		fn := sleepFn("f", 1<<30, 0, 50*time.Millisecond)
+		b.SubmitBursts(p, []*Function{fn, fn}, 3, 2*time.Second)
+		b.Drain(p)
+	})
+	if got := len(b.Invocations()); got != 6 {
+		t.Fatalf("%d invocations, want 6", got)
+	}
+	if d := b.Invocations()[2].SubmittedAt; d != 2*time.Second {
+		t.Fatalf("second burst at %v, want 2s", d)
+	}
+}
+
+func TestPerFunctionSummaries(t *testing.T) {
+	e := sim.NewEngine(1)
+	var b *Backend
+	e.Run("root", func(p *sim.Proc) {
+		gs := testGS(e, p, 4, 1)
+		b = NewBackend(e, gs, fastEnv())
+		b.Submit(p, sleepFn("alpha", 1<<30, 0, time.Second))
+		b.Submit(p, sleepFn("alpha", 1<<30, 0, time.Second))
+		b.Submit(p, sleepFn("beta", 1<<30, 0, 2*time.Second))
+		b.Drain(p)
+	})
+	per := b.PerFunction()
+	if per["alpha"].Count != 2 || per["beta"].Count != 1 {
+		t.Fatalf("summaries = %+v", per)
+	}
+	if per["beta"].MeanE2E() <= per["alpha"].MeanE2E() {
+		t.Fatalf("beta (2s kernel) not slower than alpha: %v vs %v", per["beta"].MeanE2E(), per["alpha"].MeanE2E())
+	}
+}
+
+func TestLambdaEnvSlowerDownloads(t *testing.T) {
+	run := func(env Env) time.Duration {
+		e := sim.NewEngine(3)
+		var e2e time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			gs := testGS(e, p, 1, 1)
+			b := NewBackend(e, gs, env)
+			inv := b.Submit(p, sleepFn("f", 1<<30, 1e9, 100*time.Millisecond))
+			b.Drain(p)
+			e2e = inv.E2E()
+		})
+		return e2e
+	}
+	of, lam := run(OpenFaaSEnv()), run(LambdaEnv())
+	if lam <= of {
+		t.Fatalf("Lambda env not slower for a 1GB-download function: %v vs %v", lam, of)
+	}
+}

@@ -1,0 +1,524 @@
+// Package gpuserver implements a DGSF GPU server: a disaggregated machine
+// holding physical GPUs whose only job is to run API servers for remote
+// serverless functions (§IV, §V-A).
+//
+// The package follows the paper's structure:
+//
+//   - the manager bootstraps the machine: it probes the devices, creates
+//     and pre-warms the API servers, announces readiness, then idles;
+//   - the monitor owns all runtime decisions: it assigns incoming function
+//     GPU requests to API servers (FCFS, with best-fit / worst-fit /
+//     first-fit placement over GPU memory), tracks per-server and per-GPU
+//     state, and fixes load imbalance by migrating API servers between GPUs;
+//   - API servers (internal/apiserver) execute the remoted calls.
+package gpuserver
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/apiserver"
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/gpu"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+// Policy selects how the monitor places functions onto GPUs.
+type Policy int
+
+// Placement policies (§VIII-E): best-fit condenses functions onto as few
+// GPUs as possible; worst-fit spreads them.
+const (
+	FirstFit Policy = iota
+	BestFit
+	WorstFit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return "first-fit"
+	}
+}
+
+// QueuePolicy selects how the monitor orders waiting GPU requests.
+type QueuePolicy int
+
+// Queue policies. The paper's prototype enforces FCFS and explicitly leaves
+// "policies like shortest-function-first, which could improve throughput at
+// some loss of fairness" as future work (§VIII-D); SJF implements that
+// future work using the duration hints the serverless backend learns from
+// past invocations.
+const (
+	FCFS QueuePolicy = iota
+	SJF
+)
+
+func (q QueuePolicy) String() string {
+	if q == SJF {
+		return "sjf"
+	}
+	return "fcfs"
+}
+
+// Config parameterizes a GPU server.
+type Config struct {
+	GPUs          int // number of physical GPUs
+	GPUConfig     func(int) gpu.Config
+	ServersPerGPU int // API servers homed per GPU; 1 disables sharing
+	Policy        Policy
+	Queue         QueuePolicy // FCFS (paper default) or SJF (future work)
+	PoolHandles   bool        // pre-initialize runtimes and handle pools
+	DNNPool       int
+	BLASPool      int
+	CUDACosts     cuda.Costs
+	LibCosts      cudalibs.Costs
+
+	// Migration policy (§V-D). When enabled, the monitor moves an API
+	// server from a GPU running two or more functions to an idle GPU once
+	// the imbalance has persisted for MinImbalanceTicks monitor periods
+	// (transient idleness — e.g. a function still downloading its inputs —
+	// must not trigger a move).
+	EnableMigration   bool
+	MinImbalanceTicks int           // default 5
+	MonitorPeriod     time.Duration // statistics/migration tick; default 200 ms
+	SamplePeriod      time.Duration // NVML-style utilization sampling; default 200 ms
+}
+
+// DefaultConfig mirrors the paper's testbed: one p3.8xlarge GPU server with
+// four V100s, one API server per GPU, no sharing, best fit.
+func DefaultConfig() Config {
+	return Config{
+		GPUs:          4,
+		GPUConfig:     gpu.V100Config,
+		ServersPerGPU: 1,
+		Policy:        BestFit,
+		PoolHandles:   true,
+		CUDACosts:     cuda.DefaultCosts(),
+		LibCosts:      cudalibs.DefaultCosts(),
+		MonitorPeriod: 200 * time.Millisecond,
+		SamplePeriod:  200 * time.Millisecond,
+	}
+}
+
+// Lease is a granted GPU assignment for one function execution.
+type Lease struct {
+	Server     *apiserver.Server
+	FnID       string
+	Mem        int64
+	QueueDelay time.Duration // time spent waiting for an API server
+	grantedAt  time.Duration
+}
+
+// Listener returns the remoting endpoint of the leased API server.
+func (l *Lease) Listener() *remoting.Listener {
+	return &remoting.Listener{Incoming: l.Server.Inbox}
+}
+
+// acquireReq is a pending GPU request in the monitor's queue.
+type acquireReq struct {
+	fnID    string
+	mem     int64
+	hint    time.Duration // expected GPU time (0 = unknown); used by SJF
+	reply   *sim.Queue[*Lease]
+	arrived time.Duration
+}
+
+// PlacementRecord logs one grant, for experiments and tests.
+type PlacementRecord struct {
+	FnID       string
+	Mem        int64
+	GPU        int
+	Server     int
+	QueueDelay time.Duration
+}
+
+// GPUServer is one disaggregated GPU machine.
+type GPUServer struct {
+	cfg  Config
+	e    *sim.Engine
+	devs []*gpu.Device
+
+	servers  []*apiserver.Server
+	samplers []*gpu.Sampler
+
+	// Monitor state.
+	requests  *sim.Queue[monitorMsg]
+	waiting   []*acquireReq
+	leased    map[int]*Lease // server ID -> active lease
+	commit    []int64        // declared memory committed per GPU
+	baseline  []int64        // device bytes in use after pre-warm
+	ready     bool
+	readyCond *sim.Cond
+
+	placements     []PlacementRecord
+	migrations     int
+	migCooldown    time.Duration
+	imbalanceTicks int
+}
+
+// monitorMsg is the monitor's mailbox item: an acquire, a release, or a tick.
+type monitorMsg struct {
+	acquire *acquireReq
+	release *Lease
+	tick    bool
+}
+
+// New builds a GPU server. Call Start from a simulated process to boot it.
+func New(e *sim.Engine, cfg Config) *GPUServer {
+	if cfg.GPUConfig == nil {
+		cfg.GPUConfig = gpu.V100Config
+	}
+	if cfg.ServersPerGPU <= 0 {
+		cfg.ServersPerGPU = 1
+	}
+	if cfg.MonitorPeriod <= 0 {
+		cfg.MonitorPeriod = 200 * time.Millisecond
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 200 * time.Millisecond
+	}
+	if cfg.MinImbalanceTicks <= 0 {
+		cfg.MinImbalanceTicks = 5
+	}
+	gs := &GPUServer{
+		cfg:       cfg,
+		e:         e,
+		requests:  sim.NewQueue[monitorMsg](e),
+		leased:    make(map[int]*Lease),
+		commit:    make([]int64, cfg.GPUs),
+		baseline:  make([]int64, cfg.GPUs),
+		readyCond: sim.NewCond(e),
+	}
+	for i := 0; i < cfg.GPUs; i++ {
+		gs.devs = append(gs.devs, gpu.New(e, cfg.GPUConfig(i)))
+	}
+	return gs
+}
+
+// Devices exposes the physical GPUs (for experiments and samplers).
+func (gs *GPUServer) Devices() []*gpu.Device { return gs.devs }
+
+// Servers exposes the API servers.
+func (gs *GPUServer) Servers() []*apiserver.Server { return gs.servers }
+
+// Samplers exposes the per-GPU utilization samplers.
+func (gs *GPUServer) Samplers() []*gpu.Sampler { return gs.samplers }
+
+// Placements returns the grant log.
+func (gs *GPUServer) Placements() []PlacementRecord { return gs.placements }
+
+// Migrations returns how many API server migrations the monitor initiated.
+func (gs *GPUServer) Migrations() int { return gs.migrations }
+
+// Start boots the GPU server: the manager creates and pre-warms API servers
+// (in parallel, as a fleet bring-up would), then hands control to the
+// monitor and the utilization samplers. Start returns when the server is
+// ready to accept functions.
+func (gs *GPUServer) Start(p *sim.Proc) {
+	// Manager phase.
+	id := 0
+	wg := sim.NewWaitGroup(gs.e)
+	for g := 0; g < gs.cfg.GPUs; g++ {
+		for k := 0; k < gs.cfg.ServersPerGPU; k++ {
+			rt := cuda.NewRuntime(gs.e, gs.devs, gs.cfg.CUDACosts)
+			srv := apiserver.NewServer(gs.e, rt, apiserver.Config{
+				ID:          id,
+				HomeDev:     g,
+				PoolHandles: gs.cfg.PoolHandles,
+				DNNPool:     gs.cfg.DNNPool,
+				BLASPool:    gs.cfg.BLASPool,
+				CUDACosts:   gs.cfg.CUDACosts,
+				LibCosts:    gs.cfg.LibCosts,
+			})
+			gs.servers = append(gs.servers, srv)
+			id++
+			if gs.cfg.PoolHandles {
+				wg.Add(1)
+				s := srv
+				p.Spawn(fmt.Sprintf("prewarm-%d", s.ID()), func(p *sim.Proc) {
+					if err := s.Prewarm(p); err != nil {
+						panic(err)
+					}
+					wg.Done()
+				})
+			}
+		}
+	}
+	wg.Wait(p)
+	for _, srv := range gs.servers {
+		p.SpawnDaemon(fmt.Sprintf("apiserver-%d", srv.ID()), srv.Run)
+	}
+	for i, d := range gs.devs {
+		gs.baseline[i] = d.UsedBytes()
+		s := gpu.NewSampler(d, gs.cfg.SamplePeriod)
+		gs.samplers = append(gs.samplers, s)
+		p.SpawnDaemon(fmt.Sprintf("sampler-%d", i), s.Run)
+	}
+	// Monitor phase: the manager "idles until shut down, passing all
+	// responsibilities to the monitor".
+	p.SpawnDaemon("monitor", gs.monitor)
+	p.SpawnDaemon("monitor-tick", func(p *sim.Proc) {
+		for {
+			p.Sleep(gs.cfg.MonitorPeriod)
+			gs.requests.Send(monitorMsg{tick: true})
+		}
+	})
+	gs.ready = true
+	gs.readyCond.Broadcast()
+}
+
+// WaitReady blocks until Start has completed (for callers racing boot).
+func (gs *GPUServer) WaitReady(p *sim.Proc) {
+	for !gs.ready {
+		gs.readyCond.Wait(p)
+	}
+}
+
+// Capacity returns the number of functions the server can run concurrently,
+// the figure the manager announces to the serverless backend.
+func (gs *GPUServer) Capacity() int { return len(gs.servers) }
+
+// Acquire requests an API server for a function needing mem bytes of GPU
+// memory, blocking until one is granted per the queue policy.
+func (gs *GPUServer) Acquire(p *sim.Proc, fnID string, mem int64) *Lease {
+	return gs.AcquireHint(p, fnID, mem, 0)
+}
+
+// AcquireHint is Acquire with an expected-GPU-time hint for SJF scheduling.
+func (gs *GPUServer) AcquireHint(p *sim.Proc, fnID string, mem int64, hint time.Duration) *Lease {
+	reply := sim.NewQueue[*Lease](gs.e)
+	gs.requests.Send(monitorMsg{acquire: &acquireReq{fnID: fnID, mem: mem, hint: hint, reply: reply, arrived: p.Now()}})
+	lease, _ := reply.Recv(p)
+	return lease
+}
+
+// Load reports the server's current occupancy: active leases and queued
+// requests. The serverless backend's least-loaded GPU-server selection
+// policy reads this (§IV: "choosing the least loaded GPU server").
+func (gs *GPUServer) Load() (active, queued int) {
+	return len(gs.leased), len(gs.waiting)
+}
+
+// Release returns a leased API server to the pool.
+func (gs *GPUServer) Release(lease *Lease) {
+	gs.requests.Send(monitorMsg{release: lease})
+}
+
+// monitor is the GPU server's brain: it grants requests in arrival order,
+// updates statistics, and triggers migrations.
+func (gs *GPUServer) monitor(p *sim.Proc) {
+	for {
+		msg, ok := gs.requests.Recv(p)
+		if !ok {
+			return
+		}
+		switch {
+		case msg.acquire != nil:
+			if msg.acquire.mem > gs.maxPlaceable() {
+				// The request can never be satisfied on this GPU server
+				// (e.g. a 14 GB function on GPUs whose idle API servers
+				// already hold too much); fail it instead of queueing it
+				// forever.
+				msg.acquire.reply.Send(nil)
+				break
+			}
+			gs.waiting = append(gs.waiting, msg.acquire)
+		case msg.release != nil:
+			gs.releaseLocked(msg.release)
+		case msg.tick:
+			if gs.cfg.EnableMigration {
+				gs.maybeMigrate(p)
+			}
+		}
+		gs.drainQueue(p)
+	}
+}
+
+// drainQueue grants as many waiting requests as the queue policy allows.
+// Under FCFS (the paper's policy, §VIII-D), only the head may be granted —
+// a large function at the head forces later small ones to wait. Under SJF
+// the shortest-hinted placeable request is granted, trading fairness for
+// throughput.
+func (gs *GPUServer) drainQueue(p *sim.Proc) {
+	for len(gs.waiting) > 0 {
+		var srv *apiserver.Server
+		var req *acquireReq
+		if gs.cfg.Queue == SJF {
+			srv, req = gs.placeAnySJF()
+		} else {
+			req = gs.waiting[0]
+			if srv = gs.place(req.mem); srv != nil {
+				gs.waiting = gs.waiting[1:]
+			}
+		}
+		if srv == nil {
+			return
+		}
+		lease := &Lease{
+			Server:     srv,
+			FnID:       req.fnID,
+			Mem:        req.mem,
+			QueueDelay: p.Now() - req.arrived,
+			grantedAt:  p.Now(),
+		}
+		gs.leased[srv.ID()] = lease
+		gs.commit[srv.HomeDev()] += req.mem
+		gs.placements = append(gs.placements, PlacementRecord{
+			FnID:       req.fnID,
+			Mem:        req.mem,
+			GPU:        srv.HomeDev(),
+			Server:     srv.ID(),
+			QueueDelay: lease.QueueDelay,
+		})
+		req.reply.Send(lease)
+	}
+}
+
+// maxPlaceable returns the largest memory request any GPU could ever grant.
+func (gs *GPUServer) maxPlaceable() int64 {
+	var max int64
+	for g := range gs.devs {
+		if free := gs.devs[g].Cfg.MemBytes - gs.baseline[g]; free > max {
+			max = free
+		}
+	}
+	return max
+}
+
+// placeAnySJF scans the waiting queue in ascending hint order and grants
+// the first request that fits anywhere, removing it from the queue.
+func (gs *GPUServer) placeAnySJF() (*apiserver.Server, *acquireReq) {
+	order := make([]int, len(gs.waiting))
+	for i := range order {
+		order[i] = i
+	}
+	// Selection sort by hint: the queue is short and determinism matters.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if gs.waiting[order[j]].hint < gs.waiting[order[i]].hint {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, idx := range order {
+		req := gs.waiting[idx]
+		if srv := gs.place(req.mem); srv != nil {
+			gs.waiting = append(gs.waiting[:idx], gs.waiting[idx+1:]...)
+			return srv, req
+		}
+	}
+	return nil, nil
+}
+
+// place picks an idle API server whose home GPU fits mem, per policy.
+func (gs *GPUServer) place(mem int64) *apiserver.Server {
+	type cand struct {
+		srv  *apiserver.Server
+		free int64
+	}
+	var best *cand
+	for _, srv := range gs.servers {
+		if _, busy := gs.leased[srv.ID()]; busy {
+			continue
+		}
+		g := srv.HomeDev()
+		free := gs.devs[g].Cfg.MemBytes - gs.baseline[g] - gs.commit[g]
+		if free < mem {
+			continue
+		}
+		c := &cand{srv: srv, free: free}
+		if best == nil {
+			best = c
+			continue
+		}
+		switch gs.cfg.Policy {
+		case BestFit:
+			if c.free < best.free {
+				best = c
+			}
+		case WorstFit:
+			if c.free > best.free {
+				best = c
+			}
+		case FirstFit:
+			// keep the first found
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.srv
+}
+
+// releaseLocked returns a server to the pool and unwinds its commitment.
+func (gs *GPUServer) releaseLocked(lease *Lease) {
+	id := lease.Server.ID()
+	if cur, ok := gs.leased[id]; !ok || cur != lease {
+		return // stale release
+	}
+	delete(gs.leased, id)
+	// The server has migrated back home by now (Bye does that), so the
+	// commitment unwinds on its home GPU.
+	gs.commit[lease.Server.HomeDev()] -= lease.Mem
+}
+
+// maybeMigrate fixes GPU load imbalance: if one GPU runs two or more
+// functions while another sits idle, move one of them (§V-D, §VIII-E).
+func (gs *GPUServer) maybeMigrate(p *sim.Proc) {
+	if p.Now() < gs.migCooldown {
+		return
+	}
+	busyPerGPU := make([]int, gs.cfg.GPUs)
+	var active []*Lease
+	for _, lease := range gs.leased {
+		busyPerGPU[lease.Server.CurrentDev()]++
+		active = append(active, lease)
+	}
+	// Find the most contended and a fully idle GPU.
+	src, dst := -1, -1
+	for g := 0; g < gs.cfg.GPUs; g++ {
+		if busyPerGPU[g] >= 2 && (src == -1 || busyPerGPU[g] > busyPerGPU[src]) {
+			src = g
+		}
+		if busyPerGPU[g] == 0 && dst == -1 {
+			dst = g
+		}
+	}
+	if src == -1 || dst == -1 {
+		gs.imbalanceTicks = 0
+		return
+	}
+	// Require the imbalance to persist before acting.
+	gs.imbalanceTicks++
+	if gs.imbalanceTicks < gs.cfg.MinImbalanceTicks {
+		return
+	}
+	// Pick a movable lease on src whose session memory fits dst.
+	var pick *Lease
+	for _, lease := range active {
+		if lease.Server.CurrentDev() != src {
+			continue
+		}
+		need := lease.Mem
+		if free := gs.devs[dst].Cfg.MemBytes - gs.devs[dst].UsedBytes(); free < need+gs.cfg.CUDACosts.CtxBytes {
+			continue
+		}
+		if pick == nil || lease.Server.Stats().SessionMem < pick.Server.Stats().SessionMem {
+			pick = lease // prefer the cheapest move
+		}
+	}
+	if pick == nil {
+		return
+	}
+	gs.migrations++
+	gs.imbalanceTicks = 0
+	gs.migCooldown = p.Now() + 2*gs.cfg.MonitorPeriod
+	pick.Server.Inbox.Send(remoting.Request{Ctrl: apiserver.MigrateRequest{TargetDev: dst}})
+}

@@ -1,0 +1,149 @@
+package gpuserver
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/sim"
+)
+
+// holdWithHint acquires with an SJF hint, holds for d, then releases.
+func holdWithHint(p *sim.Proc, gs *GPUServer, name string, mem int64, hint, d time.Duration, done *[]string) {
+	lease := gs.AcquireHint(p, name, mem, hint)
+	*done = append(*done, name+"-granted")
+	p.Sleep(d)
+	gs.Release(lease)
+}
+
+func TestSJFPrefersShortJobs(t *testing.T) {
+	e := sim.NewEngine(1)
+	var grants []string
+	e.Run("root", func(p *sim.Proc) {
+		cfg := fastConfig(1, 1, BestFit)
+		cfg.Queue = SJF
+		gs := New(e, cfg)
+		gs.Start(p)
+		wg := sim.NewWaitGroup(e)
+		// Occupy the single server, then enqueue long before short.
+		wg.Add(3)
+		p.Spawn("holder", func(p *sim.Proc) {
+			holdWithHint(p, gs, "holder", 1<<30, time.Second, time.Second, &grants)
+			wg.Done()
+		})
+		p.Spawn("long", func(p *sim.Proc) {
+			p.Sleep(time.Millisecond)
+			holdWithHint(p, gs, "long", 1<<30, 10*time.Second, 100*time.Millisecond, &grants)
+			wg.Done()
+		})
+		p.Spawn("short", func(p *sim.Proc) {
+			p.Sleep(2 * time.Millisecond) // arrives after long
+			holdWithHint(p, gs, "short", 1<<30, time.Second, 100*time.Millisecond, &grants)
+			wg.Done()
+		})
+		wg.Wait(p)
+	})
+	// Under FCFS, long would be granted before short; SJF flips them.
+	want := []string{"holder-granted", "short-granted", "long-granted"}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestSJFAvoidsHeadOfLineBlocking(t *testing.T) {
+	// The §VIII-D pathology: a huge function at the head blocks a small one
+	// that would fit. SJF lets the small one through.
+	run := func(q QueuePolicy) time.Duration {
+		e := sim.NewEngine(1)
+		var smallGranted time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			cfg := fastConfig(1, 2, BestFit)
+			cfg.Queue = q
+			gs := New(e, cfg)
+			gs.Start(p)
+			wg := sim.NewWaitGroup(e)
+			wg.Add(3)
+			p.Spawn("big1", func(p *sim.Proc) {
+				lease := gs.AcquireHint(p, "big1", 10<<30, 4*time.Second)
+				p.Sleep(4 * time.Second)
+				gs.Release(lease)
+				wg.Done()
+			})
+			p.Spawn("big2", func(p *sim.Proc) {
+				p.Sleep(time.Millisecond)
+				lease := gs.AcquireHint(p, "big2", 10<<30, 4*time.Second)
+				p.Sleep(4 * time.Second)
+				gs.Release(lease)
+				wg.Done()
+			})
+			p.Spawn("small", func(p *sim.Proc) {
+				p.Sleep(2 * time.Millisecond)
+				lease := gs.AcquireHint(p, "small", 1<<30, time.Second)
+				smallGranted = p.Now()
+				p.Sleep(time.Second)
+				gs.Release(lease)
+				wg.Done()
+			})
+			wg.Wait(p)
+		})
+		return smallGranted
+	}
+	fcfs, sjf := run(FCFS), run(SJF)
+	if fcfs < 4*time.Second {
+		t.Fatalf("FCFS granted the small function at %v despite head-of-line blocking", fcfs)
+	}
+	if sjf > time.Second {
+		t.Fatalf("SJF granted the small function at %v, want immediately", sjf)
+	}
+}
+
+func TestSJFDefaultsOffMatchesFCFS(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Queue != FCFS {
+		t.Fatalf("default queue policy = %v, want FCFS (the paper's policy)", cfg.Queue)
+	}
+	if FCFS.String() != "fcfs" || SJF.String() != "sjf" {
+		t.Fatal("queue policy names wrong")
+	}
+}
+
+func TestLoadReporting(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		gs := New(e, fastConfig(1, 1, BestFit))
+		gs.Start(p)
+		if a, q := gs.Load(); a != 0 || q != 0 {
+			t.Fatalf("idle load = (%d,%d)", a, q)
+		}
+		l := gs.Acquire(p, "a", 1<<30)
+		p.Spawn("waiter", func(p *sim.Proc) {
+			l2 := gs.Acquire(p, "b", 1<<30)
+			gs.Release(l2)
+		})
+		p.Sleep(100 * time.Millisecond)
+		if a, q := gs.Load(); a != 1 || q != 1 {
+			t.Fatalf("load with one active one queued = (%d,%d)", a, q)
+		}
+		gs.Release(l)
+	})
+}
+
+func TestImpossibleRequestRejected(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		gs := New(e, fastConfig(2, 1, BestFit))
+		gs.Start(p)
+		// 32 GB can never fit a 16 GB GPU: the monitor must answer nil
+		// immediately instead of queueing the request forever.
+		if lease := gs.Acquire(p, "huge", 32<<30); lease != nil {
+			t.Fatal("impossible request granted")
+		}
+		// A feasible request afterwards still works.
+		lease := gs.Acquire(p, "ok", 1<<30)
+		if lease == nil {
+			t.Fatal("feasible request rejected")
+		}
+		gs.Release(lease)
+	})
+}

@@ -1,0 +1,128 @@
+package guest
+
+import (
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/sim"
+)
+
+// cuDNN descriptor interposition. Descriptor create/set/destroy calls are
+// issued in large numbers while loading a model — each one a network round
+// trip when remoted naively. With OptLocalDescriptors the guest pools them
+// entirely on its side: these APIs "simply allocate memory on the host side
+// to hold the opaque structure" (§V-C), so no server state is needed.
+
+// createDescriptor implements the cudnnCreate*Descriptor family.
+func (l *Lib) createDescriptor(p *sim.Proc, remoteCreate func(*sim.Proc) (cudalibs.Descriptor, error)) (cudalibs.Descriptor, error) {
+	if l.localizing() {
+		l.local(p)
+		l.nextDesc++
+		d := cudalibs.Descriptor(localDescBit | l.nextDesc)
+		l.localDescs[d] = true
+		return d, nil
+	}
+	l.remote(p)
+	return remoteCreate(p)
+}
+
+// setDescriptor implements the cudnnSet*Descriptor family.
+func (l *Lib) setDescriptor(p *sim.Proc, d cudalibs.Descriptor, remoteSet func(*sim.Proc, cudalibs.Descriptor) error) error {
+	if l.localizing() {
+		l.local(p)
+		if !l.localDescs[d] {
+			return cuda.ErrInvalidResourceHandle
+		}
+		return nil
+	}
+	l.remote(p)
+	return remoteSet(p, d)
+}
+
+// destroyDescriptor implements the cudnnDestroy*Descriptor family.
+func (l *Lib) destroyDescriptor(p *sim.Proc, d cudalibs.Descriptor, remoteDestroy func(*sim.Proc, cudalibs.Descriptor) error) error {
+	if l.localizing() {
+		l.local(p)
+		if !l.localDescs[d] {
+			return cuda.ErrInvalidResourceHandle
+		}
+		delete(l.localDescs, d)
+		return nil
+	}
+	l.remote(p)
+	return remoteDestroy(p, d)
+}
+
+// DnnCreateTensorDescriptor mirrors cudnnCreateTensorDescriptor.
+func (l *Lib) DnnCreateTensorDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return l.createDescriptor(p, l.cl.DnnCreateTensorDescriptor)
+}
+
+// DnnSetTensorDescriptor mirrors cudnnSetTensorNdDescriptor.
+func (l *Lib) DnnSetTensorDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.setDescriptor(p, d, l.cl.DnnSetTensorDescriptor)
+}
+
+// DnnDestroyTensorDescriptor mirrors cudnnDestroyTensorDescriptor.
+func (l *Lib) DnnDestroyTensorDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.destroyDescriptor(p, d, l.cl.DnnDestroyTensorDescriptor)
+}
+
+// DnnCreateFilterDescriptor mirrors cudnnCreateFilterDescriptor.
+func (l *Lib) DnnCreateFilterDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return l.createDescriptor(p, l.cl.DnnCreateFilterDescriptor)
+}
+
+// DnnSetFilterDescriptor mirrors cudnnSetFilterNdDescriptor.
+func (l *Lib) DnnSetFilterDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.setDescriptor(p, d, l.cl.DnnSetFilterDescriptor)
+}
+
+// DnnDestroyFilterDescriptor mirrors cudnnDestroyFilterDescriptor.
+func (l *Lib) DnnDestroyFilterDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.destroyDescriptor(p, d, l.cl.DnnDestroyFilterDescriptor)
+}
+
+// DnnCreateConvolutionDescriptor mirrors cudnnCreateConvolutionDescriptor.
+func (l *Lib) DnnCreateConvolutionDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return l.createDescriptor(p, l.cl.DnnCreateConvolutionDescriptor)
+}
+
+// DnnSetConvolutionDescriptor mirrors cudnnSetConvolutionNdDescriptor.
+func (l *Lib) DnnSetConvolutionDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.setDescriptor(p, d, l.cl.DnnSetConvolutionDescriptor)
+}
+
+// DnnDestroyConvolutionDescriptor mirrors cudnnDestroyConvolutionDescriptor.
+func (l *Lib) DnnDestroyConvolutionDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.destroyDescriptor(p, d, l.cl.DnnDestroyConvolutionDescriptor)
+}
+
+// DnnCreateActivationDescriptor mirrors cudnnCreateActivationDescriptor.
+func (l *Lib) DnnCreateActivationDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return l.createDescriptor(p, l.cl.DnnCreateActivationDescriptor)
+}
+
+// DnnSetActivationDescriptor mirrors cudnnSetActivationDescriptor.
+func (l *Lib) DnnSetActivationDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.setDescriptor(p, d, l.cl.DnnSetActivationDescriptor)
+}
+
+// DnnDestroyActivationDescriptor mirrors cudnnDestroyActivationDescriptor.
+func (l *Lib) DnnDestroyActivationDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.destroyDescriptor(p, d, l.cl.DnnDestroyActivationDescriptor)
+}
+
+// DnnCreatePoolingDescriptor mirrors cudnnCreatePoolingDescriptor.
+func (l *Lib) DnnCreatePoolingDescriptor(p *sim.Proc) (cudalibs.Descriptor, error) {
+	return l.createDescriptor(p, l.cl.DnnCreatePoolingDescriptor)
+}
+
+// DnnSetPoolingDescriptor mirrors cudnnSetPoolingNdDescriptor.
+func (l *Lib) DnnSetPoolingDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.setDescriptor(p, d, l.cl.DnnSetPoolingDescriptor)
+}
+
+// DnnDestroyPoolingDescriptor mirrors cudnnDestroyPoolingDescriptor.
+func (l *Lib) DnnDestroyPoolingDescriptor(p *sim.Proc, d cudalibs.Descriptor) error {
+	return l.destroyDescriptor(p, d, l.cl.DnnDestroyPoolingDescriptor)
+}

@@ -1,0 +1,546 @@
+// Package guest implements DGSF's guest library: the shim interposed under
+// an application's CUDA/cuDNN/cuBLAS calls (§V-A). Every call the
+// application makes lands here; the library decides, per call and per
+// optimization tier, whether to answer it locally, defer it into a batch,
+// or remote it to the API server.
+//
+// Optimization tiers follow the paper's ablation (§V-C, Fig. 4):
+//
+//   - OptNone: every interposed call is forwarded individually, including
+//     the __cudaPushCallConfiguration/__cudaPopCallConfiguration pair
+//     around each kernel launch.
+//   - OptLocalDescriptors: cuDNN descriptor create/set/destroy, host-only
+//     memory APIs (cudaMallocHost), version queries and error queries are
+//     answered from guest-side state without touching the network.
+//   - OptBatching: calls with no immediately-needed result (kernel
+//     launches, memsets, frees, event records, ...) are accumulated and
+//     shipped as one batch message before the next synchronous call; launch
+//     configurations are piggybacked onto launches; pointer-attribute
+//     queries are answered from tracked allocations.
+//
+// Server-side handle pooling (OptHandlePool in the experiments) lives in
+// internal/apiserver; the guest is oblivious to it, exactly as in DGSF.
+package guest
+
+import (
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/gpu"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/sim"
+)
+
+// Opt is a bitmask of guest-side optimization tiers.
+type Opt uint8
+
+// Guest optimization flags. OptAll enables every guest-side optimization.
+const (
+	OptNone             Opt = 0
+	OptLocalDescriptors Opt = 1 << iota
+	OptBatching
+	OptAll = OptLocalDescriptors | OptBatching
+)
+
+// Stats counts how the guest library disposed of interposed calls.
+type Stats struct {
+	Total     int // calls interposed
+	Remoted   int // forwarded as individual round trips
+	Batched   int // forwarded inside batch messages
+	Localized int // answered locally, never forwarded
+	Batches   int // batch messages sent
+}
+
+// Roundtrips returns the number of network round trips performed.
+func (s Stats) Roundtrips() int { return s.Remoted + s.Batches }
+
+// Forwarded returns the number of API calls that reached the API server.
+func (s Stats) Forwarded() int { return s.Remoted + s.Batched }
+
+// localDescBit marks guest-allocated descriptor handles so they can never
+// collide with server-side handles.
+const localDescBit = 1 << 62
+
+// Lib is a guest library instance: one per function execution.
+type Lib struct {
+	cl  *gen.Client
+	opt Opt
+
+	stats Stats
+
+	// Guest-side state backing localized APIs.
+	lastError  int
+	ptrSizes   map[cuda.DevPtr]int64
+	hostAllocs map[uint64]int64
+	nextHost   uint64
+	localDescs map[cudalibs.Descriptor]bool
+	nextDesc   uint64
+	cfgStack   []gen.PushCallConfigurationReq
+	localCost  time.Duration // CPU cost of a locally-answered call
+
+	// Pending batch (OptBatching).
+	batch      wire.Encoder
+	batchBody  wire.Encoder
+	batchCount int
+}
+
+var _ gen.API = (*Lib)(nil)
+
+// New returns a guest library speaking to the API server over t.
+func New(t remoting.Caller, opt Opt) *Lib {
+	return &Lib{
+		cl:         &gen.Client{T: t},
+		opt:        opt,
+		ptrSizes:   make(map[cuda.DevPtr]int64),
+		hostAllocs: make(map[uint64]int64),
+		localDescs: make(map[cudalibs.Descriptor]bool),
+		localCost:  300 * time.Nanosecond,
+	}
+}
+
+// Stats returns the call-disposition counters.
+func (l *Lib) Stats() Stats { return l.stats }
+
+// Opt returns the active optimization tier.
+func (l *Lib) Opt() Opt { return l.opt }
+
+// local charges the CPU cost of answering a call in the guest library.
+func (l *Lib) local(p *sim.Proc) {
+	l.stats.Total++
+	l.stats.Localized++
+	if l.localCost > 0 {
+		p.Sleep(l.localCost)
+	}
+}
+
+// remoteCall wraps an individual round trip: any pending batch is flushed
+// first so the server observes calls in program order.
+func (l *Lib) remote(p *sim.Proc) {
+	l.FlushBatch(p)
+	l.stats.Total++
+	l.stats.Remoted++
+}
+
+// deferCall length-prefixes one encoded call into the pending batch body.
+func (l *Lib) deferCall(appendFn func(e *wire.Encoder)) {
+	l.stats.Total++
+	l.stats.Batched++
+	var tmp wire.Encoder
+	appendFn(&tmp)
+	l.batchBody.BytesField(tmp.Bytes())
+	l.batchCount++
+}
+
+// FlushBatch ships the pending batch, if any, as one round trip. Errors from
+// batched calls surface through GetLastError, like asynchronous CUDA errors.
+func (l *Lib) FlushBatch(p *sim.Proc) {
+	if l.batchCount == 0 {
+		return
+	}
+	var msg wire.Encoder
+	msg.U16(remoting.CallBatch)
+	msg.U32(uint32(l.batchCount))
+	msg.Raw(l.batchBody.Bytes())
+	l.batchBody.Reset()
+	l.batchCount = 0
+	l.stats.Batches++
+	resp, err := l.cl.T.Roundtrip(p, msg.Bytes(), 0)
+	if err != nil {
+		l.lastError = -1
+		return
+	}
+	d := wire.NewDecoder(resp)
+	if code := int(d.I32()); code != 0 {
+		l.lastError = code
+	}
+}
+
+// batching reports whether batching is enabled.
+func (l *Lib) batching() bool { return l.opt&OptBatching != 0 }
+
+// localizing reports whether guest-side localization is enabled.
+func (l *Lib) localizing() bool { return l.opt&OptLocalDescriptors != 0 }
+
+// --- session control (always remoted) ---
+
+// Hello opens the function session.
+func (l *Lib) Hello(p *sim.Proc, fnID string, memLimit int64) error {
+	l.remote(p)
+	return l.cl.Hello(p, fnID, memLimit)
+}
+
+// Bye ends the function session.
+func (l *Lib) Bye(p *sim.Proc) error {
+	l.remote(p)
+	return l.cl.Bye(p)
+}
+
+// RegisterKernels ships the function's kernel symbols to the API server.
+func (l *Lib) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
+	l.remote(p)
+	return l.cl.RegisterKernels(p, names)
+}
+
+// --- device management ---
+
+// GetDeviceCount mirrors cudaGetDeviceCount.
+func (l *Lib) GetDeviceCount(p *sim.Proc) (int, error) {
+	l.remote(p)
+	return l.cl.GetDeviceCount(p)
+}
+
+// GetDeviceProperties mirrors cudaGetDeviceProperties.
+func (l *Lib) GetDeviceProperties(p *sim.Proc, dev int) (cuda.DeviceProp, error) {
+	l.remote(p)
+	return l.cl.GetDeviceProperties(p, dev)
+}
+
+// SetDevice mirrors cudaSetDevice.
+func (l *Lib) SetDevice(p *sim.Proc, dev int) error {
+	l.remote(p)
+	return l.cl.SetDevice(p, dev)
+}
+
+// GetDevice mirrors cudaGetDevice; the virtual device is always 0, so the
+// optimized guest answers locally.
+func (l *Lib) GetDevice(p *sim.Proc) (int, error) {
+	if l.localizing() {
+		l.local(p)
+		return 0, nil
+	}
+	l.remote(p)
+	return l.cl.GetDevice(p)
+}
+
+// MemGetInfo mirrors cudaMemGetInfo.
+func (l *Lib) MemGetInfo(p *sim.Proc) (int64, int64, error) {
+	l.remote(p)
+	return l.cl.MemGetInfo(p)
+}
+
+// DeviceSynchronize mirrors cudaDeviceSynchronize.
+func (l *Lib) DeviceSynchronize(p *sim.Proc) error {
+	l.remote(p)
+	return l.cl.DeviceSynchronize(p)
+}
+
+// GetLastError mirrors cudaGetLastError.
+func (l *Lib) GetLastError(p *sim.Proc) (int, error) {
+	if l.localizing() {
+		l.local(p)
+		code := l.lastError
+		l.lastError = 0
+		return code, nil
+	}
+	l.remote(p)
+	return l.cl.GetLastError(p)
+}
+
+// DriverGetVersion mirrors cuDriverGetVersion.
+func (l *Lib) DriverGetVersion(p *sim.Proc) (int, error) {
+	if l.localizing() {
+		l.local(p)
+		return 10020, nil
+	}
+	l.remote(p)
+	return l.cl.DriverGetVersion(p)
+}
+
+// RuntimeGetVersion mirrors cudaRuntimeGetVersion.
+func (l *Lib) RuntimeGetVersion(p *sim.Proc) (int, error) {
+	if l.localizing() {
+		l.local(p)
+		return 10010, nil
+	}
+	l.remote(p)
+	return l.cl.RuntimeGetVersion(p)
+}
+
+// --- memory management ---
+
+// Malloc mirrors cudaMalloc; the returned address is tracked for localized
+// pointer-attribute queries.
+func (l *Lib) Malloc(p *sim.Proc, size int64) (cuda.DevPtr, error) {
+	l.remote(p)
+	ptr, err := l.cl.Malloc(p, size)
+	if err == nil {
+		l.ptrSizes[ptr] = size
+	}
+	return ptr, err
+}
+
+// Free mirrors cudaFree.
+func (l *Lib) Free(p *sim.Proc, ptr cuda.DevPtr) error {
+	delete(l.ptrSizes, ptr)
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendFreeCall(e, ptr) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.Free(p, ptr)
+}
+
+// Memset mirrors cudaMemset.
+func (l *Lib) Memset(p *sim.Proc, ptr cuda.DevPtr, value byte, size int64) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendMemsetCall(e, ptr, value, size) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.Memset(p, ptr, value, size)
+}
+
+// MemcpyH2D mirrors cudaMemcpy(HostToDevice).
+func (l *Lib) MemcpyH2D(p *sim.Proc, dst cuda.DevPtr, src gpu.HostBuffer, size int64) error {
+	l.remote(p)
+	return l.cl.MemcpyH2D(p, dst, src, size)
+}
+
+// MemcpyD2H mirrors cudaMemcpy(DeviceToHost).
+func (l *Lib) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostBuffer, error) {
+	l.remote(p)
+	return l.cl.MemcpyD2H(p, src, size)
+}
+
+// MemcpyD2D mirrors cudaMemcpy(DeviceToDevice).
+func (l *Lib) MemcpyD2D(p *sim.Proc, dst, src cuda.DevPtr, size int64) error {
+	l.remote(p)
+	return l.cl.MemcpyD2D(p, dst, src, size)
+}
+
+// MallocHost mirrors cudaMallocHost: host-only state, so the optimized guest
+// emulates it entirely (§V-C).
+func (l *Lib) MallocHost(p *sim.Proc, size int64) (uint64, error) {
+	if l.localizing() {
+		l.local(p)
+		l.nextHost++
+		ptr := 0x6000_0000_0000 + l.nextHost<<12
+		l.hostAllocs[ptr] = size
+		return ptr, nil
+	}
+	l.remote(p)
+	return l.cl.MallocHost(p, size)
+}
+
+// FreeHost mirrors cudaFreeHost.
+func (l *Lib) FreeHost(p *sim.Proc, ptr uint64) error {
+	if l.localizing() {
+		l.local(p)
+		if _, ok := l.hostAllocs[ptr]; !ok {
+			return cuda.ErrInvalidValue
+		}
+		delete(l.hostAllocs, ptr)
+		return nil
+	}
+	l.remote(p)
+	return l.cl.FreeHost(p, ptr)
+}
+
+// PointerGetAttributes mirrors cudaPointerGetAttributes. With batching
+// optimizations on, the guest answers from the addresses it tracked at
+// allocation time.
+func (l *Lib) PointerGetAttributes(p *sim.Proc, ptr cuda.DevPtr) (cuda.PtrAttributes, error) {
+	if l.batching() {
+		l.local(p)
+		for base, size := range l.ptrSizes {
+			if ptr >= base && uint64(ptr) < uint64(base)+uint64(size) {
+				return cuda.PtrAttributes{Device: 0, Size: size, IsDevice: true}, nil
+			}
+		}
+		return cuda.PtrAttributes{}, cuda.ErrInvalidValue
+	}
+	l.remote(p)
+	return l.cl.PointerGetAttributes(p, ptr)
+}
+
+// --- execution ---
+
+// PushCallConfiguration mirrors __cudaPushCallConfiguration. Optimized
+// guests keep the configuration local and piggyback it onto the launch.
+func (l *Lib) PushCallConfiguration(p *sim.Proc, grid, block [3]int, stream cuda.StreamHandle) error {
+	if l.batching() {
+		l.local(p)
+		l.cfgStack = append(l.cfgStack, gen.PushCallConfigurationReq{Grid: grid, Block: block, Stream: stream})
+		return nil
+	}
+	l.remote(p)
+	return l.cl.PushCallConfiguration(p, grid, block, stream)
+}
+
+// PopCallConfiguration mirrors __cudaPopCallConfiguration.
+func (l *Lib) PopCallConfiguration(p *sim.Proc) error {
+	if l.batching() {
+		l.local(p)
+		if n := len(l.cfgStack); n > 0 {
+			l.cfgStack = l.cfgStack[:n-1]
+		}
+		return nil
+	}
+	l.remote(p)
+	return l.cl.PopCallConfiguration(p)
+}
+
+// LaunchKernel mirrors cudaLaunchKernel. The unoptimized guest reproduces
+// the native call pattern — push configuration, launch, pop configuration —
+// as three forwarded calls; the optimized guest ships one batched launch.
+func (l *Lib) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, lp) })
+		return nil
+	}
+	if err := l.PushCallConfiguration(p, lp.Grid, lp.Block, lp.Stream); err != nil {
+		return err
+	}
+	l.remote(p)
+	if err := l.cl.LaunchKernel(p, lp); err != nil {
+		return err
+	}
+	return l.PopCallConfiguration(p)
+}
+
+// StreamCreate mirrors cudaStreamCreate.
+func (l *Lib) StreamCreate(p *sim.Proc) (cuda.StreamHandle, error) {
+	l.remote(p)
+	return l.cl.StreamCreate(p)
+}
+
+// StreamDestroy mirrors cudaStreamDestroy.
+func (l *Lib) StreamDestroy(p *sim.Proc, h cuda.StreamHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, h) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.StreamDestroy(p, h)
+}
+
+// StreamSynchronize mirrors cudaStreamSynchronize.
+func (l *Lib) StreamSynchronize(p *sim.Proc, h cuda.StreamHandle) error {
+	l.remote(p)
+	return l.cl.StreamSynchronize(p, h)
+}
+
+// EventCreate mirrors cudaEventCreate.
+func (l *Lib) EventCreate(p *sim.Proc) (cuda.EventHandle, error) {
+	l.remote(p)
+	return l.cl.EventCreate(p)
+}
+
+// EventDestroy mirrors cudaEventDestroy.
+func (l *Lib) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, h) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.EventDestroy(p, h)
+}
+
+// EventRecord mirrors cudaEventRecord.
+func (l *Lib) EventRecord(p *sim.Proc, h cuda.EventHandle, stream cuda.StreamHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendEventRecordCall(e, h, stream) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.EventRecord(p, h, stream)
+}
+
+// EventSynchronize mirrors cudaEventSynchronize.
+func (l *Lib) EventSynchronize(p *sim.Proc, h cuda.EventHandle) error {
+	l.remote(p)
+	return l.cl.EventSynchronize(p, h)
+}
+
+// EventElapsed mirrors cudaEventElapsedTime.
+func (l *Lib) EventElapsed(p *sim.Proc, start, end cuda.EventHandle) (time.Duration, error) {
+	l.remote(p)
+	return l.cl.EventElapsed(p, start, end)
+}
+
+// --- cuDNN ---
+
+// DnnCreate mirrors cudnnCreate.
+func (l *Lib) DnnCreate(p *sim.Proc) (cudalibs.DNNHandle, error) {
+	l.remote(p)
+	return l.cl.DnnCreate(p)
+}
+
+// DnnDestroy mirrors cudnnDestroy.
+func (l *Lib) DnnDestroy(p *sim.Proc, h cudalibs.DNNHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, h) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.DnnDestroy(p, h)
+}
+
+// DnnSetStream mirrors cudnnSetStream.
+func (l *Lib) DnnSetStream(p *sim.Proc, h cudalibs.DNNHandle, stream cuda.StreamHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, h, stream) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.DnnSetStream(p, h, stream)
+}
+
+// DnnGetConvolutionWorkspaceSize mirrors its cuDNN namesake.
+func (l *Lib) DnnGetConvolutionWorkspaceSize(p *sim.Proc, d cudalibs.Descriptor) (int64, error) {
+	if l.localizing() && l.localDescs[d] {
+		// Descriptor state lives in the guest; answer without remoting.
+		l.local(p)
+		return 64 << 20, nil
+	}
+	l.remote(p)
+	return l.cl.DnnGetConvolutionWorkspaceSize(p, d)
+}
+
+// DnnForward runs a cuDNN compute primitive on the API server. Descriptor
+// arguments pooled guest-side are stripped before forwarding: the server's
+// kernels depend only on shapes already encoded in the op.
+func (l *Lib) DnnForward(p *sim.Proc, h cudalibs.DNNHandle, op string, dur time.Duration, bufs []cuda.DevPtr, descs []uint64) error {
+	if l.localizing() {
+		descs = nil // guest-held descriptors are meaningless to the server
+	}
+	l.remote(p)
+	return l.cl.DnnForward(p, h, op, dur, bufs, descs)
+}
+
+// --- cuBLAS ---
+
+// BlasCreate mirrors cublasCreate.
+func (l *Lib) BlasCreate(p *sim.Proc) (cudalibs.BLASHandle, error) {
+	l.remote(p)
+	return l.cl.BlasCreate(p)
+}
+
+// BlasDestroy mirrors cublasDestroy.
+func (l *Lib) BlasDestroy(p *sim.Proc, h cudalibs.BLASHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, h) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.BlasDestroy(p, h)
+}
+
+// BlasSetStream mirrors cublasSetStream.
+func (l *Lib) BlasSetStream(p *sim.Proc, h cudalibs.BLASHandle, stream cuda.StreamHandle) error {
+	if l.batching() {
+		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, h, stream) })
+		return nil
+	}
+	l.remote(p)
+	return l.cl.BlasSetStream(p, h, stream)
+}
+
+// BlasGemm mirrors cublasSgemm.
+func (l *Lib) BlasGemm(p *sim.Proc, h cudalibs.BLASHandle, dur time.Duration, bufs []cuda.DevPtr) error {
+	l.remote(p)
+	return l.cl.BlasGemm(p, h, dur, bufs)
+}

@@ -1,0 +1,284 @@
+package guest
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/gpu"
+	"dgsf/internal/native"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/sim"
+)
+
+// countingLoopback satisfies remoting.Caller by dispatching straight into a
+// native backend, counting messages and recording the call IDs that crossed.
+type countingLoopback struct {
+	b     gen.API
+	n     int
+	calls []uint16
+}
+
+func (l *countingLoopback) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	l.n++
+	id := uint16(0)
+	if len(req) >= 2 {
+		id = uint16(req[0]) | uint16(req[1])<<8
+		l.calls = append(l.calls, id)
+	}
+	if id == remoting.CallBatch {
+		// Unpack the batch container the way an API server does.
+		d := wire.NewDecoder(req)
+		_ = d.U16()
+		n := int(d.U32())
+		firstErr := 0
+		for i := 0; i < n && d.Err() == nil; i++ {
+			entry := d.BytesField()
+			resp, _ := gen.Dispatch(p, l.b, entry)
+			rd := wire.NewDecoder(resp)
+			if code := int(rd.I32()); code != 0 && firstErr == 0 {
+				firstErr = code
+			}
+		}
+		var e wire.Encoder
+		e.I32(int32(firstErr))
+		return e.Bytes(), nil
+	}
+	resp, _ := gen.Dispatch(p, l.b, req)
+	return resp, nil
+}
+func (l *countingLoopback) Close() {}
+
+// rig builds a guest library over a counting loopback to a native backend.
+func rig(e *sim.Engine, p *sim.Proc, opt Opt) (*Lib, *countingLoopback) {
+	cfg := gpu.V100Config(0)
+	cfg.CopyLat, cfg.KernelLat = 0, 0
+	dev := gpu.New(e, cfg)
+	rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.Costs{})
+	lb := &countingLoopback{b: native.New(rt, cudalibs.Costs{})}
+	return New(lb, opt), lb
+}
+
+func TestStatsIdentity(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, _ := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		ptr, _ := lib.Malloc(p, 1<<20)
+		_ = lib.Memset(p, ptr, 0, 1<<20)
+		_, _ = lib.DnnCreateTensorDescriptor(p)
+		_, _ = lib.GetLastError(p)
+		lib.FlushBatch(p)
+		st := lib.Stats()
+		if st.Total != st.Remoted+st.Batched+st.Localized {
+			t.Fatalf("stats identity broken: %+v", st)
+		}
+		if st.Roundtrips() != st.Remoted+st.Batches {
+			t.Fatalf("roundtrip identity broken: %+v", st)
+		}
+	})
+}
+
+func TestOptNoneRemotesEverything(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptNone)
+		_ = lib.Hello(p, "fn", 1<<30)
+		d, err := lib.DnnCreateTensorDescriptor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = lib.DnnSetTensorDescriptor(p, d)
+		_, _ = lib.MallocHost(p, 4096)
+		_, _ = lib.GetLastError(p)
+		st := lib.Stats()
+		if st.Localized != 0 || st.Batched != 0 {
+			t.Fatalf("unoptimized guest localized/batched calls: %+v", st)
+		}
+		if st.Remoted != lb.n {
+			t.Fatalf("remoted count %d != %d messages on the wire", st.Remoted, lb.n)
+		}
+	})
+}
+
+func TestUnoptimizedLaunchIsThreeCalls(t *testing.T) {
+	// Native launch = __cudaPushCallConfiguration + cudaLaunchKernel +
+	// __cudaPopCallConfiguration; the unoptimized guest forwards all three.
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptNone)
+		_ = lib.Hello(p, "fn", 1<<30)
+		fns, _ := lib.RegisterKernels(p, []string{"k"})
+		before := lb.n
+		if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if got := lb.n - before; got != 3 {
+			t.Fatalf("unoptimized launch used %d round trips, want 3", got)
+		}
+		seq := lb.calls[len(lb.calls)-3:]
+		want := []uint16{gen.CallPushCallConfiguration, gen.CallLaunchKernel, gen.CallPopCallConfiguration}
+		for i := range want {
+			if seq[i] != want[i] {
+				t.Fatalf("launch sequence = %v, want %v", seq, want)
+			}
+		}
+	})
+}
+
+func TestBatchingLaunchIsZeroRoundTripsUntilFlush(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		fns, _ := lib.RegisterKernels(p, []string{"k"})
+		before := lb.n
+		for i := 0; i < 10; i++ {
+			if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if lb.n != before {
+			t.Fatalf("batched launches crossed the wire early (%d messages)", lb.n-before)
+		}
+		lib.FlushBatch(p)
+		if got := lb.n - before; got != 1 {
+			t.Fatalf("flush used %d round trips, want 1", got)
+		}
+	})
+}
+
+func TestSynchronousCallFlushesPendingBatch(t *testing.T) {
+	// Ordering: batched work must reach the server before any synchronous
+	// call that could observe its effects.
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, _ := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		fns, _ := lib.RegisterKernels(p, []string{"mutator"})
+		ptr, _ := lib.Malloc(p, 1<<20)
+		_ = lib.Memset(p, ptr, 0, 1<<20) // batched
+		base, _ := lib.MemcpyD2H(p, ptr, 1<<20)
+		_ = lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond, Mutates: []cuda.DevPtr{ptr}}) // batched
+		_ = lib.StreamSynchronize(p, 0)
+		after, _ := lib.MemcpyD2H(p, ptr, 1<<20)
+		if base.FP == after.FP {
+			t.Fatal("batched memset/launch not visible to subsequent synchronous reads")
+		}
+	})
+}
+
+func TestLocalDescriptorsNeverCrossTheWire(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptLocalDescriptors)
+		_ = lib.Hello(p, "fn", 1<<30)
+		before := lb.n
+		for i := 0; i < 50; i++ {
+			d, err := lib.DnnCreateConvolutionDescriptor(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lib.DnnSetConvolutionDescriptor(p, d); err != nil {
+				t.Fatal(err)
+			}
+			if err := lib.DnnDestroyConvolutionDescriptor(p, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if lb.n != before {
+			t.Fatalf("descriptor churn crossed the wire %d times", lb.n-before)
+		}
+		if st := lib.Stats(); st.Localized != 150 {
+			t.Fatalf("localized = %d, want 150", st.Localized)
+		}
+		// Stale descriptor handles are rejected locally too.
+		if err := lib.DnnSetTensorDescriptor(p, 0xDEAD); err != cuda.ErrInvalidResourceHandle {
+			t.Fatalf("stale descriptor err = %v", err)
+		}
+	})
+}
+
+func TestHostMemoryEmulation(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptLocalDescriptors)
+		_ = lib.Hello(p, "fn", 1<<30)
+		before := lb.n
+		ptr, err := lib.MallocHost(p, 1<<20)
+		if err != nil || ptr == 0 {
+			t.Fatalf("MallocHost = (%v, %v)", ptr, err)
+		}
+		if err := lib.FreeHost(p, ptr); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.FreeHost(p, ptr); err != cuda.ErrInvalidValue {
+			t.Fatalf("double FreeHost = %v", err)
+		}
+		if lb.n != before {
+			t.Fatal("host-only memory APIs crossed the wire")
+		}
+	})
+}
+
+func TestLocalPointerAttributes(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		ptr, _ := lib.Malloc(p, 1<<20)
+		before := lb.n
+		a, err := lib.PointerGetAttributes(p, ptr+4096) // interior pointer
+		if err != nil || !a.IsDevice || a.Size != 1<<20 {
+			t.Fatalf("attrs = (%+v, %v)", a, err)
+		}
+		if _, err := lib.PointerGetAttributes(p, cuda.DevPtr(12345)); err != cuda.ErrInvalidValue {
+			t.Fatalf("unknown pointer err = %v", err)
+		}
+		if lb.n != before {
+			t.Fatal("pointer attribute queries crossed the wire")
+		}
+	})
+}
+
+func TestVersionAndDeviceQueriesLocalized(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		before := lb.n
+		if v, _ := lib.RuntimeGetVersion(p); v != 10010 {
+			t.Fatalf("runtime version = %d", v)
+		}
+		if v, _ := lib.DriverGetVersion(p); v != 10020 {
+			t.Fatalf("driver version = %d", v)
+		}
+		if d, _ := lib.GetDevice(p); d != 0 {
+			t.Fatalf("GetDevice = %d", d)
+		}
+		if lb.n != before {
+			t.Fatal("version/device queries crossed the wire")
+		}
+	})
+}
+
+func TestPushPopConfigurationLocalizedWhenBatching(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptAll)
+		_ = lib.Hello(p, "fn", 1<<30)
+		before := lb.n
+		if err := lib.PushCallConfiguration(p, [3]int{1, 1, 1}, [3]int{256, 1, 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.PopCallConfiguration(p); err != nil {
+			t.Fatal(err)
+		}
+		if lb.n != before {
+			t.Fatal("launch configuration crossed the wire despite batching")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Sum() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series not all-zero")
+	}
+	s.AddAll([]time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second})
+	if s.N() != 3 || s.Sum() != 12*time.Second || s.Mean() != 4*time.Second {
+		t.Fatalf("n=%d sum=%v mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 2*time.Second || s.Max() != 6*time.Second {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	// Population std of {2,4,6}s = sqrt(8/3) s ≈ 1.633s.
+	want := time.Duration(math.Sqrt(8.0/3.0) * float64(time.Second))
+	if d := s.Std() - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("std = %v, want ~%v", s.Std(), want)
+	}
+	if !strings.Contains(s.Summary(), "n=3") {
+		t.Fatalf("summary = %q", s.Summary())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := map[float64]time.Duration{
+		0: 1 * time.Millisecond, 50: 50 * time.Millisecond,
+		99: 99 * time.Millisecond, 100: 100 * time.Millisecond,
+	}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and sum = mean*n within rounding.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		m := s.Mean()
+		if m < s.Min() || m > s.Max() {
+			return false
+		}
+		diff := s.Sum() - m*time.Duration(s.N())
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Duration(s.N())*time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(time.Second)
+	for _, d := range []time.Duration{
+		100 * time.Millisecond, 900 * time.Millisecond, // bucket 0
+		1500 * time.Millisecond, // bucket 1
+		3100 * time.Millisecond, // bucket 3
+	} {
+		h.Add(d)
+	}
+	if h.N() != 4 || h.Bucket(0) != 2 || h.Bucket(1) != 1 || h.Bucket(2) != 0 || h.Bucket(3) != 1 {
+		t.Fatalf("buckets: %d %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "█") || len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("render:\n%s", out)
+	}
+	if NewHistogram(time.Second).Render(10) != "(empty)\n" {
+		t.Fatal("empty histogram render")
+	}
+	h.Add(-time.Second) // negative clamps to bucket 0
+	if h.Bucket(0) != 3 {
+		t.Fatal("negative value not clamped")
+	}
+}
+
+func TestHistogramPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "time", "util")
+	tb.Row("kmeans", 14*time.Second, 31.8)
+	tb.Row("a-much-longer-name", 100*time.Millisecond, 5.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "14.0s") {
+		t.Fatalf("table:\n%s", out)
+	}
+	// Columns align: every data row has the same prefix width for col 2.
+	idx0 := strings.Index(lines[2], "14.0s")
+	idx1 := strings.Index(lines[3], "0.1s")
+	if idx0 != idx1 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	sort.Strings(lines) // touch sort to mirror package usage
+}

@@ -1,0 +1,79 @@
+// Package objstore simulates the remote object store (AWS S3 in the paper)
+// that functions download their models and inputs from. "All of the data
+// required by each function, such as models and inputs, are downloaded from
+// AWS S3. This would be the case in general, even without DGSF" (§VI).
+//
+// Download bandwidth is a property of the execution environment, not the
+// store: the paper's AWS Lambda deployment sees lower bandwidth and larger
+// variance than its OpenFaaS deployment, which is exactly what produces the
+// NLP and image-classification spikes in Table II.
+package objstore
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/gpu"
+	"dgsf/internal/sim"
+)
+
+// Object is a stored blob: synthetic content identified by a fingerprint.
+type Object struct {
+	Name  string
+	Bytes int64
+	FP    uint64
+}
+
+// Store holds named objects.
+type Store struct {
+	objects map[string]Object
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objects: make(map[string]Object)}
+}
+
+// Put stores an object with deterministic synthetic content derived from
+// its name and size.
+func (s *Store) Put(name string, bytes int64) Object {
+	fp := gpu.Mix(0, uint64(bytes))
+	for _, c := range name {
+		fp = gpu.Mix(fp, uint64(c))
+	}
+	o := Object{Name: name, Bytes: bytes, FP: fp}
+	s.objects[name] = o
+	return o
+}
+
+// Env describes a download path from the store to an execution environment.
+type Env struct {
+	Bps        float64       // sustained download bandwidth, bytes/s
+	Latency    time.Duration // per-object request latency
+	JitterFrac float64       // multiplicative uniform jitter on transfer time
+}
+
+// Download fetches an object, charging virtual time for the transfer, and
+// returns its content as a host buffer.
+func (s *Store) Download(p *sim.Proc, env Env, name string) (gpu.HostBuffer, error) {
+	o, ok := s.objects[name]
+	if !ok {
+		return gpu.HostBuffer{}, fmt.Errorf("objstore: no object %q", name)
+	}
+	p.Sleep(env.TransferTime(p, o.Bytes))
+	return gpu.HostBuffer{FP: o.FP, Size: o.Bytes}, nil
+}
+
+// TransferTime returns the time to move bytes over this download path,
+// with jitter drawn from the engine's deterministic source.
+func (e Env) TransferTime(p *sim.Proc, bytes int64) time.Duration {
+	d := e.Latency
+	if bytes > 0 && e.Bps > 0 {
+		t := float64(bytes) / e.Bps * float64(time.Second)
+		if e.JitterFrac > 0 {
+			t *= 1 + e.JitterFrac*(2*p.Rand().Float64()-1)
+		}
+		d += time.Duration(t)
+	}
+	return d
+}

@@ -1,0 +1,93 @@
+package objstore
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/sim"
+)
+
+func TestPutAndDownload(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		s := New()
+		obj := s.Put("model.onnx", 100e6)
+		if obj.FP == 0 {
+			t.Fatal("object has no content fingerprint")
+		}
+		env := Env{Bps: 100e6} // 100 MB/s
+		start := p.Now()
+		buf, err := s.Download(p, env, "model.onnx")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.FP != obj.FP || buf.Size != 100e6 {
+			t.Fatalf("downloaded content mismatch: %+v", buf)
+		}
+		if got := p.Now() - start; got != time.Second {
+			t.Fatalf("100MB at 100MB/s took %v, want 1s", got)
+		}
+	})
+}
+
+func TestDownloadMissingObject(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		s := New()
+		if _, err := s.Download(p, Env{Bps: 1e6}, "nope"); err == nil {
+			t.Fatal("missing object downloaded successfully")
+		}
+	})
+}
+
+func TestLatencyCharged(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		s := New()
+		s.Put("tiny", 1)
+		env := Env{Bps: 1e9, Latency: 50 * time.Millisecond}
+		start := p.Now()
+		if _, err := s.Download(p, env, "tiny"); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Now() - start; got < 50*time.Millisecond {
+			t.Fatalf("latency not charged: %v", got)
+		}
+	})
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	times := func(seed int64) []time.Duration {
+		e := sim.NewEngine(seed)
+		var out []time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			env := Env{Bps: 1e6, JitterFrac: 0.3}
+			for i := 0; i < 10; i++ {
+				out = append(out, env.TransferTime(p, 1e6))
+			}
+		})
+		return out
+	}
+	a := times(4)
+	for _, d := range a {
+		if d < 700*time.Millisecond || d > 1300*time.Millisecond {
+			t.Fatalf("jittered 1MB/1MBps transfer = %v, outside ±30%%", d)
+		}
+	}
+	b := times(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different jitter")
+		}
+	}
+}
+
+func TestDistinctObjectsDistinctContent(t *testing.T) {
+	s := New()
+	a := s.Put("a", 100)
+	b := s.Put("b", 100)
+	c := s.Put("a2", 200)
+	if a.FP == b.FP || a.FP == c.FP {
+		t.Fatal("object fingerprints collide")
+	}
+}

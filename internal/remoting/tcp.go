@@ -1,0 +1,125 @@
+package remoting
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dgsf/internal/sim"
+)
+
+// TCP transport: the same framed messages the simulated transport carries,
+// over real sockets. Used by cmd/gpuserver and cmd/dgsf-run to demonstrate
+// guest↔API-server remoting across processes; experiments use the simulated
+// transport.
+//
+// Frame layout (little-endian):
+//
+//	uint32  payload length
+//	int64   logical data bytes accompanying the payload
+//	[]byte  payload
+//
+// frameHeaderLen is the fixed frame header size.
+const frameHeaderLen = 12
+
+// maxFrameLen bounds incoming frames (a corrupted length prefix must not
+// cause a giant allocation).
+const maxFrameLen = 64 << 20
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, payload []byte, data int64) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(data))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrameLen {
+		return nil, 0, fmt.Errorf("remoting: frame of %d bytes exceeds limit", n)
+	}
+	data = int64(binary.LittleEndian.Uint64(hdr[4:12]))
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	return payload, data, nil
+}
+
+// tcpCaller implements Caller over a TCP connection. Calls are strictly
+// request/response, matching the guest library's synchronous use.
+type tcpCaller struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialTCP connects a guest library to a TCP API server endpoint.
+func DialTCP(addr string) (Caller, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpCaller{conn: conn}, nil
+}
+
+// Roundtrip sends one framed call and reads the framed reply. The sim
+// process identity is unused: real sockets pace themselves in wall time.
+func (c *tcpCaller) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, req, reqData); err != nil {
+		return nil, err
+	}
+	payload, _, err := ReadFrame(c.conn)
+	return payload, err
+}
+
+// Close closes the underlying connection.
+func (c *tcpCaller) Close() { _ = c.conn.Close() }
+
+// ServeConn bridges one accepted TCP connection into an API server's inbox
+// on an open-mode engine: a reader goroutine turns frames into Requests, and
+// a simulated writer process streams Responses back to the socket. It
+// returns immediately with a channel that closes when the connection drops;
+// the bridge lives until then.
+func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan struct{} {
+	done := make(chan struct{})
+	replies := sim.NewQueue[Response](e)
+	e.InjectDaemon("tcp-writer", func(p *sim.Proc) {
+		for {
+			r, ok := replies.Recv(p)
+			if !ok {
+				_ = conn.Close()
+				return
+			}
+			if err := WriteFrame(conn, r.Payload, r.RespData); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	})
+	go func() {
+		defer close(done)
+		defer replies.Close()
+		for {
+			payload, data, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			inbox.Send(Request{Payload: payload, ReqData: data, ReplyTo: replies})
+		}
+	}()
+	return done
+}

@@ -1,0 +1,147 @@
+// Package remoting implements the DGSF API remoting protocol: message
+// framing, the transport abstraction between guest libraries and API
+// servers, and the network cost model.
+//
+// Two transports exist. The simulated transport carries calls between
+// simulated processes inside one engine, charging virtual time according to
+// a NetProfile (round-trip latency plus bandwidth-limited transfer of
+// logical payload bytes); every experiment uses it. The TCP transport
+// (tcp.go) carries the same framed messages over real sockets and exists to
+// demonstrate that the remoting stack is a real protocol, not a mock.
+package remoting
+
+import (
+	"time"
+
+	"dgsf/internal/sim"
+)
+
+// CallBatch is the reserved call ID for a batch container message: a batch
+// payload is a sequence of length-prefixed encoded calls executed in order
+// with a single acknowledgement — DGSF's "accumulate locally and send in
+// batches" optimization (§V-C).
+const CallBatch uint16 = 0xFFFF
+
+// NetProfile models the network between a function's execution environment
+// and the GPU server.
+type NetProfile struct {
+	RTT        time.Duration // request/response round-trip latency
+	Bps        float64       // payload bandwidth, bytes/s
+	JitterFrac float64       // multiplicative uniform jitter on transfer time
+}
+
+// OpenFaaSNet models the paper's primary deployment: two p3.8xlarge
+// instances in one placement group with up to 10 Gbps between them.
+func OpenFaaSNet() NetProfile {
+	return NetProfile{RTT: 200 * time.Microsecond, Bps: 1.15e9, JitterFrac: 0.02}
+}
+
+// LambdaNet models the AWS Lambda deployment: the paper attributes its NLP
+// and image-classification slowdowns to lower bandwidth and larger variance.
+func LambdaNet() NetProfile {
+	return NetProfile{RTT: 300 * time.Microsecond, Bps: 0.35e9, JitterFrac: 0.25}
+}
+
+// transferTime returns the virtual time to move bytes over the profile.
+func (n NetProfile) transferTime(rng interface{ Float64() float64 }, bytes int64) time.Duration {
+	if bytes <= 0 || n.Bps <= 0 {
+		return 0
+	}
+	t := float64(bytes) / n.Bps * float64(time.Second)
+	if n.JitterFrac > 0 {
+		t *= 1 + n.JitterFrac*(2*rng.Float64()-1)
+	}
+	return time.Duration(t)
+}
+
+// Caller is the guest-side transport handle: one request/response exchange
+// with the API server. reqData is the logical payload size riding along with
+// the request (e.g. the bytes of a host-to-device memcpy) — it is charged
+// against bandwidth in addition to the encoded message itself.
+type Caller interface {
+	Roundtrip(p *sim.Proc, req []byte, reqData int64) (resp []byte, err error)
+	Close()
+}
+
+// Request is one in-flight call as seen by an API server. Control messages
+// from the GPU server's monitor (e.g. migration requests) ride the same FIFO
+// with Ctrl set and Payload nil, which is what confines them to API call
+// boundaries.
+type Request struct {
+	Payload []byte
+	ReqData int64
+	ReplyTo *sim.Queue[Response]
+	Profile NetProfile // so the server charges response transfer symmetrically
+	Ctrl    any        // non-nil for monitor control messages
+}
+
+// Response carries an encoded reply plus the logical payload bytes flowing
+// back to the guest (e.g. a device-to-host memcpy result).
+type Response struct {
+	Payload  []byte
+	RespData int64
+}
+
+// Listener is the server-side endpoint of the simulated transport.
+type Listener struct {
+	Incoming *sim.Queue[Request]
+}
+
+// NewListener returns a listener bound to engine e.
+func NewListener(e *sim.Engine) *Listener {
+	return &Listener{Incoming: sim.NewQueue[Request](e)}
+}
+
+// simConn implements Caller over a Listener within one engine.
+type simConn struct {
+	e       *sim.Engine
+	l       *Listener
+	profile NetProfile
+	replies *sim.Queue[Response]
+	closed  bool
+}
+
+// Dial connects a guest to an API server's listener with the given network
+// profile.
+func Dial(e *sim.Engine, l *Listener, profile NetProfile) Caller {
+	return &simConn{e: e, l: l, profile: profile, replies: sim.NewQueue[Response](e)}
+}
+
+// Roundtrip sends one encoded call and blocks until the reply arrives,
+// charging latency and bandwidth in virtual time.
+func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	// Outbound: half the RTT plus the transfer time of message + payload.
+	send := c.profile.RTT/2 + c.profile.transferTime(p.Rand(), int64(len(req))+reqData)
+	if send > 0 {
+		p.Sleep(send)
+	}
+	c.l.Incoming.Send(Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile})
+	resp, ok := c.replies.Recv(p)
+	if !ok {
+		return nil, ErrConnClosed
+	}
+	// Inbound: the other half of the RTT plus the response transfer.
+	recv := c.profile.RTT/2 + c.profile.transferTime(p.Rand(), int64(len(resp.Payload))+resp.RespData)
+	if recv > 0 {
+		p.Sleep(recv)
+	}
+	return resp.Payload, nil
+}
+
+// Close tears the connection down; a blocked Roundtrip fails.
+func (c *simConn) Close() {
+	if !c.closed {
+		c.closed = true
+		c.replies.Close()
+	}
+}
+
+// ErrConnClosed reports use of a closed connection.
+var ErrConnClosed = connErr("remoting: connection closed")
+
+type connErr string
+
+func (e connErr) Error() string { return string(e) }

@@ -1,0 +1,191 @@
+package remoting
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"dgsf/internal/sim"
+)
+
+func TestSimRoundtripLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	var elapsed time.Duration
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				req.ReplyTo.Send(Response{Payload: req.Payload})
+			}
+		})
+		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+		start := p.Now()
+		resp, err := conn.Roundtrip(p, []byte("ping"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp, []byte("ping")) {
+			t.Fatalf("echo = %q", resp)
+		}
+		elapsed = p.Now() - start
+	})
+	if elapsed != 100*time.Microsecond {
+		t.Fatalf("roundtrip took %v, want exactly the RTT (100µs)", elapsed)
+	}
+}
+
+func TestSimRoundtripChargesBandwidth(t *testing.T) {
+	e := sim.NewEngine(1)
+	var elapsed time.Duration
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				req.ReplyTo.Send(Response{Payload: []byte("ok")})
+			}
+		})
+		// 1 MB/s, no jitter: 1 MB of request payload = 1 s.
+		conn := Dial(e, l, NetProfile{Bps: 1e6})
+		start := p.Now()
+		if _, err := conn.Roundtrip(p, []byte("x"), 1e6-1-2); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = p.Now() - start
+	})
+	if elapsed != time.Second {
+		t.Fatalf("1MB at 1MB/s took %v, want 1s", elapsed)
+	}
+}
+
+func TestSimRoundtripJitterBounded(t *testing.T) {
+	e := sim.NewEngine(9)
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				req.ReplyTo.Send(Response{Payload: []byte("ok")})
+			}
+		})
+		prof := NetProfile{Bps: 1e6, JitterFrac: 0.5}
+		conn := Dial(e, l, prof)
+		for i := 0; i < 20; i++ {
+			start := p.Now()
+			if _, err := conn.Roundtrip(p, make([]byte, 1000), 0); err != nil {
+				t.Fatal(err)
+			}
+			got := p.Now() - start
+			// 1002 bytes out + 2 bytes back at 1 MB/s nominal, ±50%.
+			lo, hi := 400*time.Microsecond, 1700*time.Microsecond
+			if got < lo || got > hi {
+				t.Fatalf("jittered roundtrip %v outside [%v, %v]", got, lo, hi)
+			}
+		}
+	})
+}
+
+func TestClosedConnFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		conn := Dial(e, l, NetProfile{})
+		conn.Close()
+		if _, err := conn.Roundtrip(p, []byte("x"), 0); err != ErrConnClosed {
+			t.Fatalf("Roundtrip on closed conn = %v, want ErrConnClosed", err)
+		}
+	})
+}
+
+func TestServerClosePendingRoundtripFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		var conn Caller
+		conn = Dial(e, l, NetProfile{})
+		p.Spawn("closer", func(p *sim.Proc) {
+			req, _ := l.Incoming.Recv(p)
+			req.ReplyTo.Close()
+		})
+		if _, err := conn.Roundtrip(p, []byte("x"), 0); err != ErrConnClosed {
+			t.Fatalf("Roundtrip with closed reply queue = %v, want ErrConnClosed", err)
+		}
+	})
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello dgsf")
+	if err := WriteFrame(&buf, payload, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got, data, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || data != 12345 {
+		t.Fatalf("frame round trip = (%q, %d)", got, data)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	// A real TCP connection into an open-mode engine hosting an echo
+	// service, exercising DialTCP + ServeConn end to end.
+	e := sim.NewOpenEngine(1)
+	defer e.Stop()
+	inbox := sim.NewQueue[Request](e)
+	e.InjectDaemon("echo", func(p *sim.Proc) {
+		for {
+			req, ok := inbox.Recv(p)
+			if !ok {
+				return
+			}
+			req.ReplyTo.Send(Response{Payload: append([]byte("re:"), req.Payload...), RespData: req.ReqData})
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ServeConn(e, conn, inbox)
+	}()
+	caller, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := caller.Roundtrip(nil, []byte("ping"), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "re:ping" {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package wire implements the binary encoding used by DGSF's API remoting
+// protocol. The per-call message layouts are produced by cmd/apigen, which
+// generates Encode/Decode pairs over this package's primitives — mirroring
+// the paper's approach of generating both sides of the remoting system from
+// a single list of APIs (§VI).
+//
+// All integers are little-endian and fixed-width; variable-length values are
+// length-prefixed with a uint32. Decoding uses a sticky error so generated
+// code can decode whole structs without per-field error checks.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+)
+
+// ErrTruncated reports a message shorter than its declared contents.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOversized reports a length prefix beyond sane limits.
+var ErrOversized = errors.New("wire: oversized field")
+
+// maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
+// length prefix from causing huge allocations.
+const maxSliceLen = 1 << 20
+
+// Encoder appends binary values to a buffer. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// U8 appends a byte.
+func (e *Encoder) U8(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U16 appends a uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// I32 appends an int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// U64 appends a uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as 64 bits.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Dur appends a time.Duration as nanoseconds.
+func (e *Encoder) Dur(v time.Duration) { e.I64(int64(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(v string) {
+	e.U32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Raw appends bytes verbatim, with no length prefix. Used for batch bodies
+// whose entries are already individually prefixed.
+func (e *Encoder) Raw(v []byte) { e.buf = append(e.buf, v...) }
+
+// BytesField appends a length-prefixed byte slice.
+func (e *Encoder) BytesField(v []byte) {
+	e.U32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Strs appends a length-prefixed string slice.
+func (e *Encoder) Strs(v []string) {
+	e.U32(uint32(len(v)))
+	for _, s := range v {
+		e.Str(s)
+	}
+}
+
+// U64s appends a length-prefixed uint64 slice.
+func (e *Encoder) U64s(v []uint64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+// Vec3 appends a [3]int.
+func (e *Encoder) Vec3(v [3]int) {
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// HostBuf appends a gpu.HostBuffer.
+func (e *Encoder) HostBuf(v gpu.HostBuffer) {
+	e.U64(v.FP)
+	e.I64(v.Size)
+}
+
+// Prop appends a cuda.DeviceProp.
+func (e *Encoder) Prop(v cuda.DeviceProp) {
+	e.Str(v.Name)
+	e.I64(v.TotalMem)
+	e.Int(v.SMs)
+	e.Int(v.ClockMHz)
+	e.Int(v.Major)
+	e.Int(v.Minor)
+}
+
+// Attrs appends a cuda.PtrAttributes.
+func (e *Encoder) Attrs(v cuda.PtrAttributes) {
+	e.Int(v.Device)
+	e.I64(v.Size)
+	e.Bool(v.IsDevice)
+}
+
+// Launch appends a cuda.LaunchParams.
+func (e *Encoder) Launch(v cuda.LaunchParams) {
+	e.U64(uint64(v.Fn))
+	e.Vec3(v.Grid)
+	e.Vec3(v.Block)
+	e.U64(uint64(v.Stream))
+	e.Dur(v.Duration)
+	e.U32(uint32(len(v.Mutates)))
+	for _, m := range v.Mutates {
+		e.U64(uint64(m))
+	}
+}
+
+// DevPtrs appends a []cuda.DevPtr.
+func (e *Encoder) DevPtrs(v []cuda.DevPtr) {
+	e.U32(uint32(len(v)))
+	for _, m := range v {
+		e.U64(uint64(m))
+	}
+}
+
+// FnPtrs appends a []cuda.FnPtr.
+func (e *Encoder) FnPtrs(v []cuda.FnPtr) {
+	e.U32(uint32(len(v)))
+	for _, m := range v {
+		e.U64(uint64(m))
+	}
+}
+
+// Decoder reads binary values from a buffer with a sticky error.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (d *Decoder) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U16 reads a uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// I32 reads an int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Dur reads a time.Duration.
+func (d *Decoder) Dur() time.Duration { return time.Duration(d.I64()) }
+
+func (d *Decoder) sliceLen() int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n > maxSliceLen {
+		d.err = ErrOversized
+		return 0
+	}
+	return n
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.sliceLen()
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// BytesField reads a length-prefixed byte slice.
+func (d *Decoder) BytesField() []byte {
+	n := d.sliceLen()
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Strs reads a length-prefixed string slice.
+func (d *Decoder) Strs() []string {
+	n := d.sliceLen()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Str())
+	}
+	return out
+}
+
+// U64s reads a length-prefixed uint64 slice.
+func (d *Decoder) U64s() []uint64 {
+	n := d.sliceLen()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.U64())
+	}
+	return out
+}
+
+// Vec3 reads a [3]int.
+func (d *Decoder) Vec3() [3]int {
+	var v [3]int
+	for i := range v {
+		v[i] = d.Int()
+	}
+	return v
+}
+
+// HostBuf reads a gpu.HostBuffer.
+func (d *Decoder) HostBuf() gpu.HostBuffer {
+	return gpu.HostBuffer{FP: d.U64(), Size: d.I64()}
+}
+
+// Prop reads a cuda.DeviceProp.
+func (d *Decoder) Prop() cuda.DeviceProp {
+	return cuda.DeviceProp{
+		Name:     d.Str(),
+		TotalMem: d.I64(),
+		SMs:      d.Int(),
+		ClockMHz: d.Int(),
+		Major:    d.Int(),
+		Minor:    d.Int(),
+	}
+}
+
+// Attrs reads a cuda.PtrAttributes.
+func (d *Decoder) Attrs() cuda.PtrAttributes {
+	return cuda.PtrAttributes{Device: d.Int(), Size: d.I64(), IsDevice: d.Bool()}
+}
+
+// Launch reads a cuda.LaunchParams.
+func (d *Decoder) Launch() cuda.LaunchParams {
+	lp := cuda.LaunchParams{
+		Fn:       cuda.FnPtr(d.U64()),
+		Grid:     d.Vec3(),
+		Block:    d.Vec3(),
+		Stream:   cuda.StreamHandle(d.U64()),
+		Duration: d.Dur(),
+	}
+	n := d.sliceLen()
+	if d.err != nil {
+		return lp
+	}
+	lp.Mutates = make([]cuda.DevPtr, 0, n)
+	for i := 0; i < n; i++ {
+		lp.Mutates = append(lp.Mutates, cuda.DevPtr(d.U64()))
+	}
+	return lp
+}
+
+// DevPtrs reads a []cuda.DevPtr.
+func (d *Decoder) DevPtrs() []cuda.DevPtr {
+	n := d.sliceLen()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]cuda.DevPtr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cuda.DevPtr(d.U64()))
+	}
+	return out
+}
+
+// FnPtrs reads a []cuda.FnPtr.
+func (d *Decoder) FnPtrs() []cuda.FnPtr {
+	n := d.sliceLen()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]cuda.FnPtr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cuda.FnPtr(d.U64()))
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package sim
+
+import "time"
+
+// Cond is a condition variable for simulated processes. Unlike sync.Cond it
+// carries no external mutex: the engine lock serializes all state changes,
+// and waiters re-check their predicate after waking, as usual.
+type Cond struct {
+	e       *Engine
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p        *Proc
+	t        *timer
+	timedOut bool
+	signaled bool
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) { c.wait(p, -1) }
+
+// WaitTimeout blocks p until it is signaled or d elapses. It reports whether
+// the wait timed out.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
+	if d <= 0 {
+		return true
+	}
+	return c.wait(p, d)
+}
+
+func (c *Cond) wait(p *Proc, d time.Duration) bool {
+	e := c.e
+	e.mu.Lock()
+	e.checkRunningLocked(p, "Cond.Wait")
+	w := &condWaiter{p: p}
+	if d >= 0 {
+		w.t = e.afterLocked(d, func() {
+			if w.signaled {
+				return
+			}
+			w.timedOut = true
+			c.remove(w)
+			e.readyLocked(p)
+		})
+	}
+	c.waiters = append(c.waiters, w)
+	e.blockLocked(p, "cond")
+	e.mu.Unlock()
+	p.park()
+	return w.timedOut
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every waiter. Safe to call from simulated processes and,
+// in open mode, from external goroutines.
+func (c *Cond) Broadcast() {
+	e := c.e
+	e.mu.Lock()
+	for _, w := range c.waiters {
+		w.signaled = true
+		if w.t != nil {
+			w.t.cancelLocked()
+		}
+		e.readyLocked(w.p)
+	}
+	c.waiters = nil
+	e.maybeDispatchLocked()
+	e.mu.Unlock()
+}
+
+// Signal wakes the longest-waiting waiter, if any.
+func (c *Cond) Signal() {
+	e := c.e
+	e.mu.Lock()
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.signaled = true
+		if w.t != nil {
+			w.t.cancelLocked()
+		}
+		e.readyLocked(w.p)
+	}
+	e.maybeDispatchLocked()
+	e.mu.Unlock()
+}
+
+// Queue is an unbounded FIFO channel between simulated processes. Send never
+// blocks and is safe to call from external goroutines (open mode); Recv
+// blocks the calling process until an item or Close arrives.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*queueWaiter[T]
+	closed  bool
+}
+
+type queueWaiter[T any] struct {
+	p        *Proc
+	v        T
+	ok       bool
+	timedOut bool
+	t        *timer
+	handed   bool
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
+
+// Send enqueues v, waking the longest-blocked receiver if one exists.
+func (q *Queue[T]) Send(v T) {
+	e := q.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.closed {
+		panic("sim: send on closed Queue")
+	}
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.handed {
+			continue
+		}
+		w.v, w.ok, w.handed = v, true, true
+		if w.t != nil {
+			w.t.cancelLocked()
+		}
+		e.readyLocked(w.p)
+		e.maybeDispatchLocked()
+		return
+	}
+	q.items = append(q.items, v)
+	e.maybeDispatchLocked()
+}
+
+// Close marks the queue closed. Blocked and future receivers observe ok=false
+// once the queue drains. Sending after Close panics.
+func (q *Queue[T]) Close() {
+	e := q.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		if w.handed {
+			continue
+		}
+		w.handed = true
+		if w.t != nil {
+			w.t.cancelLocked()
+		}
+		e.readyLocked(w.p)
+	}
+	q.waiters = nil
+	e.maybeDispatchLocked()
+}
+
+// Recv dequeues the next item, blocking until one is available. ok is false
+// if the queue was closed and drained.
+func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
+	v, ok, _ = q.recv(p, -1)
+	return v, ok
+}
+
+// RecvTimeout is Recv with a virtual-time deadline.
+func (q *Queue[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	return q.recv(p, d)
+}
+
+// TryRecv dequeues the next item without blocking.
+func (q *Queue[T]) TryRecv() (v T, ok bool) {
+	e := q.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	return v, false
+}
+
+func (q *Queue[T]) recv(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	e := q.e
+	e.mu.Lock()
+	e.checkRunningLocked(p, "Queue.Recv")
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		e.mu.Unlock()
+		return v, true, false
+	}
+	if q.closed {
+		e.mu.Unlock()
+		return v, false, false
+	}
+	if d == 0 {
+		e.mu.Unlock()
+		return v, false, true
+	}
+	w := &queueWaiter[T]{p: p}
+	if d > 0 {
+		w.t = e.afterLocked(d, func() {
+			if w.handed {
+				return
+			}
+			w.handed = true
+			w.timedOut = true
+			e.readyLocked(p)
+		})
+	}
+	q.waiters = append(q.waiters, w)
+	e.blockLocked(p, "queue")
+	e.mu.Unlock()
+	p.park()
+	return w.v, w.ok, w.timedOut
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	return len(q.items)
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup.
+type Semaphore struct {
+	e       *Engine
+	avail   int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{e: e, avail: n}
+}
+
+// Acquire blocks p until n permits are available, then takes them. Waiters
+// are served strictly in arrival order.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	e := s.e
+	e.mu.Lock()
+	e.checkRunningLocked(p, "Semaphore.Acquire")
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		e.mu.Unlock()
+		return
+	}
+	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	e.blockLocked(p, "semaphore")
+	e.mu.Unlock()
+	p.park()
+}
+
+// TryAcquire takes n permits if available without blocking.
+func (s *Semaphore) TryAcquire(n int) bool {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes waiters whose requests now fit.
+func (s *Semaphore) Release(n int) {
+	e := s.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.avail += n
+	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		e.readyLocked(w.p)
+	}
+	e.maybeDispatchLocked()
+}
+
+// Available returns the current permit count.
+func (s *Semaphore) Available() int {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	return s.avail
+}
+
+// WaitGroup waits for a collection of simulated activities to finish.
+type WaitGroup struct {
+	e    *Engine
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns an empty wait group bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{e: e, cond: NewCond(e)} }
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.e.mu.Lock()
+	wg.n += delta
+	n := wg.n
+	wg.e.mu.Unlock()
+	if n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if n == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for {
+		wg.e.mu.Lock()
+		n := wg.n
+		wg.e.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		wg.cond.Wait(p)
+	}
+}

@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/gpu"
+	"dgsf/internal/native"
+	"dgsf/internal/sim"
+)
+
+func TestCatalog(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("All() = %d specs, want 6", len(all))
+	}
+	small := Smaller()
+	if len(small) != 4 {
+		t.Fatalf("Smaller() = %d specs, want 4", len(small))
+	}
+	for _, s := range small {
+		if s.Name == "covidctnet" || s.Name == "facedetection" {
+			t.Errorf("Smaller() contains the large-footprint workload %s", s.Name)
+		}
+	}
+	for _, s := range all {
+		if _, err := ByName(s.Name); err != nil {
+			t.Errorf("ByName(%s): %v", s.Name, err)
+		}
+		if s.PeakMem > s.MemLimit {
+			t.Errorf("%s: peak memory (%d) exceeds declared limit (%d)", s.Name, s.PeakMem, s.MemLimit)
+		}
+		if s.WorkBuf > s.MemLimit {
+			t.Errorf("%s: working set (%d) exceeds declared limit (%d)", s.Name, s.WorkBuf, s.MemLimit)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestPaperMemoryFootprints(t *testing.T) {
+	// Table II's peak memory column, verbatim.
+	want := map[string]int64{
+		"kmeans":             323 * MB,
+		"covidctnet":         7802 * MB,
+		"facedetection":      13194 * MB,
+		"faceidentification": 3514 * MB,
+		"nlp":                4028 * MB,
+		"resnet":             7650 * MB,
+	}
+	for name, mem := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.PeakMem != mem {
+			t.Errorf("%s peak = %d MB, want %d MB", name, s.PeakMem>>20, mem>>20)
+		}
+	}
+}
+
+// runNative executes a spec against a fresh native backend and returns the
+// phases plus the device (for memory checks).
+func runNative(t *testing.T, seed int64, spec *Spec) (Phases, *gpu.Device) {
+	t.Helper()
+	var phases Phases
+	var dev *gpu.Device
+	e := sim.NewEngine(seed)
+	e.Run("wl", func(p *sim.Proc) {
+		dev = gpu.New(e, gpu.V100Config(0))
+		rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.DefaultCosts())
+		api := native.New(rt, cudalibs.DefaultCosts())
+		start := p.Now()
+		if err := api.Hello(p, spec.Name, spec.MemLimit); err != nil {
+			t.Fatal(err)
+		}
+		phases.Init = p.Now() - start
+		if err := spec.RunBody(p, api, &phases); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	})
+	return phases, dev
+}
+
+func TestRunBodyAllWorkloadsNative(t *testing.T) {
+	for _, spec := range All() {
+		phases, dev := runNative(t, 1, spec)
+		if phases.Init < 2800*time.Millisecond {
+			t.Errorf("%s: init = %v, want >= 2.8s", spec.Name, phases.Init)
+		}
+		if phases.Process <= 0 || phases.Load <= 0 {
+			t.Errorf("%s: empty phases %+v", spec.Name, phases)
+		}
+		// The function released its working set; only the runtime context
+		// and any library handles remain.
+		if used := dev.UsedBytes(); used > 2<<30 {
+			t.Errorf("%s: %d MB still allocated after run", spec.Name, used>>20)
+		}
+	}
+}
+
+func TestRunBodyDeterministic(t *testing.T) {
+	spec := FaceIdentification()
+	a, _ := runNative(t, 7, spec)
+	b, _ := runNative(t, 7, spec)
+	if a != b {
+		t.Fatalf("same seed produced different phases: %+v vs %+v", a, b)
+	}
+}
+
+func TestCUDAOnlyWorkloadUsesNoLibraries(t *testing.T) {
+	spec := KMeans()
+	if spec.UsesDNN || spec.UsesBLAS {
+		t.Fatal("kmeans must be pure CUDA")
+	}
+	// It must still run to completion.
+	phases, _ := runNative(t, 1, spec)
+	if phases.Process <= 0 {
+		t.Fatal("kmeans produced no processing time")
+	}
+}
+
+func TestFunctionAdapter(t *testing.T) {
+	spec := KMeans()
+	fn := spec.Function()
+	if fn.Name != spec.Name || fn.GPUMem != spec.MemLimit || fn.DownloadBytes != spec.DownloadBytes {
+		t.Fatalf("adapter mismatch: %+v", fn)
+	}
+	if fn.Run == nil {
+		t.Fatal("adapter has no body")
+	}
+}
+
+func TestWorkloadDurationsAreCalibrated(t *testing.T) {
+	// Native totals (incl. a nominal download at 280 MB/s) must stay within
+	// the Table II ballpark; this guards the calibration against parameter
+	// drift when the model evolves.
+	want := map[string]time.Duration{
+		"kmeans":             14 * time.Second,
+		"covidctnet":         25100 * time.Millisecond,
+		"facedetection":      18500 * time.Millisecond,
+		"faceidentification": 13400 * time.Millisecond,
+		"nlp":                34300 * time.Millisecond,
+		"resnet":             26700 * time.Millisecond,
+	}
+	for _, spec := range All() {
+		phases, _ := runNative(t, 3, spec)
+		download := time.Duration(float64(spec.DownloadBytes) / 280e6 * float64(time.Second))
+		total := download + phases.Total()
+		target := want[spec.Name]
+		if total < time.Duration(float64(target)*0.75) || total > time.Duration(float64(target)*1.25) {
+			t.Errorf("%s: native total %v outside ±25%% of paper's %v", spec.Name, total, target)
+		}
+	}
+}
+
+func TestCovidTransientSpikeRequiresWholeGPU(t *testing.T) {
+	// CovidCTNet's allocators spike to ~13.5 GB: running it with a memory
+	// limit matching only its steady-state peak must fail with OOM, which
+	// is exactly why the paper oversizes the function's GPU request (§VII).
+	spec := CovidCTNet()
+	if spec.TransientBytes == 0 {
+		t.Fatal("covid transient spike not modeled")
+	}
+	e := sim.NewEngine(1)
+	e.Run("wl", func(p *sim.Proc) {
+		dev := gpu.New(e, gpu.V100Config(0))
+		rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.DefaultCosts())
+		api := native.New(rt, cudalibs.DefaultCosts())
+		if err := api.Hello(p, spec.Name, spec.MemLimit); err != nil {
+			t.Fatal(err)
+		}
+		// The full 16 GB device accommodates the spike natively.
+		if err := spec.RunBody(p, api, nil); err != nil {
+			t.Fatalf("covid with full GPU failed: %v", err)
+		}
+	})
+	// Against a DGSF API server, the declared limit is enforced: an
+	// 8 GB declaration (enough for the steady-state working set) fails.
+	// This is covered end-to-end in internal/apiserver's memory-limit
+	// tests; here we check the working set alone still fits 8 GB so the
+	// failure is attributable to the spike.
+	if spec.WorkBuf > 8<<30 {
+		t.Fatal("working set alone exceeds 8GB; spike test would be vacuous")
+	}
+}
