@@ -129,6 +129,10 @@ var spec = []Call{
 	{Name: "BlasDestroy", Doc: "mirrors cublasDestroy", Req: []Field{{"H", "blas"}}, Class: "batchable"},
 	{Name: "BlasSetStream", Doc: "mirrors cublasSetStream", Req: []Field{{"H", "blas"}, {"Stream", "stream"}}, Class: "batchable"},
 	{Name: "BlasGemm", Doc: "mirrors cublasSgemm with the given nominal duration", Req: []Field{{"H", "blas"}, {"Dur", "dur"}, {"Bufs", "devptrs"}}, Class: "remote"},
+
+	// --- model cache (DGSF extension; internal/modelcache) ---
+	{Name: "ModelAttach", Doc: "asks the API server for a cached copy of the session function's model working set; Tier reports where it was found (0 miss, 1 host-staged, 2 GPU-resident) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Tier", "int"}}, Class: "remote"},
+	{Name: "ModelPersist", Doc: "marks a session allocation as the function's model working set, a candidate for retention in the model cache when the session ends; without a cache it behaves like cudaFree", Req: []Field{{"Ptr", "devptr"}}, Class: "remote"},
 }
 
 // descriptorSpecies expands into Create/Set/Destroy triples, mirroring the

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale)")
+	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.Int("runs", 3, "runs to average for table2/table5")
 	csvDir := flag.String("csv", "", "directory to write figure time-series as CSV (fig7, fig8)")
@@ -60,11 +60,12 @@ func main() {
 	run("sweep", func() { sweep(*seed) })
 	run("rtt", func() { rtt(*seed) })
 	run("scale", func() { scale(*seed) })
+	run("cache", func() { cache(*seed) })
 
 	if *exp != "all" {
 		switch *exp {
 		case "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6", "fig7", "table5", "fig8",
-			"sched", "sweep", "rtt", "scale":
+			"sched", "sweep", "rtt", "scale", "cache":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -307,4 +308,28 @@ func scale(seed int64) {
 	for _, r := range experiments.ScaleOut(seed) {
 		fmt.Printf("%d server(s), %-12s e2e=%-8s sum=%s\n", r.Servers, r.Pick, s(r.ProviderE2E), s(r.E2ESum))
 	}
+}
+
+func cache(seed int64) {
+	header("Extension: model cache (GPU-resident + host-staged), cold vs warm")
+	fmt.Printf("%-20s %-10s %10s %10s %10s\n", "workload", "state", "e2e", "download", "model-load")
+	for _, r := range experiments.CacheColdWarm(seed) {
+		for _, m := range []struct {
+			name string
+			pt   experiments.CachePoint
+		}{{"cold", r.Cold}, {"warm-host", r.WarmHost}, {"warm-gpu", r.WarmGPU}} {
+			fmt.Printf("%-20s %-10s %10s %10s %10s\n", r.Workload, m.name, s(m.pt.E2E), s(m.pt.Download), s(m.pt.Load))
+		}
+	}
+	fmt.Println("  (warm-gpu adopts the GPU-resident working set: no model download, no load phase)")
+	fmt.Println()
+	header("Extension: model cache under mixed load (SW mix, 4 GPUs, 2 servers/GPU)")
+	for _, r := range experiments.CacheUnderLoad(seed) {
+		st := r.Stats
+		fmt.Printf("%-10s e2e=%-8s sum=%-9s attach gpu/host/miss=%d/%d/%d (gpu hit rate %.0f%%)\n",
+			r.Policy, s(r.ProviderE2E), s(r.E2ESum), st.DeviceHits, st.HostHits, st.Misses, 100*st.DeviceHitRate())
+		fmt.Printf("%-10s pins=%d evictions=%d swapped-out=%dMB download-cache hits=%d/%d\n",
+			"", st.Pins, st.DeviceEvictions, st.SwapOutBytes>>20, r.DownloadHits, r.Invocations)
+	}
+	fmt.Println("  (locality placement routes repeats to servers already holding their model)")
 }

@@ -43,6 +43,9 @@ const (
 	BestFit  Placement = "best-fit"
 	WorstFit Placement = "worst-fit"
 	FirstFit Placement = "first-fit"
+	// Locality prefers API servers whose model cache already holds the
+	// function's model; it implies ModelCache and falls back to best-fit.
+	Locality Placement = "locality"
 )
 
 // Environment selects the execution-environment profile functions run in.
@@ -63,6 +66,10 @@ type Config struct {
 	Migration        bool        // let the monitor migrate API servers
 	Environment      Environment // default OpenFaaS
 	NoPrewarm        bool        // disable runtime/handle pre-initialization
+	// ModelCache enables the per-GPU-server model cache: repeat invocations
+	// skip the model download (host-staged tier) and, when the working set
+	// is still GPU-resident, the model load phase. Implied by Locality.
+	ModelCache bool
 }
 
 // Cluster is a simulated DGSF deployment: one GPU server and a serverless
@@ -105,8 +112,13 @@ func (c *Cluster) Simulate(body func(s *Session)) {
 			gcfg.Policy = gpuserver.WorstFit
 		case FirstFit:
 			gcfg.Policy = gpuserver.FirstFit
+		case Locality:
+			gcfg.Policy = gpuserver.PolicyLocality
 		default:
 			gcfg.Policy = gpuserver.BestFit
+		}
+		if c.cfg.ModelCache || c.cfg.Placement == Locality {
+			gcfg.Cache.Enable = true
 		}
 		gs := gpuserver.New(e, gcfg)
 		gs.Start(p)
@@ -209,6 +221,34 @@ func (s *Session) Utilization() []float64 {
 
 // Migrations returns how many API-server migrations the monitor performed.
 func (s *Session) Migrations() int { return s.gs.Migrations() }
+
+// CacheStats summarizes the model cache's activity so far. Zero-valued
+// when the deployment runs without a cache.
+type CacheStats struct {
+	GPUHits    int // sessions that adopted a GPU-resident working set
+	HostHits   int // sessions that restaged the working set from host memory
+	Misses     int // sessions that loaded their model from scratch
+	Evictions  int // GPU-resident working sets demoted to the host tier
+	HitRate    float64
+	GPUHitRate float64
+}
+
+// CacheStats reports the model cache's counters, all zero without a cache.
+func (s *Session) CacheStats() CacheStats {
+	c := s.gs.Cache()
+	if c == nil {
+		return CacheStats{}
+	}
+	st := c.Stats()
+	return CacheStats{
+		GPUHits:    st.DeviceHits,
+		HostHits:   st.HostHits,
+		Misses:     st.Misses,
+		Evictions:  st.DeviceEvictions,
+		HitRate:    st.HitRate(),
+		GPUHitRate: st.DeviceHitRate(),
+	}
+}
 
 // Summary aggregates all finished invocations by workload name.
 func (s *Session) Summary() map[string]Aggregate {

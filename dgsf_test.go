@@ -27,6 +27,60 @@ func TestQuickstartInvoke(t *testing.T) {
 	}
 }
 
+func TestQuickstartAllWorkloads(t *testing.T) {
+	// The quickstart path, per workload: every catalog entry must run
+	// end-to-end through the public facade (guest library, remoting, API
+	// server, simulated GPU).
+	c := NewCluster(Config{Seed: 1, GPUs: 4})
+	c.Simulate(func(s *Session) {
+		for _, name := range Workloads() {
+			res, err := s.Invoke(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.E2E <= 0 || res.Exec <= 0 {
+				t.Fatalf("%s: empty result %+v", name, res)
+			}
+		}
+	})
+}
+
+func TestModelCacheFacade(t *testing.T) {
+	c := NewCluster(Config{Seed: 1, GPUs: 1, Placement: Locality})
+	var cold, warm Result
+	var st CacheStats
+	c.Simulate(func(s *Session) {
+		var err error
+		if cold, err = s.Invoke("faceidentification"); err != nil {
+			t.Fatal(err)
+		}
+		if warm, err = s.Invoke("faceidentification"); err != nil {
+			t.Fatal(err)
+		}
+		st = s.CacheStats()
+	})
+	if warm.E2E >= cold.E2E {
+		t.Errorf("warm invocation (%v) not faster than cold (%v)", warm.E2E, cold.E2E)
+	}
+	if warm.Download >= cold.Download {
+		t.Errorf("warm download (%v) not below cold (%v)", warm.Download, cold.Download)
+	}
+	if st.Misses != 1 || st.GPUHits != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss then 1 GPU hit", st)
+	}
+
+	// Without a cache the stats stay zero.
+	off := NewCluster(Config{Seed: 1, GPUs: 1})
+	off.Simulate(func(s *Session) {
+		if _, err := s.Invoke("faceidentification"); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.CacheStats(); got != (CacheStats{}) {
+			t.Errorf("cacheless deployment reported stats %+v", got)
+		}
+	})
+}
+
 func TestUnknownWorkload(t *testing.T) {
 	c := NewCluster(Config{Seed: 1})
 	c.Simulate(func(s *Session) {

@@ -1,0 +1,217 @@
+package apiserver
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/gpu"
+	"dgsf/internal/modelcache"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+func cacheCfg(m *modelcache.Manager) Config {
+	cfg := fastCfg()
+	cfg.Cache = m
+	return cfg
+}
+
+// loadModel opens a session, uploads a model into a working buffer and
+// persists it, closing the session. Returns the working buffer's address.
+func loadModel(t *testing.T, p *sim.Proc, r *rig, fnID string, bytes int64) cuda.DevPtr {
+	t.Helper()
+	if err := r.lib.Hello(p, fnID, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	ptr, size, _, err := r.lib.ModelAttach(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr == 0 || size < bytes {
+		ptr, err = r.lib.Malloc(p, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.lib.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 7, Size: bytes}, bytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.lib.ModelPersist(p, ptr); err != nil {
+		t.Fatal(err)
+	}
+	r.lib.FlushBatch(p)
+	if err := r.lib.Bye(p); err != nil {
+		t.Fatal(err)
+	}
+	return ptr
+}
+
+func TestModelPersistPinsAndAttachAdopts(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		m := modelcache.NewManager(modelcache.Config{Enable: true})
+		r := newRig(e, p, 1, cacheCfg(m), 0)
+		const bytes = 256 << 20
+
+		ptr := loadModel(t, p, r, "fn", bytes)
+		if fn, got, ok := m.PinnedFn(0); !ok || fn != "fn" || got != bytes {
+			t.Fatalf("after Bye: pin = (%q, %d, %v), want (fn, %d, true)", fn, got, ok, int64(bytes))
+		}
+
+		// Same function again: the attach adopts the pinned allocation at
+		// the same virtual address, instantly.
+		if err := r.lib.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		got, size, tier, err := r.lib.ModelAttach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ptr || size != bytes || tier != modelcache.TierDevice {
+			t.Fatalf("ModelAttach = (%v, %d, tier %d), want (%v, %d, tier %d)", got, size, tier, ptr, int64(bytes), modelcache.TierDevice)
+		}
+		if took := p.Now() - start; took > 10*time.Millisecond {
+			t.Fatalf("device-tier attach took %v, should be near-instant", took)
+		}
+		// The adopted allocation is fully usable.
+		if err := r.lib.Memset(p, got, 0, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.lib.ModelPersist(p, got); err != nil {
+			t.Fatal(err)
+		}
+		r.lib.FlushBatch(p)
+		if err := r.lib.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := m.PinnedFn(0); !ok {
+			t.Fatal("model not re-pinned after second session")
+		}
+		st := m.Stats()
+		if st.DeviceHits != 1 || st.Misses != 1 || st.Pins != 2 {
+			t.Fatalf("stats = %+v, want 1 device hit, 1 miss, 2 pins", st)
+		}
+	})
+}
+
+func TestForeignHelloEvictsPinToHostTier(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		m := modelcache.NewManager(modelcache.Config{Enable: true})
+		r := newRig(e, p, 1, cacheCfg(m), 0)
+		const bytes = 128 << 20
+
+		oldPtr := loadModel(t, p, r, "fn1", bytes)
+
+		// A different function takes the server: the pin must not survive
+		// on-device (single-tenant pinning) — it demotes to the host tier.
+		if err := r.lib.Hello(p, "fn2", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		if ptr, _, tier, err := r.lib.ModelAttach(p); err != nil || ptr != 0 || tier != modelcache.TierMiss {
+			t.Fatalf("fn2 attach = (%v, tier %d, %v), want a miss", ptr, tier, err)
+		}
+		r.lib.FlushBatch(p)
+		if err := r.lib.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := m.PinnedFn(0); ok {
+			t.Fatal("fn1 pin survived a foreign session")
+		}
+		if !m.Host().Peek(modelcache.StateKey("fn1")) {
+			t.Fatal("evicted model not staged to the host tier")
+		}
+		if m.Stats().SwapOutBytes != bytes {
+			t.Fatalf("swap-out bytes = %d, want %d", m.Stats().SwapOutBytes, int64(bytes))
+		}
+
+		// fn1 returns: host-tier hit — a *fresh* allocation is restaged;
+		// the evicted device pointer is never handed back stale.
+		if err := r.lib.Hello(p, "fn1", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, size, tier, err := r.lib.ModelAttach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != modelcache.TierHost || size != bytes {
+			t.Fatalf("fn1 re-attach = tier %d size %d, want host tier %d size %d", tier, size, modelcache.TierHost, int64(bytes))
+		}
+		if ptr == oldPtr {
+			t.Fatal("host-tier attach returned the evicted device pointer")
+		}
+		if err := r.lib.Memset(p, ptr, 0, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		r.lib.FlushBatch(p)
+		if err := r.lib.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestEvictModelRequestFreesIdlePin(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		m := modelcache.NewManager(modelcache.Config{Enable: true})
+		r := newRig(e, p, 1, cacheCfg(m), 0)
+		loadModel(t, p, r, "fn", 64<<20)
+		if _, _, ok := m.PinnedFn(0); !ok {
+			t.Fatal("no pin to evict")
+		}
+		done := sim.NewQueue[struct{}](e)
+		r.srv.Inbox.Send(remoting.Request{Ctrl: EvictModelRequest{Done: done}})
+		done.Recv(p)
+		if _, _, ok := m.PinnedFn(0); ok {
+			t.Fatal("pin survived EvictModelRequest")
+		}
+		if !m.Host().Peek(modelcache.StateKey("fn")) {
+			t.Fatal("evicted model not in the host tier")
+		}
+	})
+}
+
+func TestPinnedModelMigratesWithServer(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		m := modelcache.NewManager(modelcache.Config{Enable: true})
+		r := newRig(e, p, 2, cacheCfg(m), 0)
+		const bytes = 256 << 20
+
+		ptr := loadModel(t, p, r, "fn", bytes)
+		if m.PinnedBytes(0) != bytes {
+			t.Fatalf("pin accounted %d bytes on GPU 0, want %d", m.PinnedBytes(0), int64(bytes))
+		}
+
+		// Move the idle server to GPU 1. The pinned reservation rides the
+		// VA-preserving migration walk; the cache accounting follows.
+		done := sim.NewQueue[time.Duration](e)
+		r.srv.Inbox.Send(remoting.Request{Ctrl: MigrateRequest{TargetDev: 1, Done: done}})
+		done.Recv(p)
+		if m.PinnedBytes(0) != 0 || m.PinnedBytes(1) != bytes {
+			t.Fatalf("pin accounting after migration: gpu0=%d gpu1=%d, want 0 and %d", m.PinnedBytes(0), m.PinnedBytes(1), int64(bytes))
+		}
+
+		// The next session adopts the model at the same virtual address and
+		// uses it on the new GPU — no stale pointer, no reload.
+		if err := r.lib.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		got, size, tier, err := r.lib.ModelAttach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ptr || size != bytes || tier != modelcache.TierDevice {
+			t.Fatalf("post-migration attach = (%v, %d, tier %d), want (%v, %d, tier %d)", got, size, tier, ptr, int64(bytes), modelcache.TierDevice)
+		}
+		if err := r.lib.Memset(p, got, 1, bytes); err != nil {
+			t.Fatal(err)
+		}
+		r.lib.FlushBatch(p)
+		if err := r.lib.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

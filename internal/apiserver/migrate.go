@@ -132,6 +132,11 @@ func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
 	}
 
 	s.curDev = target
+	// A retained cached model rode along in the reservation walk above (its
+	// virtual address is unchanged); move its budget accounting with it.
+	if s.pinned != nil && s.cfg.Cache != nil {
+		s.cfg.Cache.UpdatePinGPU(s.cfg.ID, target)
+	}
 	d := p.Now() - start
 	s.stats.Migrations++
 	s.stats.MigrationTime += d

@@ -26,6 +26,7 @@ import (
 	"dgsf/internal/cuda"
 	"dgsf/internal/cudalibs"
 	"dgsf/internal/gpu"
+	"dgsf/internal/modelcache"
 	"dgsf/internal/remoting"
 	"dgsf/internal/remoting/gen"
 	"dgsf/internal/remoting/wire"
@@ -46,6 +47,11 @@ type Config struct {
 
 	CUDACosts cuda.Costs
 	LibCosts  cudalibs.Costs
+
+	// Cache, when non-nil, is the GPU server's shared model cache: the
+	// server may keep a function's model working set mapped after Bye and
+	// hand it to the function's next invocation (internal/modelcache).
+	Cache *modelcache.Manager
 }
 
 // Stats is a snapshot of server activity for the monitor.
@@ -81,6 +87,20 @@ type Server struct {
 	sess       *session
 	stats      Stats
 	callCounts map[uint16]int
+
+	// pinned is the GPU-resident cached model this server holds while idle
+	// (or before the owning function adopts it via ModelAttach). Its VMM
+	// reservations stay mapped, so it migrates with the server's address
+	// space and the pointer survives moves.
+	pinned *pinnedModel
+}
+
+// pinnedModel is a retained model working set: the allocation a function
+// marked with ModelPersist, kept mapped after its Bye.
+type pinnedModel struct {
+	fnID  string
+	ptr   cuda.DevPtr
+	bytes int64
 }
 
 // session is the state of the one function currently being served.
@@ -106,6 +126,8 @@ type session struct {
 
 	hostAllocs map[uint64]int64
 	nextHost   uint64
+
+	persistPtr cuda.DevPtr // allocation to offer to the model cache at Bye
 }
 
 var _ gen.API = (*Server)(nil)
@@ -224,6 +246,13 @@ type ResetRequest struct {
 	Done *sim.Queue[struct{}]
 }
 
+// EvictModelRequest asks an idle server to swap its GPU-resident cached
+// model out to the host tier, freeing device memory. The monitor sends it
+// when a waiting request cannot be placed because of pinned models.
+type EvictModelRequest struct {
+	Done *sim.Queue[struct{}]
+}
+
 func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 	switch c := req.Ctrl.(type) {
 	case MigrateRequest:
@@ -238,6 +267,11 @@ func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 		if s.sess != nil {
 			_ = s.Bye(p)
 		}
+		if c.Done != nil {
+			c.Done.Send(struct{}{})
+		}
+	case EvictModelRequest:
+		s.evictPinned(p)
 		if c.Done != nil {
 			c.Done.Send(struct{}{})
 		}
@@ -323,6 +357,12 @@ func (s *Server) Hello(p *sim.Proc, fnID string, memLimit int64) error {
 			return err
 		}
 	}
+	// A different function is moving in: stage the previous tenant's cached
+	// model out to the host tier so the session's declared memory limit has
+	// the device to itself.
+	if s.pinned != nil && s.pinned.fnID != fnID {
+		s.evictPinned(p)
+	}
 	s.sess = &session{
 		fnID:       fnID,
 		memLimit:   memLimit,
@@ -351,6 +391,16 @@ func (s *Server) Bye(p *sim.Proc) error {
 		return err
 	}
 	_ = ctx.DeviceSynchronize(p)
+	// The allocation marked by ModelPersist is withheld from the free loop:
+	// it stays mapped as a retention candidate for the model cache.
+	var keep *pinnedModel
+	if sess.persistPtr != 0 && s.cfg.Cache != nil {
+		if size, ok := sess.allocs[sess.persistPtr]; ok {
+			keep = &pinnedModel{fnID: sess.fnID, ptr: sess.persistPtr, bytes: size}
+			delete(sess.allocs, sess.persistPtr)
+			sess.used -= size
+		}
+	}
 	for ptr := range sess.allocs {
 		_ = ctx.Free(p, ptr)
 	}
@@ -383,9 +433,9 @@ func (s *Server) Bye(p *sim.Proc) error {
 		_ = s.libs.DestroyDescriptor(p, d)
 	}
 	s.sess = nil
-	// Return home. No function memory remains, so this is cheap; the extra
-	// context created at the destination is torn down to release its
-	// footprint.
+	// Return home. Only a retained model (if any) remains mapped, so the
+	// move copies at most that; the extra context created at the destination
+	// is torn down to release its footprint.
 	if s.curDev != s.cfg.HomeDev {
 		away := s.curDev
 		if _, err := s.Migrate(p, s.cfg.HomeDev); err != nil {
@@ -395,6 +445,109 @@ func (s *Server) Bye(p *sim.Proc) error {
 			awayCtx.Destroy()
 		}
 	}
+	if keep != nil {
+		// A pin the function never adopted this session (it skipped
+		// ModelAttach) cannot coexist with the new candidate.
+		if s.pinned != nil {
+			s.evictPinned(p)
+		}
+		if s.cfg.Cache.Pin(s.cfg.ID, s.cfg.HomeDev, keep.fnID, keep.bytes) {
+			s.pinned = keep
+		} else {
+			// Device budget exhausted: swap the working set to the host tier
+			// at copy-engine bandwidth instead of keeping it on the GPU.
+			s.stageOut(p, keep)
+		}
+	}
+	return nil
+}
+
+// evictPinned swaps the server's GPU-resident cached model out to the host
+// tier (device-to-host at copy-engine bandwidth) and unmaps it.
+func (s *Server) evictPinned(p *sim.Proc) {
+	pin := s.pinned
+	if pin == nil {
+		return
+	}
+	s.pinned = nil
+	s.cfg.Cache.Unpin(s.cfg.ID)
+	s.cfg.Cache.NoteSwapOut(pin.bytes)
+	s.stageOut(p, pin)
+}
+
+// stageOut copies a retained model to the host tier and frees its device
+// memory.
+func (s *Server) stageOut(p *sim.Proc, pin *pinnedModel) {
+	if ctx, err := s.rt.Context(p, s.curDev); err == nil {
+		_, _ = ctx.MemcpyD2H(p, pin.ptr, pin.bytes)
+		_ = ctx.Free(p, pin.ptr)
+	}
+	s.cfg.Cache.Host().Put(modelcache.StateKey(pin.fnID), pin.bytes)
+}
+
+// --- model cache (internal/modelcache) ---
+
+// ModelAttach hands the session a cached copy of its function's model
+// working set, if the cache holds one. A GPU-resident pin left by the
+// previous invocation on this server is adopted directly into the session's
+// allocation table — the model-load phase vanishes. A host-staged copy is
+// restored with an allocation plus a host-to-device transfer. The adopted
+// bytes count against the session's declared memory limit like any other
+// allocation.
+func (s *Server) ModelAttach(p *sim.Proc) (cuda.DevPtr, int64, int, error) {
+	sess := s.sess
+	if sess == nil {
+		return 0, 0, 0, cuda.ErrNotInitialized
+	}
+	c := s.cfg.Cache
+	if c == nil {
+		return 0, 0, modelcache.TierMiss, nil
+	}
+	if pin := s.pinned; pin != nil && pin.fnID == sess.fnID {
+		if sess.used+pin.bytes <= sess.memLimit {
+			s.pinned = nil
+			c.Unpin(s.cfg.ID)
+			sess.allocs[pin.ptr] = pin.bytes
+			sess.used += pin.bytes
+			c.NoteAttach(modelcache.TierDevice)
+			return pin.ptr, pin.bytes, modelcache.TierDevice, nil
+		}
+		// The pin does not fit the declared limit (it must have been made
+		// under a larger one); stage it out rather than stranding it.
+		s.evictPinned(p)
+	}
+	key := modelcache.StateKey(sess.fnID)
+	if bytes, ok := c.Host().Get(key); ok {
+		ptr, err := s.Malloc(p, bytes)
+		if err == nil {
+			if ctx, cerr := s.ctx(p); cerr == nil {
+				_ = ctx.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: key.FP, Size: bytes}, bytes)
+				c.NoteAttach(modelcache.TierHost)
+				return ptr, bytes, modelcache.TierHost, nil
+			}
+			_ = s.Free(p, ptr)
+		}
+	}
+	c.NoteAttach(modelcache.TierMiss)
+	return 0, 0, modelcache.TierMiss, nil
+}
+
+// ModelPersist marks a session allocation as the function's model working
+// set: at Bye the server tries to retain it (GPU-resident, else host-staged)
+// instead of freeing it. Without a cache it degenerates to Free, so
+// cache-oblivious deployments behave exactly as before.
+func (s *Server) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	if _, ok := sess.allocs[ptr]; !ok {
+		return cuda.ErrInvalidValue
+	}
+	if s.cfg.Cache == nil {
+		return s.Free(p, ptr)
+	}
+	sess.persistPtr = ptr
 	return nil
 }
 

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheColdWarm(t *testing.T) {
+	rows := CacheColdWarm(1)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5 model workloads", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-18s cold{e2e %v dl %v load %v} warm-host{e2e %v dl %v load %v} warm-gpu{e2e %v dl %v load %v}",
+			r.Workload,
+			r.Cold.E2E, r.Cold.Download, r.Cold.Load,
+			r.WarmHost.E2E, r.WarmHost.Download, r.WarmHost.Load,
+			r.WarmGPU.E2E, r.WarmGPU.Download, r.WarmGPU.Load)
+		// Warm invocations skip the model download: the repeat fetch is
+		// latency-only for the model portion.
+		if r.WarmGPU.Download >= r.Cold.Download {
+			t.Errorf("%s: warm-GPU download %v not below cold %v", r.Workload, r.WarmGPU.Download, r.Cold.Download)
+		}
+		// The GPU-resident hit eliminates the model load phase: no
+		// descriptor churn, no weight upload, no graph construction.
+		if r.WarmGPU.Load*4 >= r.Cold.Load {
+			t.Errorf("%s: warm-GPU load %v not well below cold load %v", r.Workload, r.WarmGPU.Load, r.Cold.Load)
+		}
+		// And the device tier beats restaging from host memory.
+		if r.WarmGPU.Load >= r.WarmHost.Load {
+			t.Errorf("%s: warm-GPU load %v not below warm-host load %v", r.Workload, r.WarmGPU.Load, r.WarmHost.Load)
+		}
+		// End to end: warm-GPU < cold, strictly.
+		if r.WarmGPU.E2E >= r.Cold.E2E {
+			t.Errorf("%s: warm-GPU E2E %v not below cold %v", r.Workload, r.WarmGPU.E2E, r.Cold.E2E)
+		}
+		// Warm-host always wins the download; it wins end-to-end only when
+		// restaging the working set from host memory is cheaper than the
+		// cold load phase (not so for facedetection, whose working set is
+		// far larger than its model load cost).
+		if r.WarmHost.Download >= r.Cold.Download {
+			t.Errorf("%s: warm-host download %v not below cold %v", r.Workload, r.WarmHost.Download, r.Cold.Download)
+		}
+		if r.WarmHost.Load < r.Cold.Load && r.WarmHost.E2E >= r.Cold.E2E {
+			t.Errorf("%s: warm-host E2E %v not below cold %v", r.Workload, r.WarmHost.E2E, r.Cold.E2E)
+		}
+	}
+}
+
+func TestCacheUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load experiment")
+	}
+	rs := CacheUnderLoad(1)
+	bf, loc := rs[0], rs[1]
+	t.Logf("best-fit: provider %v e2esum %v stats %+v dlhits %d/%d", bf.ProviderE2E, bf.E2ESum, bf.Stats, bf.DownloadHits, bf.Invocations)
+	t.Logf("locality: provider %v e2esum %v stats %+v dlhits %d/%d", loc.ProviderE2E, loc.E2ESum, loc.Stats, loc.DownloadHits, loc.Invocations)
+	if loc.Stats.DeviceHitRate() <= bf.Stats.DeviceHitRate() {
+		t.Errorf("locality device hit rate %.2f not above best-fit %.2f", loc.Stats.DeviceHitRate(), bf.Stats.DeviceHitRate())
+	}
+	if loc.Stats.DeviceHits == 0 {
+		t.Error("locality produced no GPU-resident hits")
+	}
+	_ = time.Second
+}

@@ -18,6 +18,7 @@ import (
 	"dgsf/internal/gpuserver"
 	"dgsf/internal/guest"
 	"dgsf/internal/metrics"
+	"dgsf/internal/modelcache"
 	"dgsf/internal/objstore"
 	"dgsf/internal/remoting"
 	"dgsf/internal/remoting/gen"
@@ -64,6 +65,11 @@ type Function struct {
 	Name          string
 	GPUMem        int64 // declared GPU memory requirement (§II)
 	DownloadBytes int64 // models + inputs fetched before GPU work
+	// ModelDLBytes is the model portion of DownloadBytes — the immutable
+	// part a model cache may serve from the GPU server's host memory
+	// instead of the object store. Zero means nothing is cacheable and the
+	// whole download always goes to the store.
+	ModelDLBytes int64
 	// Run executes the function's GPU phase against an attached guest
 	// library. The backend has already opened the session (Hello) and will
 	// close it (Bye) afterwards.
@@ -80,6 +86,7 @@ type Invocation struct {
 	Granted      time.Duration
 	Done         time.Duration
 	QueueDelay   time.Duration
+	ModelCached  bool // model bytes served from the GPU server's host cache
 	Err          error
 }
 
@@ -112,6 +119,7 @@ type Backend struct {
 	inflight    *sim.WaitGroup
 	history     map[string]time.Duration // learned exec time per function (EWMA)
 	outstanding []int                    // backend-side in-flight count per server
+	store       *objstore.Store          // model objects, for cache-aware downloads
 }
 
 // NewBackend returns a backend over one GPU server. The paper's prototype
@@ -134,7 +142,27 @@ func NewMultiBackend(e *sim.Engine, servers []*gpuserver.GPUServer, pick ServerP
 		inflight:    sim.NewWaitGroup(e),
 		history:     make(map[string]time.Duration),
 		outstanding: make([]int, len(servers)),
+		store:       objstore.New(),
 	}
+}
+
+// cacheAware reports whether any GPU server runs a model cache; only then
+// does the backend split downloads and route on model locality.
+func (b *Backend) cacheAware() bool {
+	for _, gs := range b.servers {
+		if gs.Cache() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// modelObject registers (idempotently — Put derives deterministic content
+// from name and size) the function's model blob and returns its name.
+func (b *Backend) modelObject(fn *Function) string {
+	name := fn.Name + "/model"
+	b.store.Put(name, fn.ModelDLBytes)
+	return name
 }
 
 // selectServer applies the GPU-server selection policy, returning the
@@ -159,6 +187,28 @@ func (b *Backend) selectServer() int {
 	default:
 		return 0
 	}
+}
+
+// selectServerFor routes an invocation toward a GPU server already holding
+// the function's model — a GPU-resident or host-staged working set, or a
+// host-cached model download — least loaded among the holders. With no
+// holder it falls back to the configured selection policy.
+func (b *Backend) selectServerFor(fn *Function) int {
+	obj := b.modelObject(fn)
+	best, bestLoad := -1, 0
+	for i, gs := range b.servers {
+		c := gs.Cache()
+		if c == nil || (!c.HasModel(fn.Name) && !c.Host().PeekName(obj)) {
+			continue
+		}
+		if l := b.load(i); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return b.selectServer()
 }
 
 // load scores a server: monitor-visible occupancy plus the backend's own
@@ -197,10 +247,34 @@ func (b *Backend) Submit(p *sim.Proc, fn *Function) *Invocation {
 // execute runs one invocation: download, acquire a GPU, run, release.
 func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	fn := inv.Fn
+	cacheAware := fn.ModelDLBytes > 0 && fn.ModelDLBytes <= fn.DownloadBytes && b.cacheAware()
+
+	// With a model cache the server choice determines which host cache can
+	// serve the model bytes, so routing happens before the download.
+	si := -1
+	if cacheAware {
+		si = b.selectServerFor(fn)
+		b.outstanding[si]++
+	}
+
 	// Phase 1: fetch models and inputs from the object store. This happens
 	// before the GPU is requested, which is why slow-downloading functions
-	// reach the GPU later (§VIII-E).
-	if fn.DownloadBytes > 0 {
+	// reach the GPU later (§VIII-E). A cache-aware download splits off the
+	// model blob, which the chosen GPU server may already stage on its host.
+	if cacheAware {
+		var host *modelcache.LRU
+		if c := b.servers[si].Cache(); c != nil {
+			host = c.Host()
+		}
+		_, hit, err := b.store.DownloadCached(p, b.env.Download, b.modelObject(fn), host)
+		if err != nil {
+			panic(err) // the object was registered just above
+		}
+		inv.ModelCached = hit
+		if rest := fn.DownloadBytes - fn.ModelDLBytes; rest > 0 {
+			p.Sleep(b.env.Download.TransferTime(p, rest))
+		}
+	} else if fn.DownloadBytes > 0 {
 		p.Sleep(b.env.Download.TransferTime(p, fn.DownloadBytes))
 	}
 	inv.DownloadDone = p.Now()
@@ -208,8 +282,10 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	// Phase 2: request a virtual GPU from the serverless backend's chosen
 	// GPU server; queueing happens inside its monitor. The expected-GPU-time
 	// hint comes from the backend's history of this function (for SJF).
-	si := b.selectServer()
-	b.outstanding[si]++
+	if si < 0 {
+		si = b.selectServer()
+		b.outstanding[si]++
+	}
 	gs := b.servers[si]
 	lease := gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
 	if lease == nil {

@@ -21,6 +21,7 @@ import (
 	"dgsf/internal/cuda"
 	"dgsf/internal/cudalibs"
 	"dgsf/internal/gpu"
+	"dgsf/internal/modelcache"
 	"dgsf/internal/remoting"
 	"dgsf/internal/sim"
 )
@@ -29,11 +30,16 @@ import (
 type Policy int
 
 // Placement policies (§VIII-E): best-fit condenses functions onto as few
-// GPUs as possible; worst-fit spreads them.
+// GPUs as possible; worst-fit spreads them. PolicyLocality composes with
+// best-fit: it first prefers an idle API server already holding the
+// function's model in the GPU-resident cache (internal/modelcache) and
+// falls back to best-fit when no such server fits — warm-host and cold
+// placements are then whatever best-fit picks.
 const (
 	FirstFit Policy = iota
 	BestFit
 	WorstFit
+	PolicyLocality
 )
 
 func (p Policy) String() string {
@@ -42,6 +48,8 @@ func (p Policy) String() string {
 		return "best-fit"
 	case WorstFit:
 		return "worst-fit"
+	case PolicyLocality:
+		return "locality"
 	default:
 		return "first-fit"
 	}
@@ -89,6 +97,11 @@ type Config struct {
 	MinImbalanceTicks int           // default 5
 	MonitorPeriod     time.Duration // statistics/migration tick; default 200 ms
 	SamplePeriod      time.Duration // NVML-style utilization sampling; default 200 ms
+
+	// Cache configures the model cache (internal/modelcache). Disabled by
+	// default: with Cache.Enable false the GPU server behaves exactly as it
+	// did before the subsystem existed.
+	Cache modelcache.Config
 }
 
 // DefaultConfig mirrors the paper's testbed: one p3.8xlarge GPU server with
@@ -147,6 +160,7 @@ type GPUServer struct {
 
 	servers  []*apiserver.Server
 	samplers []*gpu.Sampler
+	cache    *modelcache.Manager // nil when the model cache is disabled
 
 	// Monitor state.
 	requests  *sim.Queue[monitorMsg]
@@ -196,6 +210,9 @@ func New(e *sim.Engine, cfg Config) *GPUServer {
 		baseline:  make([]int64, cfg.GPUs),
 		readyCond: sim.NewCond(e),
 	}
+	if cfg.Cache.Enable {
+		gs.cache = modelcache.NewManager(cfg.Cache)
+	}
 	for i := 0; i < cfg.GPUs; i++ {
 		gs.devs = append(gs.devs, gpu.New(e, cfg.GPUConfig(i)))
 	}
@@ -217,6 +234,9 @@ func (gs *GPUServer) Placements() []PlacementRecord { return gs.placements }
 // Migrations returns how many API server migrations the monitor initiated.
 func (gs *GPUServer) Migrations() int { return gs.migrations }
 
+// Cache returns the model cache, or nil when disabled.
+func (gs *GPUServer) Cache() *modelcache.Manager { return gs.cache }
+
 // Start boots the GPU server: the manager creates and pre-warms API servers
 // (in parallel, as a fleet bring-up would), then hands control to the
 // monitor and the utilization samplers. Start returns when the server is
@@ -236,6 +256,7 @@ func (gs *GPUServer) Start(p *sim.Proc) {
 				BLASPool:    gs.cfg.BLASPool,
 				CUDACosts:   gs.cfg.CUDACosts,
 				LibCosts:    gs.cfg.LibCosts,
+				Cache:       gs.cache,
 			})
 			gs.servers = append(gs.servers, srv)
 			id++
@@ -354,7 +375,11 @@ func (gs *GPUServer) drainQueue(p *sim.Proc) {
 			srv, req = gs.placeAnySJF()
 		} else {
 			req = gs.waiting[0]
-			if srv = gs.place(req.mem); srv != nil {
+			srv = gs.place(req.fnID, req.mem)
+			if srv == nil && gs.cache != nil {
+				srv = gs.reclaimAndPlace(p, req)
+			}
+			if srv != nil {
 				gs.waiting = gs.waiting[1:]
 			}
 		}
@@ -409,7 +434,7 @@ func (gs *GPUServer) placeAnySJF() (*apiserver.Server, *acquireReq) {
 	}
 	for _, idx := range order {
 		req := gs.waiting[idx]
-		if srv := gs.place(req.mem); srv != nil {
+		if srv := gs.place(req.fnID, req.mem); srv != nil {
 			gs.waiting = append(gs.waiting[:idx], gs.waiting[idx+1:]...)
 			return srv, req
 		}
@@ -418,10 +443,15 @@ func (gs *GPUServer) placeAnySJF() (*apiserver.Server, *acquireReq) {
 }
 
 // place picks an idle API server whose home GPU fits mem, per policy.
-func (gs *GPUServer) place(mem int64) *apiserver.Server {
+// GPU-resident cached models (model cache pins) count as used memory on
+// their GPU — except the candidate server's own pin when it belongs to
+// fnID, because ModelAttach adopts that allocation into the new session
+// rather than duplicating it.
+func (gs *GPUServer) place(fnID string, mem int64) *apiserver.Server {
 	type cand struct {
-		srv  *apiserver.Server
-		free int64
+		srv   *apiserver.Server
+		free  int64
+		local bool
 	}
 	var best *cand
 	for _, srv := range gs.servers {
@@ -430,10 +460,18 @@ func (gs *GPUServer) place(mem int64) *apiserver.Server {
 		}
 		g := srv.HomeDev()
 		free := gs.devs[g].Cfg.MemBytes - gs.baseline[g] - gs.commit[g]
+		local := false
+		if gs.cache != nil {
+			free -= gs.cache.PinnedBytes(g)
+			if pinFn, pinBytes, ok := gs.cache.PinnedFn(srv.ID()); ok && pinFn == fnID {
+				free += pinBytes
+				local = true
+			}
+		}
 		if free < mem {
 			continue
 		}
-		c := &cand{srv: srv, free: free}
+		c := &cand{srv: srv, free: free, local: local}
 		if best == nil {
 			best = c
 			continue
@@ -447,6 +485,15 @@ func (gs *GPUServer) place(mem int64) *apiserver.Server {
 			if c.free > best.free {
 				best = c
 			}
+		case PolicyLocality:
+			// Prefer a server already holding the model on-device; fall
+			// back to best-fit among equals.
+			switch {
+			case c.local && !best.local:
+				best = c
+			case c.local == best.local && c.free < best.free:
+				best = c
+			}
 		case FirstFit:
 			// keep the first found
 		}
@@ -455,6 +502,29 @@ func (gs *GPUServer) place(mem int64) *apiserver.Server {
 		return nil
 	}
 	return best.srv
+}
+
+// reclaimAndPlace frees GPU-resident cached models under memory pressure:
+// the oldest pin on an idle server is demoted to the host tier (D2H at
+// copy-engine bandwidth, performed by the API server itself), then
+// placement is retried. It returns nil only once no reclaimable pin is
+// left and the request still does not fit.
+func (gs *GPUServer) reclaimAndPlace(p *sim.Proc, req *acquireReq) *apiserver.Server {
+	for {
+		sid, ok := gs.cache.OldestPin(func(id int) bool {
+			_, busy := gs.leased[id]
+			return !busy
+		})
+		if !ok {
+			return nil
+		}
+		done := sim.NewQueue[struct{}](gs.e)
+		gs.servers[sid].Inbox.Send(remoting.Request{Ctrl: apiserver.EvictModelRequest{Done: done}})
+		done.Recv(p)
+		if srv := gs.place(req.fnID, req.mem); srv != nil {
+			return srv
+		}
+	}
 }
 
 // releaseLocked returns a server to the pool and unwinds its commitment.

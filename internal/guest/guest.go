@@ -184,6 +184,26 @@ func (l *Lib) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error)
 	return l.cl.RegisterKernels(p, names)
 }
 
+// ModelAttach asks the API server for a cached copy of the function's model
+// working set; the returned pointer is tracked like a Malloc so localized
+// pointer-attribute queries keep working.
+func (l *Lib) ModelAttach(p *sim.Proc) (cuda.DevPtr, int64, int, error) {
+	l.remote(p)
+	ptr, size, tier, err := l.cl.ModelAttach(p)
+	if err == nil && ptr != 0 {
+		l.ptrSizes[ptr] = size
+	}
+	return ptr, size, tier, err
+}
+
+// ModelPersist offers an allocation to the API server's model cache. The
+// allocation is gone from the session either way, like a Free.
+func (l *Lib) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
+	delete(l.ptrSizes, ptr)
+	l.remote(p)
+	return l.cl.ModelPersist(p, ptr)
+}
+
 // --- device management ---
 
 // GetDeviceCount mirrors cudaGetDeviceCount.

@@ -78,6 +78,20 @@ func (b *Backend) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, er
 	return out, nil
 }
 
+// ModelAttach always misses natively: a native process has no API server to
+// keep model state alive between runs.
+func (b *Backend) ModelAttach(p *sim.Proc) (cuda.DevPtr, int64, int, error) {
+	if _, err := b.ensure(p); err != nil {
+		return 0, 0, 0, err
+	}
+	return 0, 0, 0, nil
+}
+
+// ModelPersist degenerates to Free natively: nothing outlives the process.
+func (b *Backend) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
+	return b.Free(p, ptr)
+}
+
 // GetDeviceCount reports the machine's real device count.
 func (b *Backend) GetDeviceCount(p *sim.Proc) (int, error) {
 	if _, err := b.ensure(p); err != nil {

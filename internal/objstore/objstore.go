@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dgsf/internal/gpu"
+	"dgsf/internal/modelcache"
 	"dgsf/internal/sim"
 )
 
@@ -64,6 +65,29 @@ func (s *Store) Download(p *sim.Proc, env Env, name string) (gpu.HostBuffer, err
 	return gpu.HostBuffer{FP: o.FP, Size: o.Bytes}, nil
 }
 
+// DownloadCached is Download backed by a host-staged cache: a hit returns
+// the object's content charging only the request latency (the bytes are
+// already on the GPU server's host memory), a miss downloads and inserts.
+// The second return reports whether the cache served the object.
+func (s *Store) DownloadCached(p *sim.Proc, env Env, name string, c *modelcache.LRU) (gpu.HostBuffer, bool, error) {
+	o, ok := s.objects[name]
+	if !ok {
+		return gpu.HostBuffer{}, false, fmt.Errorf("objstore: no object %q", name)
+	}
+	key := modelcache.Key{Name: o.Name, FP: o.FP}
+	if c != nil {
+		if _, ok := c.Get(key); ok {
+			p.Sleep(env.Latency)
+			return gpu.HostBuffer{FP: o.FP, Size: o.Bytes}, true, nil
+		}
+	}
+	p.Sleep(env.TransferTime(p, o.Bytes))
+	if c != nil {
+		c.Put(key, o.Bytes)
+	}
+	return gpu.HostBuffer{FP: o.FP, Size: o.Bytes}, false, nil
+}
+
 // TransferTime returns the time to move bytes over this download path,
 // with jitter drawn from the engine's deterministic source.
 func (e Env) TransferTime(p *sim.Proc, bytes int64) time.Duration {
@@ -71,7 +95,13 @@ func (e Env) TransferTime(p *sim.Proc, bytes int64) time.Duration {
 	if bytes > 0 && e.Bps > 0 {
 		t := float64(bytes) / e.Bps * float64(time.Second)
 		if e.JitterFrac > 0 {
-			t *= 1 + e.JitterFrac*(2*p.Rand().Float64()-1)
+			// Clamp so a JitterFrac >= 1 draw can never produce a zero or
+			// negative transfer time.
+			m := 1 + e.JitterFrac*(2*p.Rand().Float64()-1)
+			if m < 0.01 {
+				m = 0.01
+			}
+			t *= m
 		}
 		d += time.Duration(t)
 	}

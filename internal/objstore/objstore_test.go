@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"dgsf/internal/modelcache"
 	"dgsf/internal/sim"
 )
 
@@ -80,6 +81,56 @@ func TestJitterBoundedAndDeterministic(t *testing.T) {
 			t.Fatal("same seed produced different jitter")
 		}
 	}
+}
+
+func TestExtremeJitterStaysPositive(t *testing.T) {
+	// A JitterFrac >= 1 could previously drive the multiplier to zero or
+	// below, producing instantaneous (or negative!) transfers. The clamp
+	// keeps every draw strictly positive.
+	e := sim.NewEngine(7)
+	e.Run("root", func(p *sim.Proc) {
+		env := Env{Bps: 1e6, JitterFrac: 2.5}
+		for i := 0; i < 200; i++ {
+			if d := env.TransferTime(p, 1e6); d <= 0 {
+				t.Fatalf("draw %d: transfer time %v, want > 0", i, d)
+			}
+		}
+	})
+}
+
+func TestDownloadCachedHitSkipsTransfer(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		s := New()
+		obj := s.Put("nlp/model", 100e6)
+		env := Env{Bps: 100e6, Latency: 30 * time.Millisecond}
+		c := modelcache.NewLRU(1 << 30)
+
+		start := p.Now()
+		buf, hit, err := s.DownloadCached(p, env, "nlp/model", c)
+		if err != nil || hit {
+			t.Fatalf("first download: hit=%v err=%v", hit, err)
+		}
+		if buf.FP != obj.FP {
+			t.Fatalf("content mismatch: %+v", buf)
+		}
+		cold := p.Now() - start
+		if cold < time.Second {
+			t.Fatalf("cold download took %v, want >= 1s", cold)
+		}
+
+		start = p.Now()
+		buf, hit, err = s.DownloadCached(p, env, "nlp/model", c)
+		if err != nil || !hit {
+			t.Fatalf("second download: hit=%v err=%v", hit, err)
+		}
+		if buf.FP != obj.FP || buf.Size != 100e6 {
+			t.Fatalf("cached content mismatch: %+v", buf)
+		}
+		if warm := p.Now() - start; warm != env.Latency {
+			t.Fatalf("warm download took %v, want latency-only %v", warm, env.Latency)
+		}
+	})
 }
 
 func TestDistinctObjectsDistinctContent(t *testing.T) {

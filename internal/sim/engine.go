@@ -58,7 +58,7 @@ type Engine struct {
 	stopped bool             // Stop was called
 	blocked map[*Proc]string // blocked processes and why, for deadlock dumps
 
-	rng       *rand.Rand
+	seed      int64
 	nextPID   int
 	trace     func(now time.Duration, proc, event string)
 	deadlock  string        // non-empty if the simulation deadlocked; Run panics with it
@@ -70,7 +70,7 @@ type Engine struct {
 // identically for identical seeds.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		blocked: make(map[*Proc]string),
 	}
 }
@@ -116,6 +116,7 @@ type Proc struct {
 	wake   chan struct{} // buffered(1); one send per park
 	killed bool
 	doneCh chan struct{} // closed on exit, if requested via Inject
+	rng    *rand.Rand    // lazily created by Rand
 }
 
 // Name returns the process name given at spawn time.
@@ -131,10 +132,22 @@ func (p *Proc) Now() time.Duration {
 	return p.e.now
 }
 
-// Rand returns the engine's deterministic random source. Call only from
-// simulated processes: the engine serializes process execution, which makes
-// the shared source safe and the draw order reproducible.
-func (p *Proc) Rand() *rand.Rand { return p.e.rng }
+// Rand returns the process's deterministic random source. Each process
+// draws from its own stream, seeded from the engine seed and the process
+// name, so a process's draws depend only on its own call sequence — not on
+// how concurrent activity elsewhere in the simulation interleaves with it.
+// Processes spawned under the same name share a seed and therefore observe
+// identical streams.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		seed := uint64(p.e.seed) ^ 0xcbf29ce484222325
+		for _, c := range p.name {
+			seed = (seed ^ uint64(c)) * 0x100000001b3
+		}
+		p.rng = rand.New(rand.NewSource(int64(seed)))
+	}
+	return p.rng
+}
 
 // Run spawns a root process executing root and blocks until that process and
 // every non-daemon process transitively spawned from it have finished.

@@ -208,6 +208,39 @@ func TestTraceHook(t *testing.T) {
 	}
 }
 
+func TestRandStreamsIsolatedPerProc(t *testing.T) {
+	// A process's draws must not depend on unrelated concurrent activity:
+	// the same-named process sees the same stream whether or not a noisy
+	// neighbor is drawing in between.
+	draw := func(noise bool) []float64 {
+		e := NewEngine(3)
+		var out []float64
+		e.Run("root", func(p *Proc) {
+			if noise {
+				p.SpawnDaemon("noisy", func(p *Proc) {
+					for {
+						p.Rand().Float64()
+						p.Sleep(time.Microsecond)
+					}
+				})
+			}
+			p.Spawn("worker", func(p *Proc) {
+				for i := 0; i < 5; i++ {
+					out = append(out, p.Rand().Float64())
+					p.Sleep(time.Millisecond)
+				}
+			})
+		})
+		return out
+	}
+	quiet, noisy := draw(false), draw(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("draw %d shifted by unrelated activity: %v vs %v", i, quiet[i], noisy[i])
+		}
+	}
+}
+
 func TestDeterministicRand(t *testing.T) {
 	draw := func(seed int64) []float64 {
 		e := NewEngine(seed)

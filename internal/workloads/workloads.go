@@ -305,10 +305,28 @@ func (s *Spec) RunBody(p *sim.Proc, api gen.API, phases *Phases) error {
 		return err
 	}
 
-	// Working set: weights, activations, input and output buffers.
-	work, err := api.Malloc(p, s.WorkBuf)
-	if err != nil {
-		return err
+	// Working set: weights, activations, input and output buffers. A model
+	// cache hit (ModelAttach) adopts the working set a previous invocation
+	// of this function persisted — weights already on device, or restaged
+	// from the host tier by the API server — so the model load phase below
+	// collapses to handle creation.
+	var work cuda.DevPtr
+	warm := false
+	if s.ModelBytes > 0 {
+		ptr, size, _, err := api.ModelAttach(p)
+		if err != nil {
+			return err
+		}
+		if ptr != 0 && size >= s.WorkBuf {
+			work, warm = ptr, true
+		}
+	}
+	if !warm {
+		w, err := api.Malloc(p, s.WorkBuf)
+		if err != nil {
+			return err
+		}
+		work = w
 	}
 	inBuf, err := api.Malloc(p, maxI64(s.BatchInBytes, 1*MB))
 	if err != nil {
@@ -338,38 +356,40 @@ func (s *Spec) RunBody(p *sim.Proc, api gen.API, phases *Phases) error {
 		blas.h = h
 		blas.ok = true
 	}
-	if err := descriptorChurn(p, api, s.LoadDescPairs); err != nil {
-		return err
-	}
-	if s.ModelBytes > 0 {
-		if err := api.MemcpyH2D(p, work, gpu.HostBuffer{FP: 11, Size: s.ModelBytes}, s.ModelBytes); err != nil {
+	if !warm {
+		if err := descriptorChurn(p, api, s.LoadDescPairs); err != nil {
 			return err
 		}
-	}
-	for i := 0; i < s.LoadOps; i++ {
-		if dnn.ok {
-			if err := api.DnnForward(p, dnn.h, "build", s.LoadOpTime, []cuda.DevPtr{work}, nil); err != nil {
-				return err
-			}
-		} else {
-			if err := api.LaunchKernel(p, cuda.LaunchParams{Fn: fns[1], Duration: s.LoadOpTime, Mutates: []cuda.DevPtr{work}}); err != nil {
+		if s.ModelBytes > 0 {
+			if err := api.MemcpyH2D(p, work, gpu.HostBuffer{FP: 11, Size: s.ModelBytes}, s.ModelBytes); err != nil {
 				return err
 			}
 		}
-	}
-	if s.TransientBytes > 0 {
-		// Allocator spike: grab, touch and immediately release a large
-		// transient region. A function that under-declared its memory
-		// requirement fails right here with an out-of-memory error.
-		tmp, err := api.Malloc(p, s.TransientBytes)
-		if err != nil {
-			return err
+		for i := 0; i < s.LoadOps; i++ {
+			if dnn.ok {
+				if err := api.DnnForward(p, dnn.h, "build", s.LoadOpTime, []cuda.DevPtr{work}, nil); err != nil {
+					return err
+				}
+			} else {
+				if err := api.LaunchKernel(p, cuda.LaunchParams{Fn: fns[1], Duration: s.LoadOpTime, Mutates: []cuda.DevPtr{work}}); err != nil {
+					return err
+				}
+			}
 		}
-		if err := api.Memset(p, tmp, 0, s.TransientBytes); err != nil {
-			return err
-		}
-		if err := api.Free(p, tmp); err != nil {
-			return err
+		if s.TransientBytes > 0 {
+			// Allocator spike: grab, touch and immediately release a large
+			// transient region. A function that under-declared its memory
+			// requirement fails right here with an out-of-memory error.
+			tmp, err := api.Malloc(p, s.TransientBytes)
+			if err != nil {
+				return err
+			}
+			if err := api.Memset(p, tmp, 0, s.TransientBytes); err != nil {
+				return err
+			}
+			if err := api.Free(p, tmp); err != nil {
+				return err
+			}
 		}
 	}
 	if err := api.DeviceSynchronize(p); err != nil {
@@ -445,10 +465,19 @@ func (s *Spec) RunBody(p *sim.Proc, api gen.API, phases *Phases) error {
 			return err
 		}
 	}
-	for _, ptr := range []cuda.DevPtr{outBuf, inBuf, work} {
+	for _, ptr := range []cuda.DevPtr{outBuf, inBuf} {
 		if err := api.Free(p, ptr); err != nil {
 			return err
 		}
+	}
+	// The working set is offered to the model cache; without one (or for
+	// model-less workloads) this is an ordinary free.
+	if s.ModelBytes > 0 {
+		if err := api.ModelPersist(p, work); err != nil {
+			return err
+		}
+	} else if err := api.Free(p, work); err != nil {
+		return err
 	}
 	return nil
 }
@@ -505,6 +534,7 @@ func (s *Spec) Function() *faas.Function {
 		Name:          s.Name,
 		GPUMem:        s.MemLimit,
 		DownloadBytes: s.DownloadBytes,
+		ModelDLBytes:  s.ModelBytes,
 		Run: func(p *sim.Proc, api gen.API) error {
 			return s.RunBody(p, api, nil)
 		},
