@@ -153,7 +153,8 @@ func BenchmarkAblationRTT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rs := experiments.RTTSweep(1)
 		for _, r := range rs {
-			b.ReportMetric(r.DGSF.Seconds(), "rtt-"+r.RTT.String()+"-dgsf-s")
+			b.ReportMetric(r.DGSF.Seconds(), "rtt-"+r.Workload+"-"+r.RTT.String()+"-dgsf-s")
+			b.ReportMetric(r.DGSFAsync.Seconds(), "rtt-"+r.Workload+"-"+r.RTT.String()+"-async-s")
 		}
 	}
 }

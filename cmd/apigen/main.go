@@ -330,7 +330,8 @@ func main() {
 	p("// backend, returning the encoded response and the logical payload bytes")
 	p("// that flow back with it (for bandwidth accounting).")
 	p("func Dispatch(p *sim.Proc, b API, payload []byte) (resp []byte, respData int64) {")
-	p("\tdec := wire.NewDecoder(payload)")
+	p("\tdec := wire.GetDecoder(payload)")
+	p("\tdefer wire.PutDecoder(dec)")
 	p("\tid := dec.U16()")
 	p("\tif dec.Err() != nil {")
 	p("\t\treturn errResp(cuda.ErrInvalidValue), 0")
@@ -455,7 +456,7 @@ func emitCall(p func(string, ...any), c Call) {
 	}
 	p("// %s %s.", c.Name, c.Doc)
 	p("func (c *Client) %s(p *sim.Proc%s) %s {", c.Name, params(c), results(c))
-	p("\tvar enc wire.Encoder")
+	p("\tenc := wire.GetEncoder()")
 	var args []string
 	for _, f := range c.Req {
 		args = append(args, lower(f.Name))
@@ -464,13 +465,17 @@ func emitCall(p func(string, ...any), c Call) {
 	if len(args) > 0 {
 		callArgs = ", " + strings.Join(args, ", ")
 	}
-	p("\tAppend%sCall(&enc%s)", c.Name, callArgs)
+	p("\tAppend%sCall(enc%s)", c.Name, callArgs)
 	p("\trespB, rerr := c.T.Roundtrip(p, enc.Bytes(), int64(%s))", reqData)
 	p("\tif rerr != nil {")
+	p("\t\t// The transport may still hold the request; drop the encoder.")
 	p("\t\terr = rerr")
 	p("\t\treturn")
 	p("\t}")
-	p("\tdec := wire.NewDecoder(respB)")
+	p("\t// A returned Roundtrip has fully consumed the request payload.")
+	p("\twire.PutEncoder(enc)")
+	p("\tdec := wire.GetDecoder(respB)")
+	p("\tdefer wire.PutDecoder(dec)")
 	p("\tif statusCode := int(dec.I32()); statusCode != 0 {")
 	p("\t\terr = cuda.FromCode(statusCode)")
 	p("\t\treturn")

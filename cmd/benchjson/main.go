@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench . -benchmem` output into a
+// machine-readable JSON report, used by CI to publish the remoting
+// micro-benchmarks (BENCH_remoting.json) with ns/op, B/op and allocs/op per
+// benchmark.
+//
+// Typical use:
+//
+//	go test -bench . -benchmem ./internal/remoting/... |
+//	    go run ./cmd/benchjson -merge BENCH_remoting.json -o BENCH_remoting.json
+//
+// -merge preserves the "baseline" section of an existing report, so the
+// pre-optimization numbers stay recorded next to every fresh run;
+// -baseline instead stores the parsed input as the baseline section itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name     string  `json:"name"`
+	Pkg      string  `json:"pkg,omitempty"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Note     string  `json:"note,omitempty"`
+	Baseline []Bench `json:"baseline,omitempty"`
+	Current  []Bench `json:"current,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.String("merge", "", "existing report whose baseline section is preserved")
+	asBaseline := flag.Bool("baseline", false, "store parsed results as the baseline section")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	var parsed []Bench
+	if args := flag.Args(); len(args) == 0 {
+		parsed = parse(os.Stdin)
+	} else {
+		for _, a := range args {
+			f, err := os.Open(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			parsed = append(parsed, parse(f)...)
+			f.Close()
+		}
+	}
+	if len(parsed) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input")
+	}
+
+	var rep Report
+	if *merge != "" {
+		if b, err := os.ReadFile(*merge); err == nil {
+			var prev Report
+			if err := json.Unmarshal(b, &prev); err != nil {
+				log.Fatalf("benchjson: %s: %v", *merge, err)
+			}
+			rep.Baseline = prev.Baseline
+			rep.Note = prev.Note
+		}
+	}
+	if *note != "" {
+		rep.Note = *note
+	}
+	if *asBaseline {
+		rep.Baseline = parsed
+	} else {
+		rep.Current = parsed
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(parsed), *out)
+}
+
+// parse extracts benchmark result lines from `go test -bench` output,
+// tracking the current package from "pkg:" header lines.
+func parse(r io.Reader) []Bench {
+	var out []Bench
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  12.3 ns/op  [456 MB/s]  7 B/op  8 allocs/op
+		if len(fields) < 4 {
+			continue
+		}
+		b := Bench{Pkg: pkg}
+		b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+			b.Name = b.Name[:i]
+		}
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsOp, ok = v, true
+			case "B/op":
+				b.BOp = int64(v)
+			case "allocs/op":
+				b.AllocsOp = int64(v)
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

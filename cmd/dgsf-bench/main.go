@@ -293,13 +293,14 @@ func sweep(seed int64) {
 }
 
 func rtt(seed int64) {
-	header("Extension: remoting-latency sensitivity (faceidentification)")
+	header("Extension: remoting-latency sensitivity (batching vs pipelined lane)")
 	for _, r := range experiments.RTTSweep(seed) {
 		verdict := "DGSF wins"
-		if r.DGSF >= r.Native {
+		if r.DGSF >= r.Native && r.DGSFAsync >= r.Native {
 			verdict = "native wins"
 		}
-		fmt.Printf("RTT %-8v native=%-7s dgsf=%-7s %s\n", r.RTT, s(r.Native), s(r.DGSF), verdict)
+		fmt.Printf("%-20s RTT %-8v native=%-7s dgsf=%-7s +async=%-7s %s\n",
+			r.Workload, r.RTT, s(r.Native), s(r.DGSF), s(r.DGSFAsync), verdict)
 	}
 }
 

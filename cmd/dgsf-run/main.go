@@ -22,7 +22,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "GPU server address")
 	name := flag.String("workload", "kmeans", "workload: "+strings.Join(names(), ", "))
-	opt := flag.String("opt", "all", "guest optimization tier: none, desc, all")
+	opt := flag.String("opt", "all", "guest optimization tier: none, desc, all, async")
 	flag.Parse()
 
 	spec, err := workloads.ByName(*name)
@@ -37,6 +37,8 @@ func main() {
 		tier = guest.OptLocalDescriptors
 	case "all":
 		tier = guest.OptAll
+	case "async":
+		tier = guest.OptAll | guest.OptAsync
 	default:
 		log.Fatalf("unknown tier %q", *opt)
 	}
@@ -72,8 +74,8 @@ func main() {
 	fmt.Printf("  virtual time: init=%v load=%v process=%v total=%v\n",
 		phases.Init.Round(time.Millisecond), phases.Load.Round(time.Millisecond),
 		phases.Process.Round(time.Millisecond), phases.Total().Round(time.Millisecond))
-	fmt.Printf("  guest calls:  %d total, %d remoted, %d batched (in %d batches), %d answered locally\n",
-		stats.Total, stats.Remoted, stats.Batched, stats.Batches, stats.Localized)
+	fmt.Printf("  guest calls:  %d total, %d remoted, %d batched (in %d batches), %d async (%d fences), %d answered locally\n",
+		stats.Total, stats.Remoted, stats.Batched, stats.Batches, stats.Async, stats.Fences, stats.Localized)
 	fmt.Printf("  round trips:  %d over the real socket\n", stats.Roundtrips())
 	fmt.Printf("  wall time:    %v\n", time.Since(wallStart).Round(time.Millisecond))
 }

@@ -58,6 +58,8 @@ type Config struct {
 type Stats struct {
 	CallsHandled   int
 	BatchesHandled int
+	AsyncHandled   int // one-way submissions executed without a reply
+	FencesHandled  int // pipeline fences answered
 	Kernels        int
 	Migrations     int
 	MigrationTime  time.Duration // cumulative
@@ -87,6 +89,11 @@ type Server struct {
 	sess       *session
 	stats      Stats
 	callCounts map[uint16]int
+
+	// asyncErr latches the first error produced by a one-way (CallAsync)
+	// submission; the next CallFence reports and clears it — the sticky
+	// error semantics CUDA gives asynchronous work.
+	asyncErr int32
 
 	// pinned is the GPU-resident cached model this server holds while idle
 	// (or before the owning function adopts it via ModelAttach). Its VMM
@@ -227,6 +234,9 @@ func (s *Server) Run(p *sim.Proc) {
 			continue
 		}
 		resp, data := s.handle(p, req.Payload)
+		if resp == nil || req.ReplyTo == nil {
+			continue // one-way submission: no acknowledgement
+		}
 		req.ReplyTo.Send(remoting.Response{Payload: resp, RespData: data})
 	}
 }
@@ -280,16 +290,45 @@ func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 	}
 }
 
-// handle executes one wire message (a single call or a batch).
+// handle executes one wire message (a single call, a batch, an async
+// one-way submission, or a fence). A nil response means "send no reply".
 func (s *Server) handle(p *sim.Proc, payload []byte) ([]byte, int64) {
 	d := wire.NewDecoder(payload)
-	if id := d.U16(); id == remoting.CallBatch {
+	switch id := d.U16(); id {
+	case remoting.CallBatch:
 		return s.handleBatch(p, d), 0
-	} else {
+	case remoting.CallAsync:
+		s.handleAsync(p, payload[2:])
+		return nil, 0
+	case remoting.CallFence:
+		s.stats.FencesHandled++
+		var e wire.Encoder
+		e.I32(s.asyncErr)
+		s.asyncErr = 0
+		return e.Bytes(), 0
+	default:
 		s.callCounts[id]++
 	}
 	s.stats.CallsHandled++
 	return gen.Dispatch(p, s, payload)
+}
+
+// handleAsync executes a one-way submission: the wrapped message runs like
+// any other, but no reply is sent and the first error latches into asyncErr
+// until the next fence.
+func (s *Server) handleAsync(p *sim.Proc, inner []byte) {
+	s.stats.AsyncHandled++
+	if id := wire.NewDecoder(inner).U16(); id == remoting.CallAsync || id == remoting.CallFence {
+		if s.asyncErr == 0 {
+			s.asyncErr = int32(cuda.Code(cuda.ErrInvalidValue))
+		}
+		return // malformed: reserved IDs do not nest inside a submission
+	}
+	resp, _ := s.handle(p, inner)
+	rd := wire.NewDecoder(resp)
+	if code := rd.I32(); code != 0 && s.asyncErr == 0 && rd.Err() == nil {
+		s.asyncErr = code
+	}
 }
 
 // CallCounts reports how often each API has been executed, keyed by name —
@@ -349,6 +388,8 @@ func (s *Server) Hello(p *sim.Proc, fnID string, memLimit int64) error {
 	if s.sess != nil {
 		return cuda.ErrInitializationError
 	}
+	s.asyncErr = 0 // a fresh session starts with a clean pipeline
+
 	if !s.prewarm {
 		if err := s.rt.SetDevice(p, s.cfg.HomeDev); err != nil {
 			return err

@@ -135,63 +135,90 @@ func SharingSweep(seed int64) []SharingResult {
 
 // RTTResult is one point of the network-latency sensitivity sweep.
 type RTTResult struct {
-	RTT    time.Duration
-	Native time.Duration
-	DGSF   time.Duration
+	Workload  string
+	RTT       time.Duration
+	Native    time.Duration
+	DGSF      time.Duration // fully optimized synchronous guest (OptAll)
+	DGSFAsync time.Duration // OptAll plus the pipelined submission lane
 }
 
-// RTTSweep measures the faceidentification workload under increasing
-// remoting round-trip latency. DGSF beats native at in-rack latencies
-// because pre-initialization outweighs per-call overhead; as the RTT grows,
-// per-call overhead erases the win — quantifying how far the GPU pool can
-// be disaggregated before transparency is no longer free.
-func RTTSweep(seed int64) []RTTResult {
-	spec := workloads.FaceIdentification()
-	native := RunSingle(seed, spec, ModeNative, false).Total
-	var out []RTTResult
-	for _, rtt := range []time.Duration{
+// RTTSweepRTTs lists the round-trip latencies the sweep covers, from
+// in-rack to cross-zone.
+func RTTSweepRTTs() []time.Duration {
+	return []time.Duration{
 		50 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
-		1 * time.Millisecond, 2 * time.Millisecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	}
+}
+
+// RTTSweep measures two workloads under increasing remoting round-trip
+// latency. DGSF beats native at in-rack latencies because
+// pre-initialization outweighs per-call overhead; as the RTT grows,
+// per-call overhead erases the win — quantifying how far the GPU pool can
+// be disaggregated before transparency is no longer free. The async column
+// shows how far the pipelined submission lane pushes that horizon: one-way
+// submissions hide the outbound latency that batching alone still pays on
+// every synchronizing call.
+func RTTSweep(seed int64) []RTTResult {
+	var out []RTTResult
+	for _, spec := range []*workloads.Spec{
+		workloads.FaceIdentification(), workloads.ImageClassification(),
 	} {
-		r := RTTResult{RTT: rtt, Native: native}
-		e := sim.NewEngine(seed)
-		e.Run("rtt", func(p *sim.Proc) {
-			env := faas.OpenFaaSEnv()
-			env.Net.RTT = rtt
-
-			// Pre-warm the API server off the function's critical path,
-			// as the GPU server manager does at boot.
-			dev := gpu.New(e, gpu.V100Config(0))
-			rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.DefaultCosts())
-			srv := apiserver.NewServer(e, rt, apiserver.Config{
-				PoolHandles: true,
-				CUDACosts:   cuda.DefaultCosts(),
-				LibCosts:    cudalibs.DefaultCosts(),
+		native := RunSingle(seed, spec, ModeNative, false).Total
+		for _, rtt := range RTTSweepRTTs() {
+			out = append(out, RTTResult{
+				Workload:  spec.Name,
+				RTT:       rtt,
+				Native:    native,
+				DGSF:      rttRun(seed, spec, rtt, guest.OptAll),
+				DGSFAsync: rttRun(seed, spec, rtt, guest.OptAll|guest.OptAsync),
 			})
-			if err := srv.Prewarm(p); err != nil {
-				panic(err)
-			}
-			p.SpawnDaemon("apiserver", srv.Run)
-
-			start := p.Now()
-			p.Sleep(env.Download.TransferTime(p, spec.DownloadBytes))
-			conn := remoting.Dial(e, &remoting.Listener{Incoming: srv.Inbox}, env.Net)
-			lib := guest.New(conn, guest.OptAll)
-			if err := lib.Hello(p, spec.Name, spec.MemLimit); err != nil {
-				panic(err)
-			}
-			if err := spec.RunBody(p, lib, nil); err != nil {
-				panic(err)
-			}
-			lib.FlushBatch(p)
-			if err := lib.Bye(p); err != nil {
-				panic(err)
-			}
-			r.DGSF = p.Now() - start
-		})
-		out = append(out, r)
+		}
 	}
 	return out
+}
+
+// rttRun executes one cell of the RTT sweep on its own engine, so every
+// configuration sees an identical virtual testbed and results are
+// deterministic per (seed, workload, rtt, opt).
+func rttRun(seed int64, spec *workloads.Spec, rtt time.Duration, opt guest.Opt) time.Duration {
+	var total time.Duration
+	e := sim.NewEngine(seed)
+	e.Run("rtt", func(p *sim.Proc) {
+		env := faas.OpenFaaSEnv()
+		env.Net.RTT = rtt
+
+		// Pre-warm the API server off the function's critical path,
+		// as the GPU server manager does at boot.
+		dev := gpu.New(e, gpu.V100Config(0))
+		rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.DefaultCosts())
+		srv := apiserver.NewServer(e, rt, apiserver.Config{
+			PoolHandles: true,
+			CUDACosts:   cuda.DefaultCosts(),
+			LibCosts:    cudalibs.DefaultCosts(),
+		})
+		if err := srv.Prewarm(p); err != nil {
+			panic(err)
+		}
+		p.SpawnDaemon("apiserver", srv.Run)
+
+		start := p.Now()
+		p.Sleep(env.Download.TransferTime(p, spec.DownloadBytes))
+		conn := remoting.Dial(e, &remoting.Listener{Incoming: srv.Inbox}, env.Net)
+		lib := guest.New(conn, opt)
+		if err := lib.Hello(p, spec.Name, spec.MemLimit); err != nil {
+			panic(err)
+		}
+		if err := spec.RunBody(p, lib, nil); err != nil {
+			panic(err)
+		}
+		lib.FlushBatch(p)
+		if err := lib.Bye(p); err != nil {
+			panic(err)
+		}
+		total = p.Now() - start
+	})
+	return total
 }
 
 // ScaleResult is one point of the GPU-server scale-out experiment.

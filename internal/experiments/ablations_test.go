@@ -56,24 +56,72 @@ func TestSharingSweepDiminishingReturns(t *testing.T) {
 	}
 }
 
+// sweepByWorkload groups RTT sweep points per workload, preserving order.
+func sweepByWorkload(rs []RTTResult) map[string][]RTTResult {
+	out := make(map[string][]RTTResult)
+	for _, r := range rs {
+		out[r.Workload] = append(out[r.Workload], r)
+	}
+	return out
+}
+
 func TestRTTSweepCrossover(t *testing.T) {
 	rs := RTTSweep(1)
-	if len(rs) != 5 {
-		t.Fatalf("%d points", len(rs))
+	byWl := sweepByWorkload(rs)
+	if len(byWl) != 2 {
+		t.Fatalf("%d workloads in sweep", len(byWl))
 	}
-	// Monotone: more latency, slower DGSF.
-	for i := 1; i < len(rs); i++ {
-		if rs[i].DGSF <= rs[i-1].DGSF {
-			t.Errorf("DGSF time not increasing with RTT: %v then %v", rs[i-1].DGSF, rs[i].DGSF)
+	for wl, pts := range byWl {
+		if len(pts) != len(RTTSweepRTTs()) {
+			t.Fatalf("%s: %d points", wl, len(pts))
+		}
+		// Monotone: more latency, slower DGSF.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].DGSF <= pts[i-1].DGSF {
+				t.Errorf("%s: DGSF time not increasing with RTT: %v then %v", wl, pts[i-1].DGSF, pts[i].DGSF)
+			}
+		}
+		// At in-rack RTT DGSF beats native; at millisecond RTTs it does not.
+		if pts[0].DGSF >= pts[0].Native {
+			t.Errorf("%s: at %v RTT, DGSF (%v) should beat native (%v)", wl, pts[0].RTT, pts[0].DGSF, pts[0].Native)
+		}
+		last := pts[len(pts)-1]
+		if last.DGSF <= last.Native {
+			t.Errorf("%s: at %v RTT, DGSF (%v) should lose to native (%v)", wl, last.RTT, last.DGSF, last.Native)
 		}
 	}
-	// At in-rack RTT DGSF beats native; at millisecond RTTs it does not.
-	if rs[0].DGSF >= rs[0].Native {
-		t.Errorf("at %v RTT, DGSF (%v) should beat native (%v)", rs[0].RTT, rs[0].DGSF, rs[0].Native)
+}
+
+// TestRTTSweepAsyncBeatsBatching is the acceptance criterion of the
+// pipelined lane: at round trips of 500µs and above, one-way submission
+// strictly beats batching alone, for every swept workload.
+func TestRTTSweepAsyncBeatsBatching(t *testing.T) {
+	rs := RTTSweep(1)
+	for wl, pts := range sweepByWorkload(rs) {
+		for _, r := range pts {
+			if r.DGSFAsync <= 0 {
+				t.Fatalf("%s: missing async measurement at %v", wl, r.RTT)
+			}
+			if r.RTT >= 500*time.Microsecond && r.DGSFAsync >= r.DGSF {
+				t.Errorf("%s: at %v RTT, async (%v) not strictly below batching (%v)",
+					wl, r.RTT, r.DGSFAsync, r.DGSF)
+			}
+		}
 	}
-	last := rs[len(rs)-1]
-	if last.DGSF <= last.Native {
-		t.Errorf("at %v RTT, DGSF (%v) should lose to native (%v)", last.RTT, last.DGSF, last.Native)
+}
+
+// TestRTTSweepDeterministic checks that the pipelined lane preserves the
+// simulation's determinism: the same seed reproduces identical virtual
+// times, async tier included.
+func TestRTTSweepDeterministic(t *testing.T) {
+	a, b := RTTSweep(1), RTTSweep(1)
+	if len(a) != len(b) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -215,18 +215,20 @@ func Figure3(seed int64) []Fig3Row {
 // Tier is one cumulative optimization step of the ablation study.
 type Tier string
 
-// Ablation tiers, cumulative left to right (Fig. 4).
+// Ablation tiers, cumulative left to right (Fig. 4, extended with the
+// pipelined submission lane).
 const (
 	TierNative     Tier = "native"
 	TierNoOpt      Tier = "dgsf-noopt"
 	TierHandlePool Tier = "+handle-pool"
 	TierDescPool   Tier = "+desc-pool"
 	TierBatching   Tier = "+batching"
+	TierAsync      Tier = "+async"
 )
 
 // Tiers lists the ablation tiers in order.
 func Tiers() []Tier {
-	return []Tier{TierNative, TierNoOpt, TierHandlePool, TierDescPool, TierBatching}
+	return []Tier{TierNative, TierNoOpt, TierHandlePool, TierDescPool, TierBatching, TierAsync}
 }
 
 // Fig4Row is one workload's ablation: processing time (downloads excluded,
@@ -276,6 +278,8 @@ func runTier(seed int64, spec *workloads.Spec, tier Tier) SingleResult {
 		env.GuestOpt = guest.OptLocalDescriptors
 	case TierBatching:
 		env.GuestOpt = guest.OptAll
+	case TierAsync:
+		env.GuestOpt = guest.OptAll | guest.OptAsync
 	}
 	e := sim.NewEngine(seed)
 	e.Run("exp", func(p *sim.Proc) {

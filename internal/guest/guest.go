@@ -37,11 +37,14 @@ import (
 // Opt is a bitmask of guest-side optimization tiers.
 type Opt uint8
 
-// Guest optimization flags. OptAll enables every guest-side optimization.
+// Guest optimization flags. OptAll enables every guest-side optimization in
+// the paper's ablation; OptAsync additionally turns on the pipelined
+// submission lane and must be combined with a transport that supports it.
 const (
 	OptNone             Opt = 0
 	OptLocalDescriptors Opt = 1 << iota
 	OptBatching
+	OptAsync
 	OptAll = OptLocalDescriptors | OptBatching
 )
 
@@ -51,23 +54,38 @@ type Stats struct {
 	Remoted   int // forwarded as individual round trips
 	Batched   int // forwarded inside batch messages
 	Localized int // answered locally, never forwarded
+	Async     int // forwarded as one-way pipelined submissions
 	Batches   int // batch messages sent
+	Fences    int // pipeline fences performed (round trips)
 }
 
 // Roundtrips returns the number of network round trips performed.
-func (s Stats) Roundtrips() int { return s.Remoted + s.Batches }
+func (s Stats) Roundtrips() int { return s.Remoted + s.Batches + s.Fences }
 
 // Forwarded returns the number of API calls that reached the API server.
-func (s Stats) Forwarded() int { return s.Remoted + s.Batched }
+func (s Stats) Forwarded() int { return s.Remoted + s.Batched + s.Async }
 
 // localDescBit marks guest-allocated descriptor handles so they can never
 // collide with server-side handles.
 const localDescBit = 1 << 62
 
+// maxAsyncWindow bounds the guest-tracked in-flight depth of the pipelined
+// lane; hitting it forces a fence so an unbounded burst of one-way
+// submissions cannot run arbitrarily far ahead of the server. It is sized
+// above the launch bursts real inference loops produce (hundreds per batch):
+// a mid-burst fence would reintroduce exactly the round trip the lane hides.
+const maxAsyncWindow = 512
+
 // Lib is a guest library instance: one per function execution.
 type Lib struct {
 	cl  *gen.Client
 	opt Opt
+
+	// async is the transport's pipelined lane, non-nil when the transport
+	// implements remoting.AsyncCaller. Without it OptAsync degrades to the
+	// synchronous paths.
+	async         remoting.AsyncCaller
+	asyncInFlight int
 
 	stats Stats
 
@@ -91,7 +109,7 @@ var _ gen.API = (*Lib)(nil)
 
 // New returns a guest library speaking to the API server over t.
 func New(t remoting.Caller, opt Opt) *Lib {
-	return &Lib{
+	l := &Lib{
 		cl:         &gen.Client{T: t},
 		opt:        opt,
 		ptrSizes:   make(map[cuda.DevPtr]int64),
@@ -99,6 +117,10 @@ func New(t remoting.Caller, opt Opt) *Lib {
 		localDescs: make(map[cudalibs.Descriptor]bool),
 		localCost:  300 * time.Nanosecond,
 	}
+	if ac, ok := t.(remoting.AsyncCaller); ok {
+		l.async = ac
+	}
+	return l
 }
 
 // Stats returns the call-disposition counters.
@@ -117,21 +139,71 @@ func (l *Lib) local(p *sim.Proc) {
 }
 
 // remoteCall wraps an individual round trip: any pending batch is flushed
-// first so the server observes calls in program order.
+// and the pipelined lane is drained first, so the server observes calls in
+// program order and latched asynchronous errors surface before the
+// synchronous call runs.
 func (l *Lib) remote(p *sim.Proc) {
 	l.FlushBatch(p)
+	l.fence(p)
 	l.stats.Total++
 	l.stats.Remoted++
 }
 
 // deferCall length-prefixes one encoded call into the pending batch body.
+// The scratch encoder is reused across calls: BytesField copies its bytes.
 func (l *Lib) deferCall(appendFn func(e *wire.Encoder)) {
 	l.stats.Total++
 	l.stats.Batched++
-	var tmp wire.Encoder
-	appendFn(&tmp)
-	l.batchBody.BytesField(tmp.Bytes())
+	l.batch.Reset()
+	appendFn(&l.batch)
+	l.batchBody.BytesField(l.batch.Bytes())
 	l.batchCount++
+}
+
+// submitAsync fires one call down the transport's pipelined lane without
+// waiting for an acknowledgement. The encoder buffer is freshly allocated —
+// never pooled — because the transport may hold it until delivery. Errors
+// latch server-side and surface at the next fence.
+func (l *Lib) submitAsync(p *sim.Proc, reqData int64, appendFn func(e *wire.Encoder)) error {
+	if l.asyncInFlight >= maxAsyncWindow {
+		l.fence(p)
+	}
+	l.stats.Total++
+	l.stats.Async++
+	var e wire.Encoder
+	e.U16(remoting.CallAsync)
+	appendFn(&e)
+	if err := l.async.Submit(p, e.Bytes(), reqData); err != nil {
+		l.lastError = -1
+		return err
+	}
+	l.asyncInFlight++
+	return nil
+}
+
+// fence drains the pipelined lane: a CallFence round trip whose FIFO
+// position guarantees every prior submission has executed, and whose reply
+// carries the first latched asynchronous error. A no-op with nothing in
+// flight, so tiers without OptAsync are unaffected.
+func (l *Lib) fence(p *sim.Proc) {
+	if l.asyncInFlight == 0 {
+		return
+	}
+	l.asyncInFlight = 0
+	l.stats.Fences++
+	enc := wire.GetEncoder()
+	enc.U16(remoting.CallFence)
+	resp, err := l.cl.T.Roundtrip(p, enc.Bytes(), 0)
+	if err != nil {
+		l.lastError = -1
+		return
+	}
+	wire.PutEncoder(enc)
+	d := wire.GetDecoder(resp)
+	if code := int(d.I32()); code != 0 && l.lastError == 0 {
+		l.lastError = code
+	}
+	wire.PutDecoder(d)
 }
 
 // FlushBatch ships the pending batch, if any, as one round trip. Errors from
@@ -140,26 +212,31 @@ func (l *Lib) FlushBatch(p *sim.Proc) {
 	if l.batchCount == 0 {
 		return
 	}
-	var msg wire.Encoder
-	msg.U16(remoting.CallBatch)
-	msg.U32(uint32(l.batchCount))
-	msg.Raw(l.batchBody.Bytes())
+	l.batch.Reset()
+	l.batch.U16(remoting.CallBatch)
+	l.batch.U32(uint32(l.batchCount))
+	l.batch.Raw(l.batchBody.Bytes())
 	l.batchBody.Reset()
 	l.batchCount = 0
 	l.stats.Batches++
-	resp, err := l.cl.T.Roundtrip(p, msg.Bytes(), 0)
+	resp, err := l.cl.T.Roundtrip(p, l.batch.Bytes(), 0)
 	if err != nil {
 		l.lastError = -1
 		return
 	}
-	d := wire.NewDecoder(resp)
+	d := wire.GetDecoder(resp)
 	if code := int(d.I32()); code != 0 {
 		l.lastError = code
 	}
+	wire.PutDecoder(d)
 }
 
 // batching reports whether batching is enabled.
 func (l *Lib) batching() bool { return l.opt&OptBatching != 0 }
+
+// asyncing reports whether the pipelined lane is active: the OptAsync tier
+// is enabled and the transport supports one-way submissions.
+func (l *Lib) asyncing() bool { return l.opt&OptAsync != 0 && l.async != nil }
 
 // localizing reports whether guest-side localization is enabled.
 func (l *Lib) localizing() bool { return l.opt&OptLocalDescriptors != 0 }
@@ -292,9 +369,15 @@ func (l *Lib) Malloc(p *sim.Proc, size int64) (cuda.DevPtr, error) {
 	return ptr, err
 }
 
-// Free mirrors cudaFree.
+// Free mirrors cudaFree. It is a synchronizing call in the pipelined tier:
+// releasing memory while one-way work may still reference it must drain the
+// lane first, so it takes the remote path, which fences.
 func (l *Lib) Free(p *sim.Proc, ptr cuda.DevPtr) error {
 	delete(l.ptrSizes, ptr)
+	if l.asyncing() {
+		l.remote(p)
+		return l.cl.Free(p, ptr)
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendFreeCall(e, ptr) })
 		return nil
@@ -305,6 +388,9 @@ func (l *Lib) Free(p *sim.Proc, ptr cuda.DevPtr) error {
 
 // Memset mirrors cudaMemset.
 func (l *Lib) Memset(p *sim.Proc, ptr cuda.DevPtr, value byte, size int64) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendMemsetCall(e, ptr, value, size) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendMemsetCall(e, ptr, value, size) })
 		return nil
@@ -313,8 +399,13 @@ func (l *Lib) Memset(p *sim.Proc, ptr cuda.DevPtr, value byte, size int64) error
 	return l.cl.Memset(p, ptr, value, size)
 }
 
-// MemcpyH2D mirrors cudaMemcpy(HostToDevice).
+// MemcpyH2D mirrors cudaMemcpy(HostToDevice). Host-to-device copies need no
+// result, so the pipelined tier submits them one-way, overlapping the
+// transfer's network latency with guest compute.
 func (l *Lib) MemcpyH2D(p *sim.Proc, dst cuda.DevPtr, src gpu.HostBuffer, size int64) error {
+	if l.asyncing() {
+		return l.submitAsync(p, size, func(e *wire.Encoder) { gen.AppendMemcpyH2DCall(e, dst, src, size) })
+	}
 	l.remote(p)
 	return l.cl.MemcpyH2D(p, dst, src, size)
 }
@@ -407,6 +498,9 @@ func (l *Lib) PopCallConfiguration(p *sim.Proc) error {
 // the native call pattern — push configuration, launch, pop configuration —
 // as three forwarded calls; the optimized guest ships one batched launch.
 func (l *Lib) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, lp) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, lp) })
 		return nil
@@ -429,6 +523,9 @@ func (l *Lib) StreamCreate(p *sim.Proc) (cuda.StreamHandle, error) {
 
 // StreamDestroy mirrors cudaStreamDestroy.
 func (l *Lib) StreamDestroy(p *sim.Proc, h cuda.StreamHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, h) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, h) })
 		return nil
@@ -451,6 +548,9 @@ func (l *Lib) EventCreate(p *sim.Proc) (cuda.EventHandle, error) {
 
 // EventDestroy mirrors cudaEventDestroy.
 func (l *Lib) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, h) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, h) })
 		return nil
@@ -461,6 +561,9 @@ func (l *Lib) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
 
 // EventRecord mirrors cudaEventRecord.
 func (l *Lib) EventRecord(p *sim.Proc, h cuda.EventHandle, stream cuda.StreamHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendEventRecordCall(e, h, stream) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendEventRecordCall(e, h, stream) })
 		return nil
@@ -491,6 +594,9 @@ func (l *Lib) DnnCreate(p *sim.Proc) (cudalibs.DNNHandle, error) {
 
 // DnnDestroy mirrors cudnnDestroy.
 func (l *Lib) DnnDestroy(p *sim.Proc, h cudalibs.DNNHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, h) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, h) })
 		return nil
@@ -501,6 +607,9 @@ func (l *Lib) DnnDestroy(p *sim.Proc, h cudalibs.DNNHandle) error {
 
 // DnnSetStream mirrors cudnnSetStream.
 func (l *Lib) DnnSetStream(p *sim.Proc, h cudalibs.DNNHandle, stream cuda.StreamHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, h, stream) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, h, stream) })
 		return nil
@@ -541,6 +650,9 @@ func (l *Lib) BlasCreate(p *sim.Proc) (cudalibs.BLASHandle, error) {
 
 // BlasDestroy mirrors cublasDestroy.
 func (l *Lib) BlasDestroy(p *sim.Proc, h cudalibs.BLASHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, h) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, h) })
 		return nil
@@ -551,6 +663,9 @@ func (l *Lib) BlasDestroy(p *sim.Proc, h cudalibs.BLASHandle) error {
 
 // BlasSetStream mirrors cublasSetStream.
 func (l *Lib) BlasSetStream(p *sim.Proc, h cudalibs.BLASHandle, stream cuda.StreamHandle) error {
+	if l.asyncing() {
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, h, stream) })
+	}
 	if l.batching() {
 		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, h, stream) })
 		return nil

@@ -282,3 +282,161 @@ func TestPushPopConfigurationLocalizedWhenBatching(t *testing.T) {
 		}
 	})
 }
+
+// asyncLoopback extends the counting loopback with the pipelined lane:
+// Submit executes CallAsync-wrapped messages immediately (a loopback has no
+// latency to hide) and latches the first error; a CallFence round trip
+// reports and clears it, mirroring the API server's semantics.
+type asyncLoopback struct {
+	countingLoopback
+	submits int
+	latched int32
+}
+
+func (l *asyncLoopback) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	if len(req) >= 2 {
+		if id := uint16(req[0]) | uint16(req[1])<<8; id == remoting.CallFence {
+			l.n++
+			var e wire.Encoder
+			e.I32(l.latched)
+			l.latched = 0
+			return e.Bytes(), nil
+		}
+	}
+	return l.countingLoopback.Roundtrip(p, req, reqData)
+}
+
+func (l *asyncLoopback) Submit(p *sim.Proc, req []byte, reqData int64) error {
+	l.submits++
+	resp, _ := gen.Dispatch(p, l.b, req[2:]) // strip the CallAsync wrapper
+	rd := wire.NewDecoder(resp)
+	if code := rd.I32(); code != 0 && l.latched == 0 {
+		l.latched = code
+	}
+	return nil
+}
+
+// rigAsync builds a guest library over an async-capable loopback.
+func rigAsync(e *sim.Engine, p *sim.Proc, opt Opt) (*Lib, *asyncLoopback) {
+	cfg := gpu.V100Config(0)
+	cfg.CopyLat, cfg.KernelLat = 0, 0
+	dev := gpu.New(e, cfg)
+	rt := cuda.NewRuntime(e, []*gpu.Device{dev}, cuda.Costs{})
+	lb := &asyncLoopback{countingLoopback: countingLoopback{b: native.New(rt, cudalibs.Costs{})}}
+	return New(lb, opt), lb
+}
+
+func TestAsyncSubmissionsAreZeroRoundTripsUntilSync(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rigAsync(e, p, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		fns, _ := lib.RegisterKernels(p, []string{"k"})
+		ptr, _ := lib.Malloc(p, 1<<20)
+		before := lb.n
+		_ = lib.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 1, Size: 1 << 20}, 1<<20)
+		_ = lib.Memset(p, ptr, 0, 1<<20)
+		for i := 0; i < 10; i++ {
+			if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond, Mutates: []cuda.DevPtr{ptr}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if lb.n != before {
+			t.Fatalf("async submissions used %d round trips", lb.n-before)
+		}
+		if lb.submits != 12 {
+			t.Fatalf("submits = %d, want 12", lb.submits)
+		}
+		// A synchronizing call drains the lane: one fence plus itself.
+		if _, err := lib.MemcpyD2H(p, ptr, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if got := lb.n - before; got != 2 {
+			t.Fatalf("synchronizing call after async burst used %d round trips, want 2 (fence + call)", got)
+		}
+		st := lib.Stats()
+		if st.Async != 12 || st.Fences != 1 {
+			t.Fatalf("stats = %+v, want 12 async / 1 fence", st)
+		}
+		if st.Total != st.Remoted+st.Batched+st.Localized+st.Async {
+			t.Fatalf("stats identity broken with async lane: %+v", st)
+		}
+		if st.Roundtrips() != st.Remoted+st.Batches+st.Fences {
+			t.Fatalf("roundtrip identity broken: %+v", st)
+		}
+	})
+}
+
+func TestAsyncErrorSurfacesAtFenceNotBefore(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rigAsync(e, p, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		// A one-way memset of unallocated memory fails on the server and
+		// latches; the submission itself reports success.
+		if err := lib.Memset(p, cuda.DevPtr(0xDEAD0000), 0, 4096); err != nil {
+			t.Fatalf("async submission surfaced error early: %v", err)
+		}
+		if lb.latched == 0 {
+			t.Fatal("loopback did not latch the async error")
+		}
+		// Before any fence the guest has not seen the error.
+		if code, _ := lib.GetLastError(p); code != 0 {
+			t.Fatalf("error visible before fence: %d", code)
+		}
+		// The next synchronizing call fences and pulls the latched error in.
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatal(err)
+		}
+		code, _ := lib.GetLastError(p)
+		if code == 0 {
+			t.Fatal("latched async error not surfaced after fence")
+		}
+		// Sticky semantics: reading it cleared it.
+		if again, _ := lib.GetLastError(p); again != 0 {
+			t.Fatalf("error not cleared after read: %d", again)
+		}
+	})
+}
+
+func TestAsyncFreeIsSynchronizing(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rigAsync(e, p, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		ptr, _ := lib.Malloc(p, 1<<20)
+		_ = lib.Memset(p, ptr, 0, 1<<20) // async
+		before := lb.n
+		if err := lib.Free(p, ptr); err != nil {
+			t.Fatal(err)
+		}
+		// Free drained the lane (fence) and executed synchronously.
+		if got := lb.n - before; got != 2 {
+			t.Fatalf("free used %d round trips, want 2 (fence + free)", got)
+		}
+	})
+}
+
+func TestOptAsyncDegradesWithoutAsyncTransport(t *testing.T) {
+	// A transport implementing only Caller (e.g. a test double) silently
+	// falls back to the batching tier.
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, lb := rig(e, p, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		ptr, _ := lib.Malloc(p, 1<<20)
+		before := lb.n
+		_ = lib.Memset(p, ptr, 0, 1<<20)
+		if lb.n != before {
+			t.Fatal("memset crossed the wire instead of batching")
+		}
+		lib.FlushBatch(p)
+		st := lib.Stats()
+		if st.Async != 0 || st.Fences != 0 {
+			t.Fatalf("async lane used without transport support: %+v", st)
+		}
+		if st.Batched == 0 {
+			t.Fatalf("fallback did not batch: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package remoting
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func BenchmarkWriteFrame(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.SetBytes(int64(frameHeaderLen + len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io.Discard, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := make([]byte, 256)
+	var framed bytes.Buffer
+	if err := WriteFrame(&framed, payload, 7); err != nil {
+		b.Fatal(err)
+	}
+	wire := framed.Bytes()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		buf.Write(wire)
+		got, data, err := ReadFrame(&buf)
+		if err != nil || data != 7 || len(got) != len(payload) {
+			b.Fatal("bad frame round trip")
+		}
+	}
+}

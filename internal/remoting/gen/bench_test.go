@@ -1,0 +1,60 @@
+package gen_test
+
+import (
+	"testing"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/remoting/gen"
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/sim"
+)
+
+// fixedResp satisfies remoting.Caller with a canned response: it measures the
+// generated client's own encode/decode cost with zero transport cost.
+type fixedResp struct {
+	resp []byte
+}
+
+func (f *fixedResp) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	return f.resp, nil
+}
+func (f *fixedResp) Close() {}
+
+func okResp(body func(e *wire.Encoder)) []byte {
+	var e wire.Encoder
+	e.I32(0)
+	if body != nil {
+		body(&e)
+	}
+	out := make([]byte, len(e.Bytes()))
+	copy(out, e.Bytes())
+	return out
+}
+
+// BenchmarkClientMemset measures a full client call with an empty response:
+// the steady-state cost of the guest-side stub.
+func BenchmarkClientMemset(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(nil)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Memset(nil, 0x10_0000, 0, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientMalloc measures a client call that decodes a response body.
+func BenchmarkClientMalloc(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(func(e *wire.Encoder) {
+		(&gen.MallocResp{Ptr: cuda.DevPtr(0x10_0000)}).Encode(e)
+	})}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, err := c.Malloc(nil, 1<<20)
+		if err != nil || ptr == 0 {
+			b.Fatal("bad call")
+		}
+	}
+}

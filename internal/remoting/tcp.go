@@ -28,22 +28,43 @@ const frameHeaderLen = 12
 // cause a giant allocation).
 const maxFrameLen = 64 << 20
 
-// WriteFrame writes one framed message.
+// maxPooledFrame caps the frame buffers retained by the pool.
+const maxPooledFrame = 64 << 10
+
+// framePool recycles outbound frame buffers so steady-state framing does not
+// allocate. Buffers are owned by the writer until the write returns.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// appendFrame builds one framed message (header + payload coalesced) on top
+// of buf and returns the extended slice.
+func appendFrame(buf, payload []byte, data int64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(data))
+	return append(buf, payload...)
+}
+
+// WriteFrame writes one framed message with a single Write call, so each
+// frame is one syscall (and, with TCP_NODELAY, at most one segment when it
+// fits).
 func WriteFrame(w io.Writer, payload []byte, data int64) error {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(data))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	bp := framePool.Get().(*[]byte)
+	buf := appendFrame((*bp)[:0], payload, data)
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
 	}
-	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame reads one framed message.
+// ReadFrame reads one framed message. The header is read into a pooled
+// buffer (a stack array would escape through the io.Reader interface); the
+// returned payload is the only steady-state allocation.
 func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	hdr := (*bp)[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
@@ -58,36 +79,112 @@ func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
 	return payload, data, nil
 }
 
-// tcpCaller implements Caller over a TCP connection. Calls are strictly
-// request/response, matching the guest library's synchronous use.
+// setNoDelay disables Nagle's algorithm explicitly on TCP connections: the
+// remoting protocol is latency-bound request/response traffic, and every
+// frame is already written as one segment-sized buffer.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
+
+// tcpWindow bounds the frames queued to the writer goroutine but not yet
+// handed to the kernel: the transport-level in-flight window of the
+// pipelined lane.
+const tcpWindow = 64
+
+// tcpCaller implements AsyncCaller over a TCP connection. Synchronous calls
+// are strictly request/response; Submit hands pre-framed one-way messages to
+// a writer goroutine, which preserves FIFO order between the two kinds.
 type tcpCaller struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex // serializes synchronous round trips
+	conn   net.Conn
+	sendCh chan *[]byte // pre-framed buffers owned by the writer
+
+	closeOnce sync.Once
+	writeErr  error
+	writeDone chan struct{}
 }
 
 // DialTCP connects a guest library to a TCP API server endpoint.
-func DialTCP(addr string) (Caller, error) {
+func DialTCP(addr string) (AsyncCaller, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpCaller{conn: conn}, nil
+	setNoDelay(conn)
+	c := &tcpCaller{
+		conn:      conn,
+		sendCh:    make(chan *[]byte, tcpWindow),
+		writeDone: make(chan struct{}),
+	}
+	go c.writer()
+	return c, nil
+}
+
+// writer drains the send queue onto the socket, one Write per frame. On a
+// write error it records the error, tears the connection down and keeps
+// draining so senders never block forever.
+func (c *tcpCaller) writer() {
+	defer close(c.writeDone)
+	for bp := range c.sendCh {
+		if c.writeErr == nil {
+			if _, err := c.conn.Write(*bp); err != nil {
+				c.writeErr = err
+				_ = c.conn.Close()
+			}
+		}
+		if cap(*bp) <= maxPooledFrame {
+			*bp = (*bp)[:0]
+			framePool.Put(bp)
+		}
+	}
+}
+
+// enqueue frames a message and hands it to the writer goroutine, blocking
+// when the in-flight window is full.
+func (c *tcpCaller) enqueue(payload []byte, data int64) {
+	bp := framePool.Get().(*[]byte)
+	*bp = appendFrame((*bp)[:0], payload, data)
+	c.sendCh <- bp
 }
 
 // Roundtrip sends one framed call and reads the framed reply. The sim
 // process identity is unused: real sockets pace themselves in wall time.
+// Because async submissions receive no reply, the next frame read off the
+// socket is always this call's response.
 func (c *tcpCaller) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req, reqData); err != nil {
-		return nil, err
-	}
+	c.enqueue(req, reqData)
 	payload, _, err := ReadFrame(c.conn)
+	if err != nil && c.writeErr != nil {
+		err = c.writeErr
+	}
 	return payload, err
 }
 
-// Close closes the underlying connection.
-func (c *tcpCaller) Close() { _ = c.conn.Close() }
+// Submit queues one one-way framed message without waiting for any
+// acknowledgement. Ordering with later Roundtrips is FIFO through the
+// writer goroutine; the window bounds queued-but-unwritten frames.
+func (c *tcpCaller) Submit(p *sim.Proc, req []byte, reqData int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.writeErr != nil {
+		return c.writeErr
+	}
+	c.enqueue(req, reqData)
+	return nil
+}
+
+// Close stops the writer and closes the underlying connection.
+func (c *tcpCaller) Close() {
+	c.closeOnce.Do(func() {
+		close(c.sendCh)
+		<-c.writeDone
+		_ = c.conn.Close()
+	})
+}
 
 // ServeConn bridges one accepted TCP connection into an API server's inbox
 // on an open-mode engine: a reader goroutine turns frames into Requests, and
@@ -95,6 +192,7 @@ func (c *tcpCaller) Close() { _ = c.conn.Close() }
 // returns immediately with a channel that closes when the connection drops;
 // the bridge lives until then.
 func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan struct{} {
+	setNoDelay(conn)
 	done := make(chan struct{})
 	replies := sim.NewQueue[Response](e)
 	e.InjectDaemon("tcp-writer", func(p *sim.Proc) {

@@ -22,6 +22,19 @@ import (
 // batches" optimization (§V-C).
 const CallBatch uint16 = 0xFFFF
 
+// CallAsync is the reserved call ID wrapping a one-way submission: the
+// payload after the ID is a complete call (or batch) message that the API
+// server executes without sending a reply. The server latches the first
+// error; a later CallFence surfaces it — the same sticky semantics CUDA
+// gives asynchronous kernel launches.
+const CallAsync uint16 = 0xFFFE
+
+// CallFence is the reserved call ID for the pipelined lane's fence: a normal
+// round trip whose FIFO position guarantees every prior async submission has
+// executed. The reply is a single int32 carrying the latched async error
+// (0 if none), which the fence clears.
+const CallFence uint16 = 0xFFFD
+
 // NetProfile models the network between a function's execution environment
 // and the GPU server.
 type NetProfile struct {
@@ -63,6 +76,17 @@ type Caller interface {
 	Close()
 }
 
+// AsyncCaller is a Caller with a pipelined submission lane. Submit fires a
+// one-way message (normally a CallAsync-wrapped call) without waiting for an
+// acknowledgement; the transport guarantees FIFO ordering between Submit and
+// Roundtrip, so a subsequent Roundtrip — in particular a CallFence — acts as
+// a fence that drains the lane. Both built-in transports implement it; test
+// doubles that only implement Caller degrade the guest to synchronous calls.
+type AsyncCaller interface {
+	Caller
+	Submit(p *sim.Proc, req []byte, reqData int64) error
+}
+
 // Request is one in-flight call as seen by an API server. Control messages
 // from the GPU server's monitor (e.g. migration requests) ride the same FIFO
 // with Ctrl set and Payload nil, which is what confines them to API call
@@ -92,19 +116,76 @@ func NewListener(e *sim.Engine) *Listener {
 	return &Listener{Incoming: sim.NewQueue[Request](e)}
 }
 
-// simConn implements Caller over a Listener within one engine.
+// simConn implements AsyncCaller over a Listener within one engine.
 type simConn struct {
 	e       *sim.Engine
 	l       *Listener
 	profile NetProfile
 	replies *sim.Queue[Response]
 	closed  bool
+
+	// pipe, once the async lane has been used, carries every outbound
+	// message (one-way and round-trip alike) so FIFO ordering holds across
+	// the two kinds. It is created lazily on the first Submit: purely
+	// synchronous connections keep the original direct path.
+	pipe *sim.Queue[pipeItem]
+}
+
+// pipeItem is one in-flight message on the simulated wire: it leaves the
+// sender immediately (the sender only charges its own transfer occupancy)
+// and arrives at the listener at deliverAt, half an RTT later.
+type pipeItem struct {
+	deliverAt time.Duration
+	req       Request
 }
 
 // Dial connects a guest to an API server's listener with the given network
 // profile.
-func Dial(e *sim.Engine, l *Listener, profile NetProfile) Caller {
+func Dial(e *sim.Engine, l *Listener, profile NetProfile) AsyncCaller {
 	return &simConn{e: e, l: l, profile: profile, replies: sim.NewQueue[Response](e)}
+}
+
+// ensurePipe lazily starts the delivery daemon that models the wire between
+// sender and listener: items are handed over in FIFO order, each at its own
+// deliverAt timestamp.
+func (c *simConn) ensurePipe(p *sim.Proc) {
+	if c.pipe != nil {
+		return
+	}
+	pipe := sim.NewQueue[pipeItem](c.e)
+	c.pipe = pipe
+	incoming := c.l.Incoming
+	p.SpawnDaemon("net-pipe", func(p *sim.Proc) {
+		for {
+			it, ok := pipe.Recv(p)
+			if !ok {
+				return
+			}
+			if d := it.deliverAt - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			incoming.Send(it.req)
+		}
+	})
+}
+
+// send charges the sender-side occupancy (transfer time of message plus
+// logical payload) and puts the request on the wire, to arrive half an RTT
+// later. With no pipe running it degenerates to the original synchronous
+// path, whose sleep ends at the identical virtual instant.
+func (c *simConn) send(p *sim.Proc, req Request) {
+	transfer := c.profile.transferTime(p.Rand(), int64(len(req.Payload))+req.ReqData)
+	if c.pipe == nil {
+		if d := c.profile.RTT/2 + transfer; d > 0 {
+			p.Sleep(d)
+		}
+		c.l.Incoming.Send(req)
+		return
+	}
+	if transfer > 0 {
+		p.Sleep(transfer)
+	}
+	c.pipe.Send(pipeItem{deliverAt: p.Now() + c.profile.RTT/2, req: req})
 }
 
 // Roundtrip sends one encoded call and blocks until the reply arrives,
@@ -113,12 +194,7 @@ func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, err
 	if c.closed {
 		return nil, ErrConnClosed
 	}
-	// Outbound: half the RTT plus the transfer time of message + payload.
-	send := c.profile.RTT/2 + c.profile.transferTime(p.Rand(), int64(len(req))+reqData)
-	if send > 0 {
-		p.Sleep(send)
-	}
-	c.l.Incoming.Send(Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile})
+	c.send(p, Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile})
 	resp, ok := c.replies.Recv(p)
 	if !ok {
 		return nil, ErrConnClosed
@@ -131,11 +207,26 @@ func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, err
 	return resp.Payload, nil
 }
 
+// Submit fires one one-way message down the pipelined lane: the caller pays
+// only its transfer occupancy, not the round trip, so compute and network
+// latency overlap. Ordering with later Roundtrips is FIFO.
+func (c *simConn) Submit(p *sim.Proc, req []byte, reqData int64) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.ensurePipe(p)
+	c.send(p, Request{Payload: req, ReqData: reqData, Profile: c.profile})
+	return nil
+}
+
 // Close tears the connection down; a blocked Roundtrip fails.
 func (c *simConn) Close() {
 	if !c.closed {
 		c.closed = true
 		c.replies.Close()
+		if c.pipe != nil {
+			c.pipe.Close()
+		}
 	}
 }
 

@@ -2,10 +2,12 @@ package remoting
 
 import (
 	"bytes"
+	"io"
 	"net"
 	"testing"
 	"time"
 
+	"dgsf/internal/remoting/wire"
 	"dgsf/internal/sim"
 )
 
@@ -187,5 +189,191 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 		if string(resp) != "re:ping" {
 			t.Fatalf("resp = %q", resp)
 		}
+	}
+}
+
+func TestSimSubmitOverlapsRTT(t *testing.T) {
+	// Ten one-way submissions followed by one round trip cost exactly one
+	// RTT of guest time: the submissions' network latency is fully hidden.
+	// FIFO order through the pipe means the server sees all ten before the
+	// fencing round trip.
+	e := sim.NewEngine(1)
+	var elapsed time.Duration
+	var seenBeforeFence int
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			oneWay := 0
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				if req.ReplyTo == nil {
+					oneWay++
+					continue
+				}
+				seenBeforeFence = oneWay
+				req.ReplyTo.Send(Response{Payload: []byte("ok")})
+			}
+		})
+		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+		start := p.Now()
+		for i := 0; i < 10; i++ {
+			if err := conn.Submit(p, []byte("one-way"), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := conn.Roundtrip(p, []byte("fence"), 0); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = p.Now() - start
+	})
+	if seenBeforeFence != 10 {
+		t.Fatalf("server saw %d submissions before the round trip, want 10", seenBeforeFence)
+	}
+	if elapsed != 100*time.Microsecond {
+		t.Fatalf("10 submits + 1 roundtrip took %v, want exactly one RTT (100µs)", elapsed)
+	}
+}
+
+func TestSimSubmitDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		e := sim.NewEngine(7)
+		var elapsed time.Duration
+		e.Run("root", func(p *sim.Proc) {
+			l := NewListener(e)
+			p.SpawnDaemon("server", func(p *sim.Proc) {
+				for {
+					req, ok := l.Incoming.Recv(p)
+					if !ok {
+						return
+					}
+					if req.ReplyTo != nil {
+						req.ReplyTo.Send(Response{Payload: []byte("ok")})
+					}
+				}
+			})
+			conn := Dial(e, l, NetProfile{RTT: 150 * time.Microsecond, Bps: 1e9, JitterFrac: 0.1})
+			start := p.Now()
+			for i := 0; i < 50; i++ {
+				if err := conn.Submit(p, make([]byte, 512), 4096); err != nil {
+					t.Fatal(err)
+				}
+				if i%10 == 9 {
+					if _, err := conn.Roundtrip(p, []byte("fence"), 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		return elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced %v then %v", a, b)
+	}
+}
+
+func TestSubmitOnClosedConnFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		conn := Dial(e, l, NetProfile{})
+		conn.Close()
+		if err := conn.Submit(p, []byte("x"), 0); err != ErrConnClosed {
+			t.Fatalf("Submit on closed conn = %v, want ErrConnClosed", err)
+		}
+	})
+}
+
+func TestTCPSubmitPreservesOrder(t *testing.T) {
+	// One-way submissions over TCP must reach the server before a later
+	// round trip, and the round trip must read its own reply (the server
+	// sends none for submissions).
+	e := sim.NewOpenEngine(1)
+	defer e.Stop()
+	inbox := sim.NewQueue[Request](e)
+	e.InjectDaemon("server", func(p *sim.Proc) {
+		oneWay := 0
+		for {
+			req, ok := inbox.Recv(p)
+			if !ok {
+				return
+			}
+			if len(req.Payload) >= 2 && string(req.Payload[:2]) == "1w" {
+				oneWay++
+				continue // no reply: the async contract
+			}
+			req.ReplyTo.Send(Response{Payload: []byte{byte(oneWay)}})
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ServeConn(e, conn, inbox)
+	}()
+	caller, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < 4; i++ {
+			if err := caller.Submit(nil, []byte("1w-payload"), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := caller.Roundtrip(nil, []byte("sync"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp) != 1 || int(resp[0]) != 4*round {
+			t.Fatalf("round %d: server saw %v one-way messages, want %d", round, resp, 4*round)
+		}
+	}
+}
+
+func TestWriteFrameZeroAllocs(t *testing.T) {
+	if wire.RaceEnabled {
+		t.Skip("race detector drops sync.Pool items; alloc counts are meaningless")
+	}
+	payload := make([]byte, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := WriteFrame(io.Discard, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("WriteFrame allocates %.1f times per frame, want 0", avg)
+	}
+}
+
+func TestFrameRoundTripBoundedAllocs(t *testing.T) {
+	if wire.RaceEnabled {
+		t.Skip("race detector drops sync.Pool items; alloc counts are meaningless")
+	}
+	payload := make([]byte, 256)
+	var framed bytes.Buffer
+	if err := WriteFrame(&framed, payload, 7); err != nil {
+		t.Fatal(err)
+	}
+	raw := framed.Bytes()
+	var buf bytes.Buffer
+	// The only steady-state allocation is the returned payload itself.
+	if avg := testing.AllocsPerRun(200, func() {
+		buf.Reset()
+		buf.Write(raw)
+		if _, _, err := ReadFrame(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("frame round trip allocates %.1f times, want <= 1", avg)
 	}
 }

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"testing"
+
+	"dgsf/internal/cuda"
+)
+
+// TestPooledEncodeZeroAllocs is the zero-alloc contract of the data path:
+// steady-state encoding through the pool allocates nothing once buffers
+// have warmed up.
+func TestPooledEncodeZeroAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race detector drops sync.Pool items; alloc counts are meaningless")
+	}
+	lp := cuda.LaunchParams{
+		Fn:      0x1000,
+		Grid:    [3]int{256, 1, 1},
+		Block:   [3]int{256, 1, 1},
+		Mutates: []cuda.DevPtr{0x10_0000, 0x20_0000},
+	}
+	// Warm the pool.
+	for i := 0; i < 8; i++ {
+		e := GetEncoder()
+		e.U16(23)
+		e.Launch(lp)
+		PutEncoder(e)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		e := GetEncoder()
+		e.U16(23)
+		e.Launch(lp)
+		if e.Len() == 0 {
+			t.Fatal("empty encode")
+		}
+		PutEncoder(e)
+	}); avg != 0 {
+		t.Fatalf("pooled encode allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestPooledDecodeBoundedAllocs: decoding a response through the pool
+// allocates only what the decoded value itself requires.
+func TestPooledDecodeBoundedAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race detector drops sync.Pool items; alloc counts are meaningless")
+	}
+	var e Encoder
+	e.I32(0)
+	e.U64(0x10_0000)
+	buf := e.Bytes()
+	if avg := testing.AllocsPerRun(500, func() {
+		d := GetDecoder(buf)
+		if d.I32() != 0 || d.U64() != 0x10_0000 || d.Err() != nil {
+			t.Fatal("bad decode")
+		}
+		PutDecoder(d)
+	}); avg != 0 {
+		t.Fatalf("pooled scalar decode allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestDecoderClampsCorruptLengthPrefix: a corrupted or hostile length
+// prefix must not pre-allocate beyond the bytes actually present.
+func TestDecoderClampsCorruptLengthPrefix(t *testing.T) {
+	var e Encoder
+	e.U32(500_000) // claims half a million elements...
+	e.U64(1)       // ...but carries one
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	vs := d.U64s()
+	if d.Err() == nil {
+		t.Fatal("truncated slice decoded without error")
+	}
+	if len(vs) > 1 {
+		t.Fatalf("decoded %d elements from a 1-element payload", len(vs))
+	}
+	// The clamp keeps the per-attempt allocation proportional to the real
+	// payload, not the claimed length: at most the clamped backing array.
+	if !RaceEnabled {
+		if avg := testing.AllocsPerRun(100, func() {
+			d := GetDecoder(buf)
+			_ = d.U64s()
+			PutDecoder(d)
+		}); avg > 2 {
+			t.Fatalf("corrupt-prefix decode allocates %.1f times per op, want <= 2", avg)
+		}
+	}
+
+	// Same for strings and pointer slices.
+	var s Encoder
+	s.U32(1 << 19)
+	s.Str("x")
+	ds := NewDecoder(s.Bytes())
+	if got := ds.Strs(); ds.Err() == nil || len(got) > 1 {
+		t.Fatalf("corrupt string slice: err=%v len=%d", ds.Err(), len(got))
+	}
+}

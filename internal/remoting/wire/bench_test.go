@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+)
+
+// benchLaunch is a representative kernel-launch payload: the hottest message
+// on the remoting path (one per launch, hundreds per workload).
+func benchLaunch() cuda.LaunchParams {
+	return cuda.LaunchParams{
+		Fn:       0x5000_0000_0001,
+		Grid:     [3]int{128, 1, 1},
+		Block:    [3]int{256, 1, 1},
+		Stream:   0x7000_0001,
+		Duration: 3 * time.Millisecond,
+		Mutates:  []cuda.DevPtr{0x10_0000, 0x20_0000},
+	}
+}
+
+func BenchmarkEncodeLaunch(b *testing.B) {
+	lp := benchLaunch()
+	var e Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.U16(23) // call ID
+		e.Launch(lp)
+	}
+}
+
+func BenchmarkDecodeLaunch(b *testing.B) {
+	lp := benchLaunch()
+	var e Encoder
+	e.Launch(lp)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		got := d.Launch()
+		if d.Err() != nil || got.Fn != lp.Fn {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkDecodeStrs(b *testing.B) {
+	var e Encoder
+	e.Strs([]string{"kernel_a", "kernel_b", "kernel_c", "kernel_d"})
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		if out := d.Strs(); len(out) != 4 || d.Err() != nil {
+			b.Fatal("bad decode")
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// RaceEnabled reports whether the race detector instruments this build.
+// Alloc-count tests consult it: the detector intentionally drops sync.Pool
+// items to widen interleavings, which voids AllocsPerRun guarantees.
+const RaceEnabled = true

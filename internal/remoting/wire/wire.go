@@ -12,6 +12,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 	"time"
 
 	"dgsf/internal/cuda"
@@ -27,6 +28,49 @@ var ErrOversized = errors.New("wire: oversized field")
 // maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
 // length prefix from causing huge allocations.
 const maxSliceLen = 1 << 20
+
+// maxPooledBuf caps the encoder buffers retained by the pool so one giant
+// message (e.g. a model-sized batch) does not pin memory forever.
+const maxPooledBuf = 64 << 10
+
+// Encoder and Decoder pools for the steady-state remoting data path. The
+// contract is strict ownership: a pooled Encoder's Bytes() must not be
+// referenced after PutEncoder, and a pooled Decoder must not be used after
+// PutDecoder. Callers that hand buffers to asynchronous consumers (e.g. an
+// in-flight one-way submission) must use fresh buffers instead.
+var (
+	encPool = sync.Pool{New: func() any { return new(Encoder) }}
+	decPool = sync.Pool{New: func() any { return new(Decoder) }}
+)
+
+// GetEncoder returns an empty pooled encoder.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encPool.Put(e)
+}
+
+// GetDecoder returns a pooled decoder positioned at the start of buf.
+func GetDecoder(buf []byte) *Decoder {
+	d := decPool.Get().(*Decoder)
+	d.Reset(buf)
+	return d
+}
+
+// PutDecoder returns a decoder to the pool. The decoder must not be used
+// afterwards; any slices it produced remain valid (they are copies).
+func PutDecoder(d *Decoder) {
+	d.Reset(nil)
+	decPool.Put(d)
+}
 
 // Encoder appends binary values to a buffer. The zero value is ready to use.
 type Encoder struct {
@@ -176,6 +220,14 @@ type Decoder struct {
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// Reset repositions the decoder at the start of buf, clearing any sticky
+// error, so one decoder can be reused across messages.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the sticky decode error, if any.
 func (d *Decoder) Err() error { return d.err }
 
@@ -258,6 +310,17 @@ func (d *Decoder) sliceLen() int {
 	return n
 }
 
+// sliceCap clamps a decoded element count to what the remaining bytes could
+// possibly hold, so a corrupt length prefix cannot force a multi-MB
+// pre-allocation before take() fails. elemSize is the minimum encoded size of
+// one element.
+func (d *Decoder) sliceCap(n, elemSize int) int {
+	if max := d.Remaining() / elemSize; n > max {
+		return max
+	}
+	return n
+}
+
 // Str reads a length-prefixed string.
 func (d *Decoder) Str() string {
 	n := d.sliceLen()
@@ -286,9 +349,13 @@ func (d *Decoder) Strs() []string {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]string, 0, n)
+	out := make([]string, 0, d.sliceCap(n, 4))
 	for i := 0; i < n; i++ {
-		out = append(out, d.Str())
+		v := d.Str()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -299,9 +366,13 @@ func (d *Decoder) U64s() []uint64 {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]uint64, 0, n)
+	out := make([]uint64, 0, d.sliceCap(n, 8))
 	for i := 0; i < n; i++ {
-		out = append(out, d.U64())
+		v := d.U64()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -350,9 +421,14 @@ func (d *Decoder) Launch() cuda.LaunchParams {
 	if d.err != nil {
 		return lp
 	}
-	lp.Mutates = make([]cuda.DevPtr, 0, n)
+	lp.Mutates = make([]cuda.DevPtr, 0, d.sliceCap(n, 8))
 	for i := 0; i < n; i++ {
-		lp.Mutates = append(lp.Mutates, cuda.DevPtr(d.U64()))
+		v := cuda.DevPtr(d.U64())
+		if d.err != nil {
+			lp.Mutates = nil
+			return lp
+		}
+		lp.Mutates = append(lp.Mutates, v)
 	}
 	return lp
 }
@@ -363,9 +439,13 @@ func (d *Decoder) DevPtrs() []cuda.DevPtr {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]cuda.DevPtr, 0, n)
+	out := make([]cuda.DevPtr, 0, d.sliceCap(n, 8))
 	for i := 0; i < n; i++ {
-		out = append(out, cuda.DevPtr(d.U64()))
+		v := cuda.DevPtr(d.U64())
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -376,9 +456,13 @@ func (d *Decoder) FnPtrs() []cuda.FnPtr {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]cuda.FnPtr, 0, n)
+	out := make([]cuda.FnPtr, 0, d.sliceCap(n, 8))
 	for i := 0; i < n; i++ {
-		out = append(out, cuda.FnPtr(d.U64()))
+		v := cuda.FnPtr(d.U64())
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
