@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache)")
+	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.Int("runs", 3, "runs to average for table2/table5")
 	csvDir := flag.String("csv", "", "directory to write figure time-series as CSV (fig7, fig8)")
@@ -61,11 +61,12 @@ func main() {
 	run("rtt", func() { rtt(*seed) })
 	run("scale", func() { scale(*seed) })
 	run("cache", func() { cache(*seed) })
+	run("faults", func() { faultsExp(*seed) })
 
 	if *exp != "all" {
 		switch *exp {
 		case "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6", "fig7", "table5", "fig8",
-			"sched", "sweep", "rtt", "scale", "cache":
+			"sched", "sweep", "rtt", "scale", "cache", "faults":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -333,4 +334,26 @@ func cache(seed int64) {
 			"", st.Pins, st.DeviceEvictions, st.SwapOutBytes>>20, r.DownloadHits, r.Invocations)
 	}
 	fmt.Println("  (locality placement routes repeats to servers already holding their model)")
+}
+
+func faultsExp(seed int64) {
+	header("Extension: fault injection + crash recovery (SW mix, recoverable guests)")
+	rows := experiments.RunFaults(seed)
+	var base experiments.FaultsResult
+	for _, r := range rows {
+		if r.Scenario == "baseline" {
+			base = r
+		}
+	}
+	fmt.Printf("%-16s %4s %6s %5s %4s %17s %12s %5s %13s %5s\n",
+		"scenario", "invs", "failed", "recov", "shed", "kill/gs/drop/corr", "end-to-end", "", "e2e-sum", "")
+	for _, r := range rows {
+		fmt.Printf("%-16s %4d %6d %5d %4d %8d/%d/%d/%d %12s %5s %13s %5s\n",
+			r.Scenario, r.Invocations, r.Failed, r.Recovered, r.Shed,
+			r.Killed, r.FailedGS, r.Dropped, r.Corrupted,
+			s(r.ProviderE2E), pct(r.ProviderE2E, base.ProviderE2E),
+			s(r.E2ESum), pct(r.E2ESum, base.E2ESum))
+	}
+	fmt.Println("  (recov = invocations that redialed and replayed their session at least once;")
+	fmt.Println("   deltas are read against the no-fault baseline with the same recovery machinery on)")
 }

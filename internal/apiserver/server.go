@@ -89,6 +89,7 @@ type Server struct {
 	sess       *session
 	stats      Stats
 	callCounts map[uint16]int
+	crashed    bool // fault injection killed the server process
 
 	// asyncErr latches the first error produced by a one-way (CallAsync)
 	// submission; the next CallFence reports and clears it — the sticky
@@ -227,6 +228,9 @@ func (s *Server) Run(p *sim.Proc) {
 	for {
 		req, ok := s.Inbox.Recv(p)
 		if !ok {
+			if s.crashed {
+				s.scavenge(p)
+			}
 			return
 		}
 		if req.Ctrl != nil {
@@ -237,7 +241,79 @@ func (s *Server) Run(p *sim.Proc) {
 		if resp == nil || req.ReplyTo == nil {
 			continue // one-way submission: no acknowledgement
 		}
-		req.ReplyTo.Send(remoting.Response{Payload: resp, RespData: data})
+		// TrySend: the guest's connection may have been severed (fault
+		// injection) while the call executed, closing the reply queue.
+		req.ReplyTo.TrySend(remoting.Response{Payload: resp, RespData: data})
+	}
+}
+
+// Crash kills the API server abruptly, as a process crash would: the inbox
+// closes (in-flight guests never get replies; the GPU server's heartbeat
+// detects the death), and the run loop scavenges the dead session's device
+// state on the way out — the cleanup the driver performs when a process
+// holding a context dies.
+func (s *Server) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.Inbox.Close()
+}
+
+// Crashed reports whether fault injection killed this server.
+func (s *Server) Crashed() bool { return s.crashed }
+
+// scavenge releases everything the dead server held: session allocations,
+// stream/event replicas, library handles, descriptors, and any pinned cached
+// model (dropped without staging out — the process that owned the host copy
+// path is gone). Device accounting must end accurate so the survivors'
+// placement decisions stay sound.
+func (s *Server) scavenge(p *sim.Proc) {
+	sess := s.sess
+	s.sess = nil
+	s.asyncErr = 0
+	if sess != nil {
+		if ctx, err := s.rt.Context(p, s.curDev); err == nil {
+			for ptr := range sess.allocs {
+				_ = ctx.Free(p, ptr)
+			}
+		}
+		for _, perDev := range sess.streams {
+			for dev, h := range perDev {
+				if c, err := s.rt.Context(p, dev); err == nil {
+					_ = c.StreamDestroy(p, h)
+				}
+			}
+		}
+		for _, perDev := range sess.events {
+			for dev, h := range perDev {
+				if c, err := s.rt.Context(p, dev); err == nil {
+					_ = c.EventDestroy(p, h)
+				}
+			}
+		}
+		for _, real := range sess.dnns {
+			_ = s.libs.DNNDestroy(p, real)
+		}
+		for _, real := range sess.blass {
+			_ = s.libs.BLASDestroy(p, real)
+		}
+		for d := range sess.descs {
+			_ = s.libs.DestroyDescriptor(p, d)
+		}
+	}
+	if pin := s.pinned; pin != nil {
+		s.pinned = nil
+		s.cfg.Cache.Unpin(s.cfg.ID)
+		if ctx, err := s.rt.Context(p, s.curDev); err == nil {
+			_ = ctx.Free(p, pin.ptr)
+		}
+	}
+	if s.curDev != s.cfg.HomeDev {
+		if awayCtx, err := s.rt.Context(p, s.curDev); err == nil {
+			awayCtx.Destroy()
+		}
+		s.curDev = s.cfg.HomeDev
 	}
 }
 
@@ -263,6 +339,13 @@ type EvictModelRequest struct {
 	Done *sim.Queue[struct{}]
 }
 
+// PingRequest is the GPU server's liveness probe. It rides the same FIFO
+// inbox as API calls, so an answered ping proves the server's run loop is
+// draining requests — not merely that the process exists.
+type PingRequest struct {
+	Done *sim.Queue[struct{}]
+}
+
 func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 	switch c := req.Ctrl.(type) {
 	case MigrateRequest:
@@ -284,6 +367,11 @@ func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 		s.evictPinned(p)
 		if c.Done != nil {
 			c.Done.Send(struct{}{})
+		}
+	case PingRequest:
+		if c.Done != nil {
+			// TrySend: the prober may have timed out and abandoned the probe.
+			c.Done.TrySend(struct{}{})
 		}
 	default:
 		panic(fmt.Sprintf("apiserver %d: unknown control message %T", s.cfg.ID, req.Ctrl))

@@ -11,6 +11,7 @@ const (
 	ErrInvalidValue          Error = 1   // cudaErrorInvalidValue
 	ErrMemoryAllocation      Error = 2   // cudaErrorMemoryAllocation
 	ErrInitializationError   Error = 3   // cudaErrorInitializationError
+	ErrDevicesUnavailable    Error = 46  // cudaErrorDevicesUnavailable
 	ErrInvalidDevice         Error = 101 // cudaErrorInvalidDevice
 	ErrInvalidResourceHandle Error = 400
 	ErrInvalidAddressSpace   Error = 717
@@ -26,6 +27,7 @@ var errNames = map[Error]string{
 	ErrInvalidValue:          "cudaErrorInvalidValue",
 	ErrMemoryAllocation:      "cudaErrorMemoryAllocation",
 	ErrInitializationError:   "cudaErrorInitializationError",
+	ErrDevicesUnavailable:    "cudaErrorDevicesUnavailable",
 	ErrInvalidDevice:         "cudaErrorInvalidDevice",
 	ErrInvalidResourceHandle: "cudaErrorInvalidResourceHandle",
 	ErrInvalidAddressSpace:   "cudaErrorInvalidAddressSpace",

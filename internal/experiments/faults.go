@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"dgsf/internal/faas"
+	"dgsf/internal/faults"
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/guest"
+	"dgsf/internal/sim"
+	"dgsf/internal/workloads"
+)
+
+// Fault-tolerance experiment: the smaller-workload mix runs under injected
+// control-plane failures — broken/stalled/corrupted guest connections,
+// API server crashes detected by heartbeats, and a whole-GPU-server failure
+// the multi-server backend must route around. Guests run in recoverable
+// mode (idempotent session replay + redial); every scenario is deterministic
+// per seed, and a virtual-time limit converts any hang into a hard failure
+// instead of a silent stall.
+
+// FaultsResult is the outcome of one fault scenario.
+type FaultsResult struct {
+	Scenario    string
+	Invocations int
+	Failed      int // invocations that ended with an error
+	Recovered   int // invocations that recovered at least once
+	Recoveries  int // total recovery episodes across invocations
+	Shed        int // invocations refused for (degraded) capacity reasons
+
+	// Injection counters, from the injector.
+	Killed    int // API server crashes
+	FailedGS  int // whole-GPU-server failures
+	Dropped   int // connections severed
+	Stalled   int // connections stalled past the call deadline
+	Corrupted int // connections with an injected corrupt frame
+
+	ProviderE2E time.Duration
+	E2ESum      time.Duration
+}
+
+// faultScenario pairs a name with an injection plan builder; the plan may
+// depend on the number of hosted API servers.
+type faultScenario struct {
+	name    string
+	servers int // GPU servers in the deployment
+	plan    faults.Plan
+}
+
+// faultsScenarios returns the scenario ladder: a no-fault control, then one
+// fault class at a time, then a combined storm.
+func faultsScenarios() []faultScenario {
+	return []faultScenario{
+		{name: "baseline", servers: 1},
+		{
+			name:    "conn-drops",
+			servers: 1,
+			plan:    faults.Plan{DropRate: 0.35, DropAfter: 150 * time.Millisecond, CorruptRate: 0.15},
+		},
+		{
+			name:    "api-crash",
+			servers: 1,
+			plan: faults.Plan{Events: []faults.Event{
+				{At: 4 * time.Second, Kind: faults.KillAPIServer, Server: 0},
+				{At: 12 * time.Second, Kind: faults.KillAPIServer, Server: 2},
+			}},
+		},
+		{
+			name:    "gpu-server-fail",
+			servers: 2,
+			plan: faults.Plan{Events: []faults.Event{
+				// Server 0 is the least-loaded tie-break favourite, so failing
+				// it mid-run kills active sessions: their leases are revoked
+				// and the guests must fail over to the surviving server.
+				{At: 20 * time.Second, Kind: faults.FailGPUServer, Server: 0},
+			}},
+		},
+		{
+			name:    "storm",
+			servers: 2,
+			plan: faults.Plan{
+				DropRate:    0.25,
+				DropAfter:   200 * time.Millisecond,
+				StallRate:   0.10,
+				StallFor:    90 * time.Second,
+				CorruptRate: 0.10,
+				Events: []faults.Event{
+					{At: 5 * time.Second, Kind: faults.KillAPIServer, Server: 1},
+					{At: 9 * time.Second, Kind: faults.FailGPUServer, Server: 1},
+				},
+			},
+		},
+	}
+}
+
+// RunFaults executes every fault scenario with the given seed and returns
+// one result per scenario, the no-fault baseline first (its E2E numbers are
+// the reference the deltas of the faulty runs are read against).
+func RunFaults(seed int64) []FaultsResult {
+	var out []FaultsResult
+	for _, sc := range faultsScenarios() {
+		out = append(out, runFaultScenario(seed, sc))
+	}
+	return out
+}
+
+func runFaultScenario(seed int64, sc faultScenario) FaultsResult {
+	res := FaultsResult{Scenario: sc.name}
+	e := sim.NewEngine(seed)
+	// Zero hangs under injection is an acceptance criterion, not a hope: a
+	// run that stalls past the limit panics instead of wedging the suite.
+	e.SetTimeLimit(2 * time.Hour)
+	e.Run("faults", func(p *sim.Proc) {
+		var servers []*gpuserver.GPUServer
+		for i := 0; i < sc.servers; i++ {
+			gcfg := gpuserver.DefaultConfig()
+			gcfg.GPUs = 2
+			gcfg.ServersPerGPU = 2
+			gcfg.HeartbeatPeriod = 50 * time.Millisecond
+			gcfg.HeartbeatMisses = 3
+			gcfg.QueueDeadline = 5 * time.Minute
+			gs := gpuserver.New(e, gcfg)
+			gs.Start(p)
+			servers = append(servers, gs)
+		}
+
+		inj := faults.NewInjector(e, sc.plan, servers)
+		inj.Arm(p)
+
+		backend := faas.NewMultiBackend(e, servers, faas.PickLeastLoaded, faas.OpenFaaSEnv())
+		backend.DialHook = inj.WrapConn
+		rc := guestRecoveryDefaults()
+		backend.Recovery = &rc
+
+		var fns []*faas.Function
+		for _, spec := range workloads.Smaller() {
+			f := spec.Function()
+			for i := 0; i < 4; i++ {
+				fns = append(fns, f)
+			}
+		}
+		p.Rand().Shuffle(len(fns), func(i, j int) { fns[i], fns[j] = fns[j], fns[i] })
+		backend.SubmitSequence(p, fns, faas.ExponentialArrivals(p, 2*time.Second))
+		backend.Drain(p)
+
+		for _, inv := range backend.Invocations() {
+			res.Invocations++
+			if inv.Err != nil {
+				res.Failed++
+				if isCapacityErr(inv.Err) {
+					res.Shed++
+				}
+			}
+			if inv.Recoveries > 0 {
+				res.Recovered++
+			}
+			res.Recoveries += inv.Recoveries
+		}
+		res.ProviderE2E = backend.ProviderEndToEnd()
+		res.E2ESum = backend.E2ESum()
+		res.Killed = inj.Killed
+		res.FailedGS = inj.Failed
+		res.Dropped = inj.Dropped
+		res.Stalled = inj.Stalled
+		res.Corrupted = inj.Corrupted
+	})
+	return res
+}
+
+// guestRecoveryDefaults is the recovery policy the experiment runs under.
+// The call deadline is sized far above any legitimate synchronous call
+// (fences included) so it only ever fires on dead or stalled servers, and
+// the fence lag keeps the pipelined lane from running blind for long.
+func guestRecoveryDefaults() guest.RecoveryConfig {
+	return guest.RecoveryConfig{
+		MaxAttempts:  6,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffCap:   500 * time.Millisecond,
+		CallDeadline: 60 * time.Second,
+		FenceLag:     time.Second,
+	}
+}
+
+func isCapacityErr(err error) bool {
+	return errors.Is(err, faas.ErrNoCapacity)
+}

@@ -87,6 +87,7 @@ type Invocation struct {
 	Done         time.Duration
 	QueueDelay   time.Duration
 	ModelCached  bool // model bytes served from the GPU server's host cache
+	Recoveries   int  // guest session recoveries during the GPU phase
 	Err          error
 }
 
@@ -113,6 +114,16 @@ type Backend struct {
 	pick    ServerPick
 	rr      int
 	env     Env
+
+	// DialHook, when set, wraps every guest transport at dial time. The
+	// fault injection framework uses it to interpose connection faults.
+	DialHook func(p *sim.Proc, conn remoting.AsyncCaller) remoting.AsyncCaller
+
+	// Recovery, when set, runs guests in recoverable mode: per-call
+	// deadlines, an idempotent replay journal, and redial onto a healthy GPU
+	// server after a failure. The Redial field is supplied per invocation by
+	// the backend.
+	Recovery *guest.RecoveryConfig
 
 	nextSeq     int
 	invocations []*Invocation
@@ -170,23 +181,27 @@ func (b *Backend) modelObject(fn *Function) string {
 // that simultaneous selections do not herd onto one server before the GPU
 // servers' monitors observe the load.
 func (b *Backend) selectServer() int {
+	si := 0
 	switch b.pick {
 	case PickRoundRobin:
-		i := b.rr % len(b.servers)
+		si = b.rr % len(b.servers)
 		b.rr++
-		return i
 	case PickLeastLoaded:
-		best := 0
 		bestLoad := b.load(0)
 		for i := 1; i < len(b.servers); i++ {
 			if l := b.load(i); l < bestLoad {
-				best, bestLoad = i, l
+				si, bestLoad = i, l
 			}
 		}
-		return best
-	default:
-		return 0
 	}
+	// Degraded-mode routing: never hand new work to a GPU server that can no
+	// longer grant leases while a healthy one exists.
+	if !b.servers[si].Healthy() {
+		if h := b.selectHealthy(); h >= 0 {
+			return h
+		}
+	}
+	return si
 }
 
 // selectServerFor routes an invocation toward a GPU server already holding
@@ -198,7 +213,7 @@ func (b *Backend) selectServerFor(fn *Function) int {
 	best, bestLoad := -1, 0
 	for i, gs := range b.servers {
 		c := gs.Cache()
-		if c == nil || (!c.HasModel(fn.Name) && !c.Host().PeekName(obj)) {
+		if !gs.Healthy() || c == nil || (!c.HasModel(fn.Name) && !c.Host().PeekName(obj)) {
 			continue
 		}
 		if l := b.load(i); best < 0 || l < bestLoad {
@@ -287,20 +302,59 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 		b.outstanding[si]++
 	}
 	gs := b.servers[si]
-	lease := gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
-	if lease == nil {
-		// The GPU server can never satisfy this memory requirement.
+	lease, aerr := gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
+	if aerr != nil {
+		// Degraded-mode routing: a refusal usually means the chosen GPU
+		// server failed between selection and acquire (or shed the request).
+		// Route around the dead capacity onto another healthy server before
+		// giving up on the invocation.
+		if nsi := b.selectHealthyExcept(si); nsi >= 0 {
+			b.outstanding[si]--
+			b.outstanding[nsi]++
+			si, gs = nsi, b.servers[nsi]
+			lease, aerr = gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
+		}
+	}
+	if aerr != nil {
+		// No GPU server can (currently) satisfy this request: impossible
+		// memory requirement, every API server dead, or deadline shedding.
 		b.outstanding[si]--
-		inv.Err = ErrNoCapacity
+		inv.Err = fmt.Errorf("%w: %v", ErrNoCapacity, aerr)
 		inv.Done = p.Now()
 		return
 	}
 	inv.Granted = p.Now()
 	inv.QueueDelay = lease.QueueDelay
 
-	// Phase 3: attach the guest library and run the function body.
-	conn := remoting.Dial(b.e, lease.Listener(), b.env.Net)
-	lib := guest.New(conn, b.env.GuestOpt)
+	// Phase 3: attach the guest library and run the function body. With a
+	// recovery policy the guest redials through the backend: the old lease is
+	// dropped (the monitor usually revoked it already) and a fresh one is
+	// acquired on a healthy GPU server.
+	conn := b.dial(p, lease)
+	var lib *guest.Lib
+	if b.Recovery != nil {
+		rc := *b.Recovery
+		rc.Redial = func(p *sim.Proc) (remoting.Caller, error) {
+			_ = gs.Release(lease) // best effort; revoked leases error, which is fine
+			nsi := b.selectHealthy()
+			if nsi < 0 {
+				return nil, fmt.Errorf("%w: no healthy GPU server to recover onto", ErrNoCapacity)
+			}
+			nl, err := b.servers[nsi].AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
+			if err != nil {
+				return nil, err
+			}
+			b.outstanding[si]--
+			b.outstanding[nsi]++
+			si, gs, lease = nsi, b.servers[nsi], nl
+			nc := b.dial(p, nl)
+			conn = nc
+			return nc, nil
+		}
+		lib = guest.NewRecoverable(conn, b.env.GuestOpt, rc)
+	} else {
+		lib = guest.New(conn, b.env.GuestOpt)
+	}
 	err := lib.Hello(p, fn.Name, fn.GPUMem)
 	if err == nil {
 		err = fn.Run(p, lib)
@@ -310,13 +364,42 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 		}
 	}
 	conn.Close()
-	gs.Release(lease)
+	_ = gs.Release(lease)
+	inv.Recoveries = lib.Stats().Recoveries
 	b.outstanding[si]--
 	inv.Err = err
 	inv.Done = p.Now()
 	if err == nil {
 		b.recordExec(fn.Name, inv.Done-inv.Granted)
 	}
+}
+
+// dial connects a guest to a leased API server, applying the DialHook.
+func (b *Backend) dial(p *sim.Proc, lease *gpuserver.Lease) remoting.AsyncCaller {
+	conn := remoting.Dial(b.e, lease.Listener(), b.env.Net)
+	if b.DialHook != nil {
+		conn = b.DialHook(p, conn)
+	}
+	return conn
+}
+
+// selectHealthy returns the least-loaded GPU server still able to grant
+// leases, or -1 when none is.
+func (b *Backend) selectHealthy() int { return b.selectHealthyExcept(-1) }
+
+// selectHealthyExcept is selectHealthy skipping one server index (the one
+// that just refused an acquire); pass -1 to consider all.
+func (b *Backend) selectHealthyExcept(skip int) int {
+	best, bestLoad := -1, 0
+	for i, gs := range b.servers {
+		if i == skip || !gs.Healthy() {
+			continue
+		}
+		if l := b.load(i); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
 }
 
 // Drain blocks until every submitted invocation has finished.

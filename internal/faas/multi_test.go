@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -156,7 +157,7 @@ func TestNoCapacityFailsInvocationGracefully(t *testing.T) {
 	if inv.Err == nil {
 		t.Fatal("impossible invocation reported success")
 	}
-	if inv.Err != ErrNoCapacity {
+	if !errors.Is(inv.Err, ErrNoCapacity) {
 		t.Fatalf("err = %v, want ErrNoCapacity", inv.Err)
 	}
 	if inv.Done < inv.DownloadDone || inv.DownloadDone == 0 {

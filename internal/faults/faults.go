@@ -1,0 +1,157 @@
+// Package faults is a deterministic fault injection framework for the DGSF
+// control plane. A Plan describes scheduled process failures (API server
+// crashes, whole-GPU-server failures) and probabilistic per-connection
+// faults (breaks, stalls, frame corruption); an Injector applies the plan to
+// a running deployment using only simulated time and the per-proc
+// deterministic RNG, so every run with the same seed injects the same faults
+// at the same instants.
+//
+// The injector exercises every failure-handling layer: heartbeats detect
+// crashed API servers, guests detect broken or stalled connections through
+// typed transport errors and per-call deadlines, the recovery path replays
+// sessions, and the GPU server's degraded-mode scheduling routes around dead
+// capacity.
+package faults
+
+import (
+	"time"
+
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+// Kind enumerates injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	// KillAPIServer crashes one hosted API server process: its inbox closes
+	// mid-stream and its session state is scavenged, exactly as if the
+	// process died. Server selects which (flattened across GPU servers).
+	KillAPIServer Kind = iota + 1
+	// FailGPUServer fails a whole GPU server: every hosted API server
+	// crashes and the server stops granting leases. Server selects the GPU
+	// server index.
+	FailGPUServer
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	At     time.Duration
+	Kind   Kind
+	Server int
+}
+
+// Plan configures an injection campaign. Scheduled Events model correlated
+// control-plane failures; the rate fields model per-connection data-path
+// faults, decided at dial time from the dialing proc's RNG.
+type Plan struct {
+	Events []Event
+
+	// DropRate is the probability a dialed connection is severed DropAfter
+	// after dialing.
+	DropRate  float64
+	DropAfter time.Duration
+
+	// StallRate is the probability a dialed connection's first send is
+	// delayed by StallFor — long enough, under a per-call deadline, to look
+	// like a dead server.
+	StallRate float64
+	StallFor  time.Duration
+
+	// CorruptRate is the probability a dialed connection corrupts the
+	// framing of its first outbound message.
+	CorruptRate float64
+}
+
+// Injector applies a Plan to a set of GPU servers.
+type Injector struct {
+	e       *sim.Engine
+	plan    Plan
+	servers []*gpuserver.GPUServer
+
+	// Injection counters, for experiment reporting.
+	Killed    int // API server crashes injected
+	Failed    int // GPU server failures injected
+	Dropped   int // connections scheduled to break
+	Stalled   int // connections stalled
+	Corrupted int // connections set to corrupt a frame
+}
+
+// NewInjector returns an injector over the deployment's GPU servers.
+func NewInjector(e *sim.Engine, plan Plan, servers []*gpuserver.GPUServer) *Injector {
+	return &Injector{e: e, plan: plan, servers: servers}
+}
+
+// Arm schedules the plan's events on a daemon: the engine does not wait for
+// outstanding faults at the end of a run.
+func (in *Injector) Arm(p *sim.Proc) {
+	events := in.plan.Events
+	if len(events) == 0 {
+		return
+	}
+	p.SpawnDaemon("fault-injector", func(p *sim.Proc) {
+		for _, ev := range events {
+			if d := ev.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			in.apply(ev)
+		}
+	})
+}
+
+// apply fires one scheduled event.
+func (in *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case KillAPIServer:
+		// Crash the process directly; detection is the heartbeat's job.
+		idx := 0
+		for _, gs := range in.servers {
+			for _, srv := range gs.Servers() {
+				if idx == ev.Server {
+					srv.Crash()
+					in.Killed++
+					return
+				}
+				idx++
+			}
+		}
+	case FailGPUServer:
+		if ev.Server >= 0 && ev.Server < len(in.servers) {
+			in.servers[ev.Server].Fail()
+			in.Failed++
+		}
+	}
+}
+
+// WrapConn decides, deterministically from the dialing proc's RNG, which
+// per-connection faults this connection suffers. It matches the faas
+// backend's DialHook signature; connections whose transport does not expose
+// fault hooks pass through untouched.
+func (in *Injector) WrapConn(p *sim.Proc, conn remoting.AsyncCaller) remoting.AsyncCaller {
+	f, ok := conn.(remoting.Faultable)
+	if !ok {
+		return conn
+	}
+	rng := p.Rand()
+	if in.plan.CorruptRate > 0 && rng.Float64() < in.plan.CorruptRate {
+		f.CorruptNext()
+		in.Corrupted++
+	}
+	if in.plan.StallRate > 0 && rng.Float64() < in.plan.StallRate {
+		f.StallFor(in.plan.StallFor)
+		in.Stalled++
+	}
+	if in.plan.DropRate > 0 && rng.Float64() < in.plan.DropRate {
+		in.Dropped++
+		after := in.plan.DropAfter
+		p.SpawnDaemon("fault-conn-drop", func(p *sim.Proc) {
+			if after > 0 {
+				p.Sleep(after)
+			}
+			f.Break()
+		})
+	}
+	return conn
+}

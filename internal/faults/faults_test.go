@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+func startServer(e *sim.Engine, p *sim.Proc) *gpuserver.GPUServer {
+	cfg := gpuserver.DefaultConfig()
+	cfg.GPUs = 1
+	cfg.ServersPerGPU = 2
+	cfg.HeartbeatPeriod = 10 * time.Millisecond
+	cfg.HeartbeatMisses = 3
+	gs := gpuserver.New(e, cfg)
+	gs.Start(p)
+	return gs
+}
+
+func TestScheduledKillCrashesServerAndHeartbeatNotices(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		gs := startServer(e, p)
+		// Start consumes virtual time (prewarm), so schedule relative to now.
+		killAt := p.Now() + 50*time.Millisecond
+		inj := NewInjector(e, Plan{Events: []Event{
+			{At: killAt, Kind: KillAPIServer, Server: 1},
+		}}, []*gpuserver.GPUServer{gs})
+		inj.Arm(p)
+
+		p.Sleep(40 * time.Millisecond)
+		if gs.Servers()[1].Crashed() {
+			t.Fatal("server crashed before its scheduled event")
+		}
+		if got := gs.Capacity(); got != 2 {
+			t.Fatalf("capacity before kill = %d, want 2", got)
+		}
+		p.Sleep(20 * time.Millisecond) // past the event
+		if !gs.Servers()[1].Crashed() {
+			t.Fatal("scheduled kill did not crash the server")
+		}
+		if inj.Killed != 1 {
+			t.Fatalf("Killed = %d, want 1", inj.Killed)
+		}
+		// Heartbeats (10ms period, 3 misses) take the corpse out of rotation.
+		p.Sleep(100 * time.Millisecond)
+		if got := gs.Capacity(); got != 1 {
+			t.Fatalf("capacity after heartbeat detection = %d, want 1", got)
+		}
+	})
+}
+
+func TestFailGPUServerStopsGrantingLeases(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		gs := startServer(e, p)
+		inj := NewInjector(e, Plan{Events: []Event{
+			{At: p.Now() + 30*time.Millisecond, Kind: FailGPUServer, Server: 0},
+		}}, []*gpuserver.GPUServer{gs})
+		inj.Arm(p)
+
+		p.Sleep(50 * time.Millisecond)
+		if gs.Healthy() {
+			t.Fatal("failed GPU server still reports healthy")
+		}
+		if inj.Failed != 1 {
+			t.Fatalf("Failed = %d, want 1", inj.Failed)
+		}
+		if _, err := gs.Acquire(p, "fn", 1<<20); !errors.Is(err, gpuserver.ErrCapacity) {
+			t.Fatalf("acquire on failed server = %v, want ErrCapacity", err)
+		}
+	})
+}
+
+func TestWrapConnAppliesPlannedFaults(t *testing.T) {
+	e := sim.NewEngine(3)
+	e.Run("root", func(p *sim.Proc) {
+		l := remoting.NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				if req.ReplyTo != nil {
+					req.ReplyTo.Send(remoting.Response{Payload: []byte("ok")})
+				}
+			}
+		})
+		inj := NewInjector(e, Plan{
+			DropRate:    0.5,
+			DropAfter:   time.Millisecond,
+			CorruptRate: 0.25,
+		}, nil)
+		// Wrap many conns; with these rates some of each fault must land.
+		var conns []remoting.AsyncCaller
+		for i := 0; i < 40; i++ {
+			conns = append(conns, inj.WrapConn(p, remoting.Dial(e, l, remoting.NetProfile{})))
+		}
+		if inj.Dropped == 0 || inj.Corrupted == 0 {
+			t.Fatalf("no faults armed: dropped=%d corrupted=%d", inj.Dropped, inj.Corrupted)
+		}
+		p.Sleep(10 * time.Millisecond) // past every DropAfter
+		var dead, corrupt int
+		for _, c := range conns {
+			_, err := c.Roundtrip(p, []byte("ping"), 0)
+			switch {
+			case errors.Is(err, remoting.ErrConnClosed):
+				dead++
+			case errors.Is(err, remoting.ErrFrameCorrupt):
+				corrupt++
+			case err != nil:
+				t.Fatalf("unexpected fault class: %v", err)
+			}
+		}
+		if dead != inj.Dropped {
+			t.Fatalf("dead conns = %d, want %d scheduled drops", dead, inj.Dropped)
+		}
+		if corrupt == 0 {
+			t.Fatal("no corrupted frame surfaced")
+		}
+	})
+}
+
+func TestInjectionDeterministicAcrossRuns(t *testing.T) {
+	run := func() [3]int {
+		e := sim.NewEngine(7)
+		var counts [3]int
+		e.Run("root", func(p *sim.Proc) {
+			l := remoting.NewListener(e)
+			inj := NewInjector(e, Plan{
+				DropRate:    0.3,
+				DropAfter:   time.Millisecond,
+				StallRate:   0.2,
+				StallFor:    time.Second,
+				CorruptRate: 0.1,
+			}, nil)
+			for i := 0; i < 64; i++ {
+				inj.WrapConn(p, remoting.Dial(e, l, remoting.NetProfile{}))
+			}
+			counts = [3]int{inj.Dropped, inj.Stalled, inj.Corrupted}
+		})
+		return counts
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed injected %v then %v", a, b)
+	}
+	if a == [3]int{} {
+		t.Fatal("no faults injected at these rates")
+	}
+}

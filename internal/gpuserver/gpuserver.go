@@ -14,6 +14,7 @@
 package gpuserver
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -102,7 +103,33 @@ type Config struct {
 	// default: with Cache.Enable false the GPU server behaves exactly as it
 	// did before the subsystem existed.
 	Cache modelcache.Config
+
+	// Failure detection (fault-tolerance layer). HeartbeatPeriod > 0 makes
+	// the monitor probe every API server through its FIFO inbox; a probe
+	// unanswered within one period is a miss, and HeartbeatMisses consecutive
+	// misses declare the server dead — its lease is force-released, its
+	// placement slot leaves the rotation, and the server is fenced (crashed)
+	// so a slow-but-alive process cannot resurface with stale state. Zero
+	// disables detection, preserving pre-fault-tolerance behavior exactly.
+	HeartbeatPeriod time.Duration
+	HeartbeatMisses int // consecutive misses before declaring death; default 3
+
+	// QueueDeadline > 0 sheds GPU requests that have waited longer than this
+	// at the next monitor tick, failing them with ErrCapacity instead of
+	// letting them queue forever on a degraded server.
+	QueueDeadline time.Duration
 }
+
+// ErrCapacity is the typed error for GPU requests the server cannot satisfy:
+// never-placeable memory demands, requests shed past the queue deadline, and
+// requests arriving after the machine failed. Callers (the serverless
+// backend) treat it as "route elsewhere or fail fast", never "retry here".
+var ErrCapacity = errors.New("gpuserver: capacity exhausted")
+
+// ErrNotLeased is the typed error for lease-lifecycle misuse: releasing a
+// nil lease (an Acquire that failed), releasing twice, or releasing a lease
+// the monitor already revoked when its server died.
+var ErrNotLeased = errors.New("gpuserver: not leased")
 
 // DefaultConfig mirrors the paper's testbed: one p3.8xlarge GPU server with
 // four V100s, one API server per GPU, no sharing, best fit.
@@ -127,6 +154,7 @@ type Lease struct {
 	Mem        int64
 	QueueDelay time.Duration // time spent waiting for an API server
 	grantedAt  time.Duration
+	released   bool // set by Release or by the monitor revoking a dead server
 }
 
 // Listener returns the remoting endpoint of the leased API server.
@@ -139,8 +167,15 @@ type acquireReq struct {
 	fnID    string
 	mem     int64
 	hint    time.Duration // expected GPU time (0 = unknown); used by SJF
-	reply   *sim.Queue[*Lease]
+	reply   *sim.Queue[acquireResult]
 	arrived time.Duration
+}
+
+// acquireResult is the monitor's answer to an acquire: a lease, or a typed
+// error explaining why none will ever come.
+type acquireResult struct {
+	lease *Lease
+	err   error
 }
 
 // PlacementRecord logs one grant, for experiments and tests.
@@ -168,6 +203,8 @@ type GPUServer struct {
 	leased    map[int]*Lease // server ID -> active lease
 	commit    []int64        // declared memory committed per GPU
 	baseline  []int64        // device bytes in use after pre-warm
+	dead      map[int]bool   // server ID -> declared dead (out of rotation)
+	failed    bool           // whole-machine failure injected
 	ready     bool
 	readyCond *sim.Cond
 
@@ -177,11 +214,14 @@ type GPUServer struct {
 	imbalanceTicks int
 }
 
-// monitorMsg is the monitor's mailbox item: an acquire, a release, or a tick.
+// monitorMsg is the monitor's mailbox item: an acquire, a release, a tick,
+// a death report from a heartbeat prober, or a whole-machine failure.
 type monitorMsg struct {
 	acquire *acquireReq
 	release *Lease
 	tick    bool
+	dead    *int // server ID declared dead by its heartbeat
+	failAll bool // the whole GPU server machine failed
 }
 
 // New builds a GPU server. Call Start from a simulated process to boot it.
@@ -201,6 +241,9 @@ func New(e *sim.Engine, cfg Config) *GPUServer {
 	if cfg.MinImbalanceTicks <= 0 {
 		cfg.MinImbalanceTicks = 5
 	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
 	gs := &GPUServer{
 		cfg:       cfg,
 		e:         e,
@@ -208,6 +251,7 @@ func New(e *sim.Engine, cfg Config) *GPUServer {
 		leased:    make(map[int]*Lease),
 		commit:    make([]int64, cfg.GPUs),
 		baseline:  make([]int64, cfg.GPUs),
+		dead:      make(map[int]bool),
 		readyCond: sim.NewCond(e),
 	}
 	if cfg.Cache.Enable {
@@ -291,8 +335,47 @@ func (gs *GPUServer) Start(p *sim.Proc) {
 			gs.requests.Send(monitorMsg{tick: true})
 		}
 	})
+	if gs.cfg.HeartbeatPeriod > 0 {
+		for i := range gs.servers {
+			sid := i
+			p.SpawnDaemon(fmt.Sprintf("heartbeat-%d", sid), func(p *sim.Proc) {
+				gs.heartbeat(p, sid)
+			})
+		}
+	}
 	gs.ready = true
 	gs.readyCond.Broadcast()
+}
+
+// heartbeat probes one API server through its inbox. A ping unanswered
+// within one period is a miss; HeartbeatMisses consecutive misses (or a
+// definitively closed inbox) report the server dead to the monitor, and the
+// prober exits. The miss threshold tolerates servers busy in a long API
+// call — the inbox is FIFO, so a ping behind a long kernel answers late,
+// not never.
+func (gs *GPUServer) heartbeat(p *sim.Proc, sid int) {
+	srv := gs.servers[sid]
+	misses := 0
+	for {
+		p.Sleep(gs.cfg.HeartbeatPeriod)
+		if gs.dead[sid] || gs.failed {
+			return
+		}
+		done := sim.NewQueue[struct{}](gs.e)
+		if !srv.Inbox.TrySend(remoting.Request{Ctrl: apiserver.PingRequest{Done: done}}) {
+			gs.requests.Send(monitorMsg{dead: &sid})
+			return
+		}
+		if _, ok, timedOut := done.RecvTimeout(p, gs.cfg.HeartbeatPeriod); !ok || timedOut {
+			misses++
+			if misses >= gs.cfg.HeartbeatMisses {
+				gs.requests.Send(monitorMsg{dead: &sid})
+				return
+			}
+		} else {
+			misses = 0
+		}
+	}
 }
 
 // WaitReady blocks until Start has completed (for callers racing boot).
@@ -303,21 +386,50 @@ func (gs *GPUServer) WaitReady(p *sim.Proc) {
 }
 
 // Capacity returns the number of functions the server can run concurrently,
-// the figure the manager announces to the serverless backend.
-func (gs *GPUServer) Capacity() int { return len(gs.servers) }
+// the figure the manager announces to the serverless backend. Dead API
+// servers leave the rotation.
+func (gs *GPUServer) Capacity() int {
+	n := 0
+	for _, srv := range gs.servers {
+		if !gs.dead[srv.ID()] {
+			n++
+		}
+	}
+	return n
+}
+
+// Healthy reports whether the machine can still grant leases: it has not
+// suffered a whole-server failure and at least one API server is alive. The
+// serverless backend routes around unhealthy GPU servers.
+func (gs *GPUServer) Healthy() bool { return !gs.failed && gs.Capacity() > 0 }
+
+// Fail injects a whole-GPU-server failure: every API server crashes, all
+// leases are revoked, waiting requests fail with ErrCapacity, and the
+// machine reports unhealthy forever after. The fault framework calls this;
+// there is no recovery for the machine itself, only around it.
+func (gs *GPUServer) Fail() {
+	gs.failed = true // flip eagerly so routing reacts before the monitor drains
+	gs.requests.Send(monitorMsg{failAll: true})
+}
 
 // Acquire requests an API server for a function needing mem bytes of GPU
-// memory, blocking until one is granted per the queue policy.
-func (gs *GPUServer) Acquire(p *sim.Proc, fnID string, mem int64) *Lease {
+// memory, blocking until one is granted per the queue policy. A nil lease
+// comes with a typed error: ErrCapacity when the request can never be
+// satisfied here (too large, machine failed, or shed past the queue
+// deadline).
+func (gs *GPUServer) Acquire(p *sim.Proc, fnID string, mem int64) (*Lease, error) {
 	return gs.AcquireHint(p, fnID, mem, 0)
 }
 
 // AcquireHint is Acquire with an expected-GPU-time hint for SJF scheduling.
-func (gs *GPUServer) AcquireHint(p *sim.Proc, fnID string, mem int64, hint time.Duration) *Lease {
-	reply := sim.NewQueue[*Lease](gs.e)
+func (gs *GPUServer) AcquireHint(p *sim.Proc, fnID string, mem int64, hint time.Duration) (*Lease, error) {
+	reply := sim.NewQueue[acquireResult](gs.e)
 	gs.requests.Send(monitorMsg{acquire: &acquireReq{fnID: fnID, mem: mem, hint: hint, reply: reply, arrived: p.Now()}})
-	lease, _ := reply.Recv(p)
-	return lease
+	res, ok := reply.Recv(p)
+	if !ok {
+		return nil, fmt.Errorf("%w: GPU server shut down", ErrCapacity)
+	}
+	return res.lease, res.err
 }
 
 // Load reports the server's current occupancy: active leases and queued
@@ -327,9 +439,21 @@ func (gs *GPUServer) Load() (active, queued int) {
 	return len(gs.leased), len(gs.waiting)
 }
 
-// Release returns a leased API server to the pool.
-func (gs *GPUServer) Release(lease *Lease) {
+// Release returns a leased API server to the pool. It rejects lifecycle
+// misuse with ErrNotLeased: a nil lease (the matching Acquire failed), a
+// double release, or a lease the monitor already revoked because its server
+// died. Before this guard existed, such calls silently corrupted the
+// monitor's active count and per-GPU memory commitments.
+func (gs *GPUServer) Release(lease *Lease) error {
+	if lease == nil {
+		return fmt.Errorf("%w: nil lease (was the Acquire refused?)", ErrNotLeased)
+	}
+	if lease.released {
+		return fmt.Errorf("%w: server %d lease already released", ErrNotLeased, lease.Server.ID())
+	}
+	lease.released = true
 	gs.requests.Send(monitorMsg{release: lease})
+	return nil
 }
 
 // monitor is the GPU server's brain: it grants requests in arrival order,
@@ -342,24 +466,79 @@ func (gs *GPUServer) monitor(p *sim.Proc) {
 		}
 		switch {
 		case msg.acquire != nil:
+			if gs.failed || gs.Capacity() == 0 {
+				msg.acquire.reply.TrySend(acquireResult{err: fmt.Errorf("%w: no live API servers", ErrCapacity)})
+				break
+			}
 			if msg.acquire.mem > gs.maxPlaceable() {
 				// The request can never be satisfied on this GPU server
 				// (e.g. a 14 GB function on GPUs whose idle API servers
 				// already hold too much); fail it instead of queueing it
 				// forever.
-				msg.acquire.reply.Send(nil)
+				msg.acquire.reply.TrySend(acquireResult{err: fmt.Errorf("%w: request of %d bytes exceeds any live GPU's capacity", ErrCapacity, msg.acquire.mem)})
 				break
 			}
 			gs.waiting = append(gs.waiting, msg.acquire)
 		case msg.release != nil:
 			gs.releaseLocked(msg.release)
+		case msg.dead != nil:
+			gs.markDead(*msg.dead)
+		case msg.failAll:
+			gs.failed = true
+			for _, srv := range gs.servers {
+				gs.markDead(srv.ID())
+			}
+			for _, req := range gs.waiting {
+				req.reply.TrySend(acquireResult{err: fmt.Errorf("%w: GPU server failed", ErrCapacity)})
+			}
+			gs.waiting = nil
 		case msg.tick:
+			gs.shedExpired(p)
 			if gs.cfg.EnableMigration {
 				gs.maybeMigrate(p)
 			}
 		}
 		gs.drainQueue(p)
 	}
+}
+
+// markDead takes one API server out of rotation: the server is fenced
+// (crashed, so a slow-but-alive process cannot resurface with stale state),
+// its active lease — if any — is revoked and its memory commitment unwound.
+// The holder of a revoked lease discovers the death through its broken
+// connection; a later Release of it reports ErrNotLeased.
+func (gs *GPUServer) markDead(sid int) {
+	if gs.dead[sid] {
+		return
+	}
+	gs.dead[sid] = true
+	srv := gs.servers[sid]
+	if !srv.Crashed() {
+		srv.Crash()
+	}
+	if lease, ok := gs.leased[sid]; ok {
+		lease.released = true
+		delete(gs.leased, sid)
+		gs.commit[srv.HomeDev()] -= lease.Mem
+	}
+}
+
+// shedExpired fails waiting requests older than the queue deadline with
+// ErrCapacity — graceful degradation instead of unbounded queueing when the
+// rotation has shrunk.
+func (gs *GPUServer) shedExpired(p *sim.Proc) {
+	if gs.cfg.QueueDeadline <= 0 {
+		return
+	}
+	kept := gs.waiting[:0]
+	for _, req := range gs.waiting {
+		if p.Now()-req.arrived > gs.cfg.QueueDeadline {
+			req.reply.TrySend(acquireResult{err: fmt.Errorf("%w: queued longer than %v", ErrCapacity, gs.cfg.QueueDeadline)})
+			continue
+		}
+		kept = append(kept, req)
+	}
+	gs.waiting = kept
 }
 
 // drainQueue grants as many waiting requests as the queue policy allows.
@@ -402,14 +581,25 @@ func (gs *GPUServer) drainQueue(p *sim.Proc) {
 			Server:     srv.ID(),
 			QueueDelay: lease.QueueDelay,
 		})
-		req.reply.Send(lease)
+		req.reply.TrySend(acquireResult{lease: lease})
 	}
 }
 
-// maxPlaceable returns the largest memory request any GPU could ever grant.
+// maxPlaceable returns the largest memory request any GPU still hosting a
+// live API server could ever grant.
 func (gs *GPUServer) maxPlaceable() int64 {
 	var max int64
 	for g := range gs.devs {
+		live := false
+		for _, srv := range gs.servers {
+			if srv.HomeDev() == g && !gs.dead[srv.ID()] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
 		if free := gs.devs[g].Cfg.MemBytes - gs.baseline[g]; free > max {
 			max = free
 		}
@@ -455,6 +645,13 @@ func (gs *GPUServer) place(fnID string, mem int64) *apiserver.Server {
 	}
 	var best *cand
 	for _, srv := range gs.servers {
+		// Out of rotation: heartbeat-declared dead, or already observed as a
+		// crashed process. The monitor parents the API server processes, so
+		// an exit is visible immediately — heartbeats exist for the
+		// hung-but-alive case, not to delay reusing an obvious corpse.
+		if gs.dead[srv.ID()] || srv.Crashed() {
+			continue
+		}
 		if _, busy := gs.leased[srv.ID()]; busy {
 			continue
 		}
@@ -510,16 +707,20 @@ func (gs *GPUServer) place(fnID string, mem int64) *apiserver.Server {
 // placement is retried. It returns nil only once no reclaimable pin is
 // left and the request still does not fit.
 func (gs *GPUServer) reclaimAndPlace(p *sim.Proc, req *acquireReq) *apiserver.Server {
+	skip := make(map[int]bool)
 	for {
 		sid, ok := gs.cache.OldestPin(func(id int) bool {
 			_, busy := gs.leased[id]
-			return !busy
+			return !busy && !gs.dead[id] && !skip[id]
 		})
 		if !ok {
 			return nil
 		}
 		done := sim.NewQueue[struct{}](gs.e)
-		gs.servers[sid].Inbox.Send(remoting.Request{Ctrl: apiserver.EvictModelRequest{Done: done}})
+		if !gs.servers[sid].Inbox.TrySend(remoting.Request{Ctrl: apiserver.EvictModelRequest{Done: done}}) {
+			skip[sid] = true // crashed under us; its scavenge drops the pin
+			continue
+		}
 		done.Recv(p)
 		if srv := gs.place(req.fnID, req.mem); srv != nil {
 			return srv
@@ -537,6 +738,12 @@ func (gs *GPUServer) releaseLocked(lease *Lease) {
 	// The server has migrated back home by now (Bye does that), so the
 	// commitment unwinds on its home GPU.
 	gs.commit[lease.Server.HomeDev()] -= lease.Mem
+	// If the tenant's connection died before its Bye arrived, the session is
+	// still open server-side and would refuse the next tenant's Hello. A
+	// reset through the FIFO inbox scavenges it after any still-queued
+	// one-way work from the dead guest and before the next Hello. TrySend:
+	// a crashed server's inbox is closed, and its run loop scavenges anyway.
+	lease.Server.Inbox.TrySend(remoting.Request{Ctrl: apiserver.ResetRequest{}})
 }
 
 // maybeMigrate fixes GPU load imbalance: if one GPU runs two or more
@@ -590,5 +797,6 @@ func (gs *GPUServer) maybeMigrate(p *sim.Proc) {
 	gs.migrations++
 	gs.imbalanceTicks = 0
 	gs.migCooldown = p.Now() + 2*gs.cfg.MonitorPeriod
-	pick.Server.Inbox.Send(remoting.Request{Ctrl: apiserver.MigrateRequest{TargetDev: dst}})
+	// TrySend: the picked server may have crashed since the last heartbeat.
+	pick.Server.Inbox.TrySend(remoting.Request{Ctrl: apiserver.MigrateRequest{TargetDev: dst}})
 }

@@ -78,7 +78,7 @@ func TestPrewarmParallelAndFootprint(t *testing.T) {
 
 // fakeFn leases a server, holds it for d, and releases.
 func holdLease(p *sim.Proc, gs *GPUServer, name string, mem int64, d time.Duration) *Lease {
-	lease := gs.Acquire(p, name, mem)
+	lease, _ := gs.Acquire(p, name, mem)
 	p.Sleep(d)
 	gs.Release(lease)
 	return lease
@@ -96,7 +96,7 @@ func TestFCFSQueueing(t *testing.T) {
 			wg.Add(1)
 			p.Spawn(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
 				p.Sleep(time.Duration(i) * time.Millisecond) // fix arrival order
-				lease := gs.Acquire(p, fmt.Sprintf("f%d", i), 1<<30)
+				lease, _ := gs.Acquire(p, fmt.Sprintf("f%d", i), 1<<30)
 				order = append(order, lease.FnID)
 				p.Sleep(time.Second)
 				gs.Release(lease)
@@ -123,7 +123,7 @@ func TestQueueDelayMeasured(t *testing.T) {
 			wg.Done()
 		})
 		p.Sleep(time.Millisecond)
-		lease := gs.Acquire(p, "b", 1<<30)
+		lease, _ := gs.Acquire(p, "b", 1<<30)
 		if lease.QueueDelay < 1900*time.Millisecond {
 			t.Fatalf("QueueDelay = %v, want ~2s", lease.QueueDelay)
 		}
@@ -150,7 +150,7 @@ func TestHeadOfLineBlocking(t *testing.T) {
 		})
 		p.Spawn("small", func(p *sim.Proc) {
 			p.Sleep(2 * time.Millisecond)
-			lease := gs.Acquire(p, "small", 1<<30)
+			lease, _ := gs.Acquire(p, "small", 1<<30)
 			smallGranted = p.Now()
 			gs.Release(lease)
 			wg.Done()
@@ -172,8 +172,8 @@ func TestBestFitCondensesWorstFitSpreads(t *testing.T) {
 			gs := New(e, fastConfig(2, 2, pol))
 			gs.Start(p)
 			// First function occupies some of GPU picked first.
-			l1 := gs.Acquire(p, "a", 4<<30)
-			l2 := gs.Acquire(p, "b", 4<<30)
+			l1, _ := gs.Acquire(p, "a", 4<<30)
+			l2, _ := gs.Acquire(p, "b", 4<<30)
 			gpus[0] = l1.Server.HomeDev()
 			gpus[1] = l2.Server.HomeDev()
 			gs.Release(l1)
@@ -196,9 +196,9 @@ func TestMemoryFitRespected(t *testing.T) {
 	e.Run("root", func(p *sim.Proc) {
 		gs := New(e, fastConfig(2, 2, BestFit))
 		gs.Start(p)
-		l1 := gs.Acquire(p, "a", 12<<30)
+		l1, _ := gs.Acquire(p, "a", 12<<30)
 		// 12GB committed on l1's GPU: a second 12GB function cannot share it.
-		l2 := gs.Acquire(p, "b", 12<<30)
+		l2, _ := gs.Acquire(p, "b", 12<<30)
 		if l1.Server.HomeDev() == l2.Server.HomeDev() {
 			t.Fatalf("two 12GB functions placed on the same 16GB GPU")
 		}
@@ -217,7 +217,7 @@ func TestNoSharingLimitsConcurrency(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			wg.Add(1)
 			p.Spawn("f", func(p *sim.Proc) {
-				lease := gs.Acquire(p, "f", 1<<30)
+				lease, _ := gs.Acquire(p, "f", 1<<30)
 				conc++
 				if conc > maxConc {
 					maxConc = conc
@@ -252,7 +252,7 @@ func TestMonitorMigratesOffContendedGPU(t *testing.T) {
 			i := i
 			wg.Add(1)
 			p.Spawn("f", func(p *sim.Proc) {
-				lease := gs.Acquire(p, fmt.Sprintf("f%d", i), 2<<30)
+				lease, _ := gs.Acquire(p, fmt.Sprintf("f%d", i), 2<<30)
 				leases[i] = lease
 				// Open a session so the server is genuinely busy, then give
 				// the monitor time to notice the imbalance.
@@ -288,8 +288,8 @@ func TestMigrationDisabledByDefault(t *testing.T) {
 		cfg := fastConfig(2, 2, BestFit)
 		gs := New(e, cfg)
 		gs.Start(p)
-		l1 := gs.Acquire(p, "a", 2<<30)
-		l2 := gs.Acquire(p, "b", 2<<30)
+		l1, _ := gs.Acquire(p, "a", 2<<30)
+		l2, _ := gs.Acquire(p, "b", 2<<30)
 		p.Sleep(2 * time.Second)
 		if gs.Migrations() != 0 {
 			t.Fatal("migration happened despite EnableMigration=false")
@@ -304,8 +304,8 @@ func TestPlacementRecords(t *testing.T) {
 	e.Run("root", func(p *sim.Proc) {
 		gs := New(e, fastConfig(2, 1, WorstFit))
 		gs.Start(p)
-		l1 := gs.Acquire(p, "a", 1<<30)
-		l2 := gs.Acquire(p, "b", 1<<30)
+		l1, _ := gs.Acquire(p, "a", 1<<30)
+		l2, _ := gs.Acquire(p, "b", 1<<30)
 		gs.Release(l1)
 		gs.Release(l2)
 		recs := gs.Placements()

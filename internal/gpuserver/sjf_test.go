@@ -9,7 +9,7 @@ import (
 
 // holdWithHint acquires with an SJF hint, holds for d, then releases.
 func holdWithHint(p *sim.Proc, gs *GPUServer, name string, mem int64, hint, d time.Duration, done *[]string) {
-	lease := gs.AcquireHint(p, name, mem, hint)
+	lease, _ := gs.AcquireHint(p, name, mem, hint)
 	*done = append(*done, name+"-granted")
 	p.Sleep(d)
 	gs.Release(lease)
@@ -65,21 +65,21 @@ func TestSJFAvoidsHeadOfLineBlocking(t *testing.T) {
 			wg := sim.NewWaitGroup(e)
 			wg.Add(3)
 			p.Spawn("big1", func(p *sim.Proc) {
-				lease := gs.AcquireHint(p, "big1", 10<<30, 4*time.Second)
+				lease, _ := gs.AcquireHint(p, "big1", 10<<30, 4*time.Second)
 				p.Sleep(4 * time.Second)
 				gs.Release(lease)
 				wg.Done()
 			})
 			p.Spawn("big2", func(p *sim.Proc) {
 				p.Sleep(time.Millisecond)
-				lease := gs.AcquireHint(p, "big2", 10<<30, 4*time.Second)
+				lease, _ := gs.AcquireHint(p, "big2", 10<<30, 4*time.Second)
 				p.Sleep(4 * time.Second)
 				gs.Release(lease)
 				wg.Done()
 			})
 			p.Spawn("small", func(p *sim.Proc) {
 				p.Sleep(2 * time.Millisecond)
-				lease := gs.AcquireHint(p, "small", 1<<30, time.Second)
+				lease, _ := gs.AcquireHint(p, "small", 1<<30, time.Second)
 				smallGranted = p.Now()
 				p.Sleep(time.Second)
 				gs.Release(lease)
@@ -116,9 +116,9 @@ func TestLoadReporting(t *testing.T) {
 		if a, q := gs.Load(); a != 0 || q != 0 {
 			t.Fatalf("idle load = (%d,%d)", a, q)
 		}
-		l := gs.Acquire(p, "a", 1<<30)
+		l, _ := gs.Acquire(p, "a", 1<<30)
 		p.Spawn("waiter", func(p *sim.Proc) {
-			l2 := gs.Acquire(p, "b", 1<<30)
+			l2, _ := gs.Acquire(p, "b", 1<<30)
 			gs.Release(l2)
 		})
 		p.Sleep(100 * time.Millisecond)
@@ -136,11 +136,11 @@ func TestImpossibleRequestRejected(t *testing.T) {
 		gs.Start(p)
 		// 32 GB can never fit a 16 GB GPU: the monitor must answer nil
 		// immediately instead of queueing the request forever.
-		if lease := gs.Acquire(p, "huge", 32<<30); lease != nil {
+		if lease, _ := gs.Acquire(p, "huge", 32<<30); lease != nil {
 			t.Fatal("impossible request granted")
 		}
 		// A feasible request afterwards still works.
-		lease := gs.Acquire(p, "ok", 1<<30)
+		lease, _ := gs.Acquire(p, "ok", 1<<30)
 		if lease == nil {
 			t.Fatal("feasible request rejected")
 		}

@@ -12,7 +12,9 @@ import (
 // entirely on its side: these APIs "simply allocate memory on the host side
 // to hold the opaque structure" (§V-C), so no server state is needed.
 
-// createDescriptor implements the cudnnCreate*Descriptor family.
+// createDescriptor implements the cudnnCreate*Descriptor family. On the
+// remoted path a recoverable library virtualizes and journals the
+// descriptor, like every other server-issued handle.
 func (l *Lib) createDescriptor(p *sim.Proc, remoteCreate func(*sim.Proc) (cudalibs.Descriptor, error)) (cudalibs.Descriptor, error) {
 	if l.localizing() {
 		l.local(p)
@@ -22,10 +24,31 @@ func (l *Lib) createDescriptor(p *sim.Proc, remoteCreate func(*sim.Proc) (cudali
 		return d, nil
 	}
 	l.remote(p)
-	return remoteCreate(p)
+	var d cudalibs.Descriptor
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		d, err = remoteCreate(p)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := cudalibs.Descriptor(virtDescBase + l.newVirt())
+		l.descMap[v] = d
+		l.journalPut(descKey(v), func(p *sim.Proc) error {
+			nd, err := remoteCreate(p)
+			if err != nil {
+				return err
+			}
+			l.descMap[v] = nd
+			return nil
+		})
+		d = v
+	}
+	return d, err
 }
 
-// setDescriptor implements the cudnnSet*Descriptor family.
+// setDescriptor implements the cudnnSet*Descriptor family. The remoted set
+// is journaled per descriptor (last set wins) so recovered descriptors are
+// reconfigured.
 func (l *Lib) setDescriptor(p *sim.Proc, d cudalibs.Descriptor, remoteSet func(*sim.Proc, cudalibs.Descriptor) error) error {
 	if l.localizing() {
 		l.local(p)
@@ -35,7 +58,13 @@ func (l *Lib) setDescriptor(p *sim.Proc, d cudalibs.Descriptor, remoteSet func(*
 		return nil
 	}
 	l.remote(p)
-	return remoteSet(p, d)
+	err := l.reliably(p, func(p *sim.Proc) error { return remoteSet(p, l.xdc(d)) })
+	if err == nil && l.rec != nil {
+		l.journalPut(descKey(d)+":set", func(p *sim.Proc) error {
+			return remoteSet(p, l.xdc(d))
+		})
+	}
+	return err
 }
 
 // destroyDescriptor implements the cudnnDestroy*Descriptor family.
@@ -49,7 +78,13 @@ func (l *Lib) destroyDescriptor(p *sim.Proc, d cudalibs.Descriptor, remoteDestro
 		return nil
 	}
 	l.remote(p)
-	return remoteDestroy(p, d)
+	err := l.reliably(p, func(p *sim.Proc) error { return remoteDestroy(p, l.xdc(d)) })
+	if err == nil && l.rec != nil {
+		l.journalDrop(descKey(d))
+		l.journalDrop(descKey(d) + ":set")
+		delete(l.descMap, d)
+	}
+	return err
 }
 
 // DnnCreateTensorDescriptor mirrors cudnnCreateTensorDescriptor.

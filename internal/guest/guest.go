@@ -23,6 +23,7 @@
 package guest
 
 import (
+	"fmt"
 	"time"
 
 	"dgsf/internal/cuda"
@@ -57,6 +58,11 @@ type Stats struct {
 	Async     int // forwarded as one-way pipelined submissions
 	Batches   int // batch messages sent
 	Fences    int // pipeline fences performed (round trips)
+
+	// Recovery counters (recoverable libraries only).
+	Recoveries int // recovery episodes entered after a transport fault
+	Redials    int // redial attempts across all episodes
+	Replayed   int // journal entries replayed onto fresh sessions
 }
 
 // Roundtrips returns the number of network round trips performed.
@@ -103,6 +109,31 @@ type Lib struct {
 	batch      wire.Encoder
 	batchBody  wire.Encoder
 	batchCount int
+
+	// Crash recovery (NewRecoverable only; nil rec disables everything).
+	rec        *RecoveryConfig
+	conn       remoting.Caller // raw transport, pre deadline wrapping
+	recovering bool            // inside recoverSession: no nested recovery
+	lost       bool            // recovery exhausted; session unrecoverable
+
+	// Guest-virtual handle spaces: app-visible IDs -> current session's.
+	ptrMap    map[cuda.DevPtr]cuda.DevPtr
+	streamMap map[cuda.StreamHandle]cuda.StreamHandle
+	eventMap  map[cuda.EventHandle]cuda.EventHandle
+	dnnMap    map[cudalibs.DNNHandle]cudalibs.DNNHandle
+	blasMap   map[cudalibs.BLASHandle]cudalibs.BLASHandle
+	fnMap     map[cuda.FnPtr]cuda.FnPtr
+	descMap   map[cudalibs.Descriptor]cudalibs.Descriptor
+	hostMap   map[uint64]uint64
+	nextVirt  uint64
+	nextVA    int64
+
+	// Idempotent replay journal and the unflushed/unfenced call windows.
+	journal        []*journalEntry
+	journalKeys    map[string]*journalEntry
+	batchOps       []batchOp
+	unfenced       []asyncOp
+	oldestUnfenced time.Duration
 }
 
 var _ gen.API = (*Lib)(nil)
@@ -116,6 +147,7 @@ func New(t remoting.Caller, opt Opt) *Lib {
 		hostAllocs: make(map[uint64]int64),
 		localDescs: make(map[cudalibs.Descriptor]bool),
 		localCost:  300 * time.Nanosecond,
+		conn:       t,
 	}
 	if ac, ok := t.(remoting.AsyncCaller); ok {
 		l.async = ac
@@ -151,9 +183,19 @@ func (l *Lib) remote(p *sim.Proc) {
 
 // deferCall length-prefixes one encoded call into the pending batch body.
 // The scratch encoder is reused across calls: BytesField copies its bytes.
+// Recoverable libraries defer the closure instead: encoding (and handle
+// translation) runs at flush time against the session then current.
 func (l *Lib) deferCall(appendFn func(e *wire.Encoder)) {
+	l.deferCallDone(appendFn, nil)
+}
+
+func (l *Lib) deferCallDone(appendFn func(e *wire.Encoder), onDone func()) {
 	l.stats.Total++
 	l.stats.Batched++
+	if l.rec != nil {
+		l.batchOps = append(l.batchOps, batchOp{app: appendFn, onDone: onDone})
+		return
+	}
 	l.batch.Reset()
 	appendFn(&l.batch)
 	l.batchBody.BytesField(l.batch.Bytes())
@@ -165,50 +207,116 @@ func (l *Lib) deferCall(appendFn func(e *wire.Encoder)) {
 // never pooled — because the transport may hold it until delivery. Errors
 // latch server-side and surface at the next fence.
 func (l *Lib) submitAsync(p *sim.Proc, reqData int64, appendFn func(e *wire.Encoder)) error {
+	return l.submitAsyncDone(p, reqData, appendFn, nil)
+}
+
+func (l *Lib) submitAsyncDone(p *sim.Proc, reqData int64, appendFn func(e *wire.Encoder), onDone func()) error {
 	if l.asyncInFlight >= maxAsyncWindow {
 		l.fence(p)
+	}
+	if l.rec != nil {
+		if l.lost {
+			return cuda.ErrDevicesUnavailable
+		}
+		// Bounded staleness: the lane must not run blind past FenceLag, or
+		// a dead server would be discovered arbitrarily late.
+		if l.rec.FenceLag > 0 && len(l.unfenced) > 0 && p.Now()-l.oldestUnfenced > l.rec.FenceLag {
+			l.fence(p)
+		}
 	}
 	l.stats.Total++
 	l.stats.Async++
 	var e wire.Encoder
 	e.U16(remoting.CallAsync)
 	appendFn(&e)
-	if err := l.async.Submit(p, e.Bytes(), reqData); err != nil {
+	err := l.async.Submit(p, e.Bytes(), reqData)
+	if err != nil && l.rec != nil && !l.recovering && remoting.IsConnFault(err) {
+		if rerr := l.recoverSession(p); rerr == nil {
+			var e2 wire.Encoder
+			e2.U16(remoting.CallAsync)
+			appendFn(&e2)
+			err = l.async.Submit(p, e2.Bytes(), reqData)
+		}
+	}
+	if err != nil {
+		if l.rec != nil {
+			l.lastError = int(cuda.ErrDevicesUnavailable)
+			return cuda.ErrDevicesUnavailable
+		}
 		l.lastError = -1
 		return err
 	}
 	l.asyncInFlight++
+	if l.rec != nil {
+		if len(l.unfenced) == 0 {
+			l.oldestUnfenced = p.Now()
+		}
+		l.unfenced = append(l.unfenced, asyncOp{app: appendFn, reqData: reqData, onDone: onDone})
+	}
 	return nil
 }
 
 // fence drains the pipelined lane: a CallFence round trip whose FIFO
 // position guarantees every prior submission has executed, and whose reply
 // carries the first latched asynchronous error. A no-op with nothing in
-// flight, so tiers without OptAsync are unaffected.
+// flight, so tiers without OptAsync are unaffected. On a recoverable
+// library a transport fault triggers session recovery (which re-sends the
+// unfenced window) and the fence is retried.
 func (l *Lib) fence(p *sim.Proc) {
 	if l.asyncInFlight == 0 {
 		return
 	}
-	l.asyncInFlight = 0
 	l.stats.Fences++
+	var code int
+	var err error
+	for tries := 0; ; tries++ {
+		code, err = l.fenceOnce(p)
+		if err == nil || l.rec == nil || l.recovering || l.lost ||
+			!remoting.IsConnFault(err) || tries >= maxCallRecoveries {
+			break
+		}
+		if rerr := l.recoverSession(p); rerr != nil {
+			break
+		}
+	}
+	l.asyncInFlight = 0
+	if err != nil {
+		l.clearUnfenced(false)
+		if l.rec != nil {
+			l.lastError = int(cuda.ErrDevicesUnavailable)
+		} else {
+			l.lastError = -1
+		}
+		return
+	}
+	l.clearUnfenced(true)
+	if code != 0 && l.lastError == 0 {
+		l.lastError = code
+	}
+}
+
+// fenceOnce performs a single CallFence round trip.
+func (l *Lib) fenceOnce(p *sim.Proc) (int, error) {
 	enc := wire.GetEncoder()
 	enc.U16(remoting.CallFence)
 	resp, err := l.cl.T.Roundtrip(p, enc.Bytes(), 0)
 	if err != nil {
-		l.lastError = -1
-		return
+		return 0, err
 	}
 	wire.PutEncoder(enc)
 	d := wire.GetDecoder(resp)
-	if code := int(d.I32()); code != 0 && l.lastError == 0 {
-		l.lastError = code
-	}
+	code := int(d.I32())
 	wire.PutDecoder(d)
+	return code, nil
 }
 
 // FlushBatch ships the pending batch, if any, as one round trip. Errors from
 // batched calls surface through GetLastError, like asynchronous CUDA errors.
 func (l *Lib) FlushBatch(p *sim.Proc) {
+	if l.rec != nil {
+		l.flushBatchRec(p)
+		return
+	}
 	if l.batchCount == 0 {
 		return
 	}
@@ -231,6 +339,59 @@ func (l *Lib) FlushBatch(p *sim.Proc) {
 	wire.PutDecoder(d)
 }
 
+// flushBatchRec is the recoverable flush: deferred closures are encoded
+// fresh per attempt so translation matches the current session, and the
+// whole batch is retried after recovery (batched calls are the
+// state-establishing and idempotent kind).
+func (l *Lib) flushBatchRec(p *sim.Proc) {
+	if len(l.batchOps) == 0 {
+		return
+	}
+	l.stats.Batches++
+	var code int
+	var err error
+	for tries := 0; ; tries++ {
+		l.batchBody.Reset()
+		for _, op := range l.batchOps {
+			l.batch.Reset()
+			op.app(&l.batch)
+			l.batchBody.BytesField(l.batch.Bytes())
+		}
+		l.batch.Reset()
+		l.batch.U16(remoting.CallBatch)
+		l.batch.U32(uint32(len(l.batchOps)))
+		l.batch.Raw(l.batchBody.Bytes())
+		var resp []byte
+		resp, err = l.cl.T.Roundtrip(p, l.batch.Bytes(), 0)
+		if err == nil {
+			d := wire.GetDecoder(resp)
+			code = int(d.I32())
+			wire.PutDecoder(d)
+			break
+		}
+		if l.recovering || l.lost || !remoting.IsConnFault(err) || tries >= maxCallRecoveries {
+			break
+		}
+		if rerr := l.recoverSession(p); rerr != nil {
+			break
+		}
+	}
+	if err != nil {
+		l.batchOps = l.batchOps[:0]
+		l.lastError = int(cuda.ErrDevicesUnavailable)
+		return
+	}
+	for _, op := range l.batchOps {
+		if op.onDone != nil {
+			op.onDone()
+		}
+	}
+	l.batchOps = l.batchOps[:0]
+	if code != 0 {
+		l.lastError = code
+	}
+}
+
 // batching reports whether batching is enabled.
 func (l *Lib) batching() bool { return l.opt&OptBatching != 0 }
 
@@ -243,42 +404,123 @@ func (l *Lib) localizing() bool { return l.opt&OptLocalDescriptors != 0 }
 
 // --- session control (always remoted) ---
 
-// Hello opens the function session.
+// Hello opens the function session. On a recoverable library it is the
+// journal's first entry: every recovered session re-opens before replay.
 func (l *Lib) Hello(p *sim.Proc, fnID string, memLimit int64) error {
 	l.remote(p)
-	return l.cl.Hello(p, fnID, memLimit)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.Hello(p, fnID, memLimit) })
+	if err == nil {
+		l.journalPut("hello", func(p *sim.Proc) error { return l.cl.Hello(p, fnID, memLimit) })
+	}
+	return err
 }
 
-// Bye ends the function session.
+// Bye ends the function session and retires the replay journal.
 func (l *Lib) Bye(p *sim.Proc) error {
 	l.remote(p)
-	return l.cl.Bye(p)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.Bye(p) })
+	if err == nil && l.rec != nil {
+		l.journal = nil
+		l.journalKeys = make(map[string]*journalEntry)
+		l.clearUnfenced(false)
+	}
+	return err
 }
 
 // RegisterKernels ships the function's kernel symbols to the API server.
+// Recoverable libraries hand out virtual function pointers: the context that
+// re-registers after a failover mints different real ones.
 func (l *Lib) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
 	l.remote(p)
-	return l.cl.RegisterKernels(p, names)
+	var ptrs []cuda.FnPtr
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		ptrs, err = l.cl.RegisterKernels(p, names)
+		return err
+	})
+	if err != nil || l.rec == nil {
+		return ptrs, err
+	}
+	virts := make([]cuda.FnPtr, len(ptrs))
+	for i, fp := range ptrs {
+		v := cuda.FnPtr(virtFnBase + l.newVirt())
+		l.fnMap[v] = fp
+		virts[i] = v
+	}
+	l.journalPut(fmt.Sprintf("kernels:%d", len(l.journal)), func(p *sim.Proc) error {
+		nps, err := l.cl.RegisterKernels(p, names)
+		if err != nil {
+			return err
+		}
+		for i, v := range virts {
+			if i < len(nps) {
+				l.fnMap[v] = nps[i]
+			}
+		}
+		return nil
+	})
+	return virts, err
 }
 
 // ModelAttach asks the API server for a cached copy of the function's model
 // working set; the returned pointer is tracked like a Malloc so localized
-// pointer-attribute queries keep working.
+// pointer-attribute queries keep working. On replay a cache miss on the
+// recovered server degrades to a plain allocation whose contents are
+// restored by the journaled uploads that follow it.
 func (l *Lib) ModelAttach(p *sim.Proc) (cuda.DevPtr, int64, int, error) {
 	l.remote(p)
-	ptr, size, tier, err := l.cl.ModelAttach(p)
-	if err == nil && ptr != 0 {
-		l.ptrSizes[ptr] = size
+	var (
+		ptr  cuda.DevPtr
+		size int64
+		tier int
+	)
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		ptr, size, tier, err = l.cl.ModelAttach(p)
+		return err
+	})
+	if err != nil || ptr == 0 {
+		return ptr, size, tier, err
 	}
+	if l.rec != nil {
+		v := l.newVirtPtr(size)
+		l.ptrMap[v] = ptr
+		sz := size
+		l.journalPutPtr(ptrKey(v), v, func(p *sim.Proc) error {
+			rp, rsz, _, err := l.cl.ModelAttach(p)
+			if err == nil && rp != 0 && rsz == sz {
+				l.ptrMap[v] = rp
+				return nil
+			}
+			if err != nil && !remoting.IsConnFault(err) {
+				err = nil // semantic attach failure: fall back to Malloc
+			}
+			if err != nil {
+				return err
+			}
+			np, err := l.cl.Malloc(p, sz)
+			if err != nil {
+				return err
+			}
+			l.ptrMap[v] = np
+			return nil
+		})
+		ptr = v
+	}
+	l.ptrSizes[ptr] = size
 	return ptr, size, tier, err
 }
 
 // ModelPersist offers an allocation to the API server's model cache. The
-// allocation is gone from the session either way, like a Free.
+// allocation is gone from the session either way, like a Free, so its
+// journal entries are retired: a recovered session does not re-persist.
 func (l *Lib) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
+	size := l.ptrSizes[ptr]
 	delete(l.ptrSizes, ptr)
 	l.remote(p)
-	return l.cl.ModelPersist(p, ptr)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.ModelPersist(p, l.xp(ptr)) })
+	l.dropPtrEntries(ptr, size)
+	return err
 }
 
 // --- device management ---
@@ -286,19 +528,31 @@ func (l *Lib) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
 // GetDeviceCount mirrors cudaGetDeviceCount.
 func (l *Lib) GetDeviceCount(p *sim.Proc) (int, error) {
 	l.remote(p)
-	return l.cl.GetDeviceCount(p)
+	var n int
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		n, err = l.cl.GetDeviceCount(p)
+		return err
+	})
+	return n, err
 }
 
 // GetDeviceProperties mirrors cudaGetDeviceProperties.
 func (l *Lib) GetDeviceProperties(p *sim.Proc, dev int) (cuda.DeviceProp, error) {
 	l.remote(p)
-	return l.cl.GetDeviceProperties(p, dev)
+	var prop cuda.DeviceProp
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		prop, err = l.cl.GetDeviceProperties(p, dev)
+		return err
+	})
+	return prop, err
 }
 
 // SetDevice mirrors cudaSetDevice.
 func (l *Lib) SetDevice(p *sim.Proc, dev int) error {
 	l.remote(p)
-	return l.cl.SetDevice(p, dev)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.SetDevice(p, dev) })
 }
 
 // GetDevice mirrors cudaGetDevice; the virtual device is always 0, so the
@@ -309,19 +563,31 @@ func (l *Lib) GetDevice(p *sim.Proc) (int, error) {
 		return 0, nil
 	}
 	l.remote(p)
-	return l.cl.GetDevice(p)
+	var dev int
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		dev, err = l.cl.GetDevice(p)
+		return err
+	})
+	return dev, err
 }
 
 // MemGetInfo mirrors cudaMemGetInfo.
 func (l *Lib) MemGetInfo(p *sim.Proc) (int64, int64, error) {
 	l.remote(p)
-	return l.cl.MemGetInfo(p)
+	var free, total int64
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		free, total, err = l.cl.MemGetInfo(p)
+		return err
+	})
+	return free, total, err
 }
 
 // DeviceSynchronize mirrors cudaDeviceSynchronize.
 func (l *Lib) DeviceSynchronize(p *sim.Proc) error {
 	l.remote(p)
-	return l.cl.DeviceSynchronize(p)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.DeviceSynchronize(p) })
 }
 
 // GetLastError mirrors cudaGetLastError.
@@ -333,7 +599,13 @@ func (l *Lib) GetLastError(p *sim.Proc) (int, error) {
 		return code, nil
 	}
 	l.remote(p)
-	return l.cl.GetLastError(p)
+	var code int
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		code, err = l.cl.GetLastError(p)
+		return err
+	})
+	return code, err
 }
 
 // DriverGetVersion mirrors cuDriverGetVersion.
@@ -343,7 +615,13 @@ func (l *Lib) DriverGetVersion(p *sim.Proc) (int, error) {
 		return 10020, nil
 	}
 	l.remote(p)
-	return l.cl.DriverGetVersion(p)
+	var v int
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		v, err = l.cl.DriverGetVersion(p)
+		return err
+	})
+	return v, err
 }
 
 // RuntimeGetVersion mirrors cudaRuntimeGetVersion.
@@ -353,73 +631,126 @@ func (l *Lib) RuntimeGetVersion(p *sim.Proc) (int, error) {
 		return 10010, nil
 	}
 	l.remote(p)
-	return l.cl.RuntimeGetVersion(p)
+	var v int
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		v, err = l.cl.RuntimeGetVersion(p)
+		return err
+	})
+	return v, err
 }
 
 // --- memory management ---
 
 // Malloc mirrors cudaMalloc; the returned address is tracked for localized
-// pointer-attribute queries.
+// pointer-attribute queries. Recoverable libraries return a guest-virtual
+// address and journal the allocation.
 func (l *Lib) Malloc(p *sim.Proc, size int64) (cuda.DevPtr, error) {
 	l.remote(p)
-	ptr, err := l.cl.Malloc(p, size)
-	if err == nil {
-		l.ptrSizes[ptr] = size
+	var ptr cuda.DevPtr
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		ptr, err = l.cl.Malloc(p, size)
+		return err
+	})
+	if err != nil {
+		return 0, err
 	}
-	return ptr, err
+	if l.rec != nil {
+		v := l.newVirtPtr(size)
+		l.ptrMap[v] = ptr
+		l.journalPutPtr(ptrKey(v), v, func(p *sim.Proc) error {
+			np, err := l.cl.Malloc(p, size)
+			if err != nil {
+				return err
+			}
+			l.ptrMap[v] = np
+			return nil
+		})
+		ptr = v
+	}
+	l.ptrSizes[ptr] = size
+	return ptr, nil
 }
 
 // Free mirrors cudaFree. It is a synchronizing call in the pipelined tier:
 // releasing memory while one-way work may still reference it must drain the
-// lane first, so it takes the remote path, which fences.
+// lane first, so it takes the remote path, which fences. Journal entries for
+// the allocation are retired only once the free is confirmed: an unflushed
+// free must still find the allocation replayed after a recovery.
 func (l *Lib) Free(p *sim.Proc, ptr cuda.DevPtr) error {
+	size := l.ptrSizes[ptr]
 	delete(l.ptrSizes, ptr)
-	if l.asyncing() {
-		l.remote(p)
-		return l.cl.Free(p, ptr)
-	}
-	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendFreeCall(e, ptr) })
+	if !l.asyncing() && l.batching() {
+		l.deferCallDone(
+			func(e *wire.Encoder) { gen.AppendFreeCall(e, l.xp(ptr)) },
+			func() { l.dropPtrEntries(ptr, size) },
+		)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.Free(p, ptr)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.Free(p, l.xp(ptr)) })
+	if err == nil {
+		l.dropPtrEntries(ptr, size)
+	}
+	return err
 }
 
-// Memset mirrors cudaMemset.
+// Memset mirrors cudaMemset. Not journaled: memset output is intermediate
+// state the function rebuilds, like kernel results.
 func (l *Lib) Memset(p *sim.Proc, ptr cuda.DevPtr, value byte, size int64) error {
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendMemsetCall(e, ptr, value, size) })
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendMemsetCall(e, l.xp(ptr), value, size) })
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendMemsetCall(e, ptr, value, size) })
+		l.deferCall(func(e *wire.Encoder) { gen.AppendMemsetCall(e, l.xp(ptr), value, size) })
 		return nil
 	}
 	l.remote(p)
-	return l.cl.Memset(p, ptr, value, size)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.Memset(p, l.xp(ptr), value, size) })
 }
 
 // MemcpyH2D mirrors cudaMemcpy(HostToDevice). Host-to-device copies need no
 // result, so the pipelined tier submits them one-way, overlapping the
-// transfer's network latency with guest compute.
+// transfer's network latency with guest compute. The source buffer lives in
+// the guest, so the upload is journaled once confirmed: recovered sessions
+// re-establish device contents from it.
 func (l *Lib) MemcpyH2D(p *sim.Proc, dst cuda.DevPtr, src gpu.HostBuffer, size int64) error {
+	journal := func() {
+		l.journalPutPtr(h2dKey(dst, size), dst, func(p *sim.Proc) error {
+			return l.cl.MemcpyH2D(p, l.xp(dst), src, size)
+		})
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, size, func(e *wire.Encoder) { gen.AppendMemcpyH2DCall(e, dst, src, size) })
+		return l.submitAsyncDone(p, size,
+			func(e *wire.Encoder) { gen.AppendMemcpyH2DCall(e, l.xp(dst), src, size) },
+			journal)
 	}
 	l.remote(p)
-	return l.cl.MemcpyH2D(p, dst, src, size)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.MemcpyH2D(p, l.xp(dst), src, size) })
+	if err == nil && l.rec != nil {
+		journal()
+	}
+	return err
 }
 
 // MemcpyD2H mirrors cudaMemcpy(DeviceToHost).
 func (l *Lib) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostBuffer, error) {
 	l.remote(p)
-	return l.cl.MemcpyD2H(p, src, size)
+	var buf gpu.HostBuffer
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		buf, err = l.cl.MemcpyD2H(p, l.xp(src), size)
+		return err
+	})
+	return buf, err
 }
 
-// MemcpyD2D mirrors cudaMemcpy(DeviceToDevice).
+// MemcpyD2D mirrors cudaMemcpy(DeviceToDevice). Not journaled: the copied
+// contents are derived device state.
 func (l *Lib) MemcpyD2D(p *sim.Proc, dst, src cuda.DevPtr, size int64) error {
 	l.remote(p)
-	return l.cl.MemcpyD2D(p, dst, src, size)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.MemcpyD2D(p, l.xp(dst), l.xp(src), size) })
 }
 
 // MallocHost mirrors cudaMallocHost: host-only state, so the optimized guest
@@ -433,7 +764,26 @@ func (l *Lib) MallocHost(p *sim.Proc, size int64) (uint64, error) {
 		return ptr, nil
 	}
 	l.remote(p)
-	return l.cl.MallocHost(p, size)
+	var ptr uint64
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		ptr, err = l.cl.MallocHost(p, size)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := virtHostBase + l.newVirt()<<12
+		l.hostMap[v] = ptr
+		l.journalPut(hostKey(v), func(p *sim.Proc) error {
+			np, err := l.cl.MallocHost(p, size)
+			if err != nil {
+				return err
+			}
+			l.hostMap[v] = np
+			return nil
+		})
+		ptr = v
+	}
+	return ptr, err
 }
 
 // FreeHost mirrors cudaFreeHost.
@@ -447,7 +797,12 @@ func (l *Lib) FreeHost(p *sim.Proc, ptr uint64) error {
 		return nil
 	}
 	l.remote(p)
-	return l.cl.FreeHost(p, ptr)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.FreeHost(p, l.xhost(ptr)) })
+	if err == nil && l.rec != nil {
+		l.journalDrop(hostKey(ptr))
+		delete(l.hostMap, ptr)
+	}
+	return err
 }
 
 // PointerGetAttributes mirrors cudaPointerGetAttributes. With batching
@@ -464,7 +819,13 @@ func (l *Lib) PointerGetAttributes(p *sim.Proc, ptr cuda.DevPtr) (cuda.PtrAttrib
 		return cuda.PtrAttributes{}, cuda.ErrInvalidValue
 	}
 	l.remote(p)
-	return l.cl.PointerGetAttributes(p, ptr)
+	var attrs cuda.PtrAttributes
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		attrs, err = l.cl.PointerGetAttributes(p, l.xp(ptr))
+		return err
+	})
+	return attrs, err
 }
 
 // --- execution ---
@@ -478,7 +839,9 @@ func (l *Lib) PushCallConfiguration(p *sim.Proc, grid, block [3]int, stream cuda
 		return nil
 	}
 	l.remote(p)
-	return l.cl.PushCallConfiguration(p, grid, block, stream)
+	return l.reliably(p, func(p *sim.Proc) error {
+		return l.cl.PushCallConfiguration(p, grid, block, l.xs(stream))
+	})
 }
 
 // PopCallConfiguration mirrors __cudaPopCallConfiguration.
@@ -491,7 +854,7 @@ func (l *Lib) PopCallConfiguration(p *sim.Proc) error {
 		return nil
 	}
 	l.remote(p)
-	return l.cl.PopCallConfiguration(p)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.PopCallConfiguration(p) })
 }
 
 // LaunchKernel mirrors cudaLaunchKernel. The unoptimized guest reproduces
@@ -499,17 +862,17 @@ func (l *Lib) PopCallConfiguration(p *sim.Proc) error {
 // as three forwarded calls; the optimized guest ships one batched launch.
 func (l *Lib) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, lp) })
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, l.xlp(lp)) })
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, lp) })
+		l.deferCall(func(e *wire.Encoder) { gen.AppendLaunchKernelCall(e, l.xlp(lp)) })
 		return nil
 	}
 	if err := l.PushCallConfiguration(p, lp.Grid, lp.Block, lp.Stream); err != nil {
 		return err
 	}
 	l.remote(p)
-	if err := l.cl.LaunchKernel(p, lp); err != nil {
+	if err := l.reliably(p, func(p *sim.Proc) error { return l.cl.LaunchKernel(p, l.xlp(lp)) }); err != nil {
 		return err
 	}
 	return l.PopCallConfiguration(p)
@@ -518,70 +881,131 @@ func (l *Lib) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
 // StreamCreate mirrors cudaStreamCreate.
 func (l *Lib) StreamCreate(p *sim.Proc) (cuda.StreamHandle, error) {
 	l.remote(p)
-	return l.cl.StreamCreate(p)
+	var h cuda.StreamHandle
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		h, err = l.cl.StreamCreate(p)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := cuda.StreamHandle(virtStreamBase + l.newVirt())
+		l.streamMap[v] = h
+		l.journalPut(streamKey(v), func(p *sim.Proc) error {
+			nh, err := l.cl.StreamCreate(p)
+			if err != nil {
+				return err
+			}
+			l.streamMap[v] = nh
+			return nil
+		})
+		h = v
+	}
+	return h, err
 }
 
 // StreamDestroy mirrors cudaStreamDestroy.
 func (l *Lib) StreamDestroy(p *sim.Proc, h cuda.StreamHandle) error {
+	drop := func() {
+		l.journalDrop(streamKey(h))
+		delete(l.streamMap, h)
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, h) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, l.xs(h)) }, drop)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, h) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendStreamDestroyCall(e, l.xs(h)) }, drop)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.StreamDestroy(p, h)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.StreamDestroy(p, l.xs(h)) })
+	if err == nil && l.rec != nil {
+		drop()
+	}
+	return err
 }
 
 // StreamSynchronize mirrors cudaStreamSynchronize.
 func (l *Lib) StreamSynchronize(p *sim.Proc, h cuda.StreamHandle) error {
 	l.remote(p)
-	return l.cl.StreamSynchronize(p, h)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.StreamSynchronize(p, l.xs(h)) })
 }
 
 // EventCreate mirrors cudaEventCreate.
 func (l *Lib) EventCreate(p *sim.Proc) (cuda.EventHandle, error) {
 	l.remote(p)
-	return l.cl.EventCreate(p)
+	var h cuda.EventHandle
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		h, err = l.cl.EventCreate(p)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := cuda.EventHandle(virtEventBase + l.newVirt())
+		l.eventMap[v] = h
+		l.journalPut(eventKey(v), func(p *sim.Proc) error {
+			nh, err := l.cl.EventCreate(p)
+			if err != nil {
+				return err
+			}
+			l.eventMap[v] = nh
+			return nil
+		})
+		h = v
+	}
+	return h, err
 }
 
 // EventDestroy mirrors cudaEventDestroy.
 func (l *Lib) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
+	drop := func() {
+		l.journalDrop(eventKey(h))
+		delete(l.eventMap, h)
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, h) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, l.xe(h)) }, drop)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, h) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendEventDestroyCall(e, l.xe(h)) }, drop)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.EventDestroy(p, h)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.EventDestroy(p, l.xe(h)) })
+	if err == nil && l.rec != nil {
+		drop()
+	}
+	return err
 }
 
-// EventRecord mirrors cudaEventRecord.
+// EventRecord mirrors cudaEventRecord. Not journaled: a recorded timestamp
+// is transient timing state, re-sent with the unfenced window if pending.
 func (l *Lib) EventRecord(p *sim.Proc, h cuda.EventHandle, stream cuda.StreamHandle) error {
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendEventRecordCall(e, h, stream) })
+		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendEventRecordCall(e, l.xe(h), l.xs(stream)) })
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendEventRecordCall(e, h, stream) })
+		l.deferCall(func(e *wire.Encoder) { gen.AppendEventRecordCall(e, l.xe(h), l.xs(stream)) })
 		return nil
 	}
 	l.remote(p)
-	return l.cl.EventRecord(p, h, stream)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.EventRecord(p, l.xe(h), l.xs(stream)) })
 }
 
 // EventSynchronize mirrors cudaEventSynchronize.
 func (l *Lib) EventSynchronize(p *sim.Proc, h cuda.EventHandle) error {
 	l.remote(p)
-	return l.cl.EventSynchronize(p, h)
+	return l.reliably(p, func(p *sim.Proc) error { return l.cl.EventSynchronize(p, l.xe(h)) })
 }
 
 // EventElapsed mirrors cudaEventElapsedTime.
 func (l *Lib) EventElapsed(p *sim.Proc, start, end cuda.EventHandle) (time.Duration, error) {
 	l.remote(p)
-	return l.cl.EventElapsed(p, start, end)
+	var d time.Duration
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		d, err = l.cl.EventElapsed(p, l.xe(start), l.xe(end))
+		return err
+	})
+	return d, err
 }
 
 // --- cuDNN ---
@@ -589,33 +1013,71 @@ func (l *Lib) EventElapsed(p *sim.Proc, start, end cuda.EventHandle) (time.Durat
 // DnnCreate mirrors cudnnCreate.
 func (l *Lib) DnnCreate(p *sim.Proc) (cudalibs.DNNHandle, error) {
 	l.remote(p)
-	return l.cl.DnnCreate(p)
+	var h cudalibs.DNNHandle
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		h, err = l.cl.DnnCreate(p)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := cudalibs.DNNHandle(virtDnnBase + l.newVirt())
+		l.dnnMap[v] = h
+		l.journalPut(dnnKey(v), func(p *sim.Proc) error {
+			nh, err := l.cl.DnnCreate(p)
+			if err != nil {
+				return err
+			}
+			l.dnnMap[v] = nh
+			return nil
+		})
+		h = v
+	}
+	return h, err
 }
 
 // DnnDestroy mirrors cudnnDestroy.
 func (l *Lib) DnnDestroy(p *sim.Proc, h cudalibs.DNNHandle) error {
+	drop := func() {
+		l.journalDrop(dnnKey(h))
+		l.journalDrop(dnnKey(h) + ":stream")
+		delete(l.dnnMap, h)
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, h) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, l.xdn(h)) }, drop)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, h) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendDnnDestroyCall(e, l.xdn(h)) }, drop)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.DnnDestroy(p, h)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.DnnDestroy(p, l.xdn(h)) })
+	if err == nil && l.rec != nil {
+		drop()
+	}
+	return err
 }
 
-// DnnSetStream mirrors cudnnSetStream.
+// DnnSetStream mirrors cudnnSetStream. The binding is journaled (keyed per
+// handle, last set wins) so a recovered handle is re-bound to its stream.
 func (l *Lib) DnnSetStream(p *sim.Proc, h cudalibs.DNNHandle, stream cuda.StreamHandle) error {
+	journal := func() {
+		l.journalPut(dnnKey(h)+":stream", func(p *sim.Proc) error {
+			return l.cl.DnnSetStream(p, l.xdn(h), l.xs(stream))
+		})
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, h, stream) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, l.xdn(h), l.xs(stream)) }, journal)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, h, stream) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendDnnSetStreamCall(e, l.xdn(h), l.xs(stream)) }, journal)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.DnnSetStream(p, h, stream)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.DnnSetStream(p, l.xdn(h), l.xs(stream)) })
+	if err == nil && l.rec != nil {
+		journal()
+	}
+	return err
 }
 
 // DnnGetConvolutionWorkspaceSize mirrors its cuDNN namesake.
@@ -626,7 +1088,13 @@ func (l *Lib) DnnGetConvolutionWorkspaceSize(p *sim.Proc, d cudalibs.Descriptor)
 		return 64 << 20, nil
 	}
 	l.remote(p)
-	return l.cl.DnnGetConvolutionWorkspaceSize(p, d)
+	var size int64
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		size, err = l.cl.DnnGetConvolutionWorkspaceSize(p, l.xdc(d))
+		return err
+	})
+	return size, err
 }
 
 // DnnForward runs a cuDNN compute primitive on the API server. Descriptor
@@ -637,7 +1105,9 @@ func (l *Lib) DnnForward(p *sim.Proc, h cudalibs.DNNHandle, op string, dur time.
 		descs = nil // guest-held descriptors are meaningless to the server
 	}
 	l.remote(p)
-	return l.cl.DnnForward(p, h, op, dur, bufs, descs)
+	return l.reliably(p, func(p *sim.Proc) error {
+		return l.cl.DnnForward(p, l.xdn(h), op, dur, l.xptrs(bufs), l.xdescs(descs))
+	})
 }
 
 // --- cuBLAS ---
@@ -645,37 +1115,76 @@ func (l *Lib) DnnForward(p *sim.Proc, h cudalibs.DNNHandle, op string, dur time.
 // BlasCreate mirrors cublasCreate.
 func (l *Lib) BlasCreate(p *sim.Proc) (cudalibs.BLASHandle, error) {
 	l.remote(p)
-	return l.cl.BlasCreate(p)
+	var h cudalibs.BLASHandle
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		h, err = l.cl.BlasCreate(p)
+		return err
+	})
+	if err == nil && l.rec != nil {
+		v := cudalibs.BLASHandle(virtBlasBase + l.newVirt())
+		l.blasMap[v] = h
+		l.journalPut(blasKey(v), func(p *sim.Proc) error {
+			nh, err := l.cl.BlasCreate(p)
+			if err != nil {
+				return err
+			}
+			l.blasMap[v] = nh
+			return nil
+		})
+		h = v
+	}
+	return h, err
 }
 
 // BlasDestroy mirrors cublasDestroy.
 func (l *Lib) BlasDestroy(p *sim.Proc, h cudalibs.BLASHandle) error {
+	drop := func() {
+		l.journalDrop(blasKey(h))
+		l.journalDrop(blasKey(h) + ":stream")
+		delete(l.blasMap, h)
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, h) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, l.xbl(h)) }, drop)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, h) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendBlasDestroyCall(e, l.xbl(h)) }, drop)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.BlasDestroy(p, h)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.BlasDestroy(p, l.xbl(h)) })
+	if err == nil && l.rec != nil {
+		drop()
+	}
+	return err
 }
 
-// BlasSetStream mirrors cublasSetStream.
+// BlasSetStream mirrors cublasSetStream; journaled like DnnSetStream.
 func (l *Lib) BlasSetStream(p *sim.Proc, h cudalibs.BLASHandle, stream cuda.StreamHandle) error {
+	journal := func() {
+		l.journalPut(blasKey(h)+":stream", func(p *sim.Proc) error {
+			return l.cl.BlasSetStream(p, l.xbl(h), l.xs(stream))
+		})
+	}
 	if l.asyncing() {
-		return l.submitAsync(p, 0, func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, h, stream) })
+		return l.submitAsyncDone(p, 0, func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, l.xbl(h), l.xs(stream)) }, journal)
 	}
 	if l.batching() {
-		l.deferCall(func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, h, stream) })
+		l.deferCallDone(func(e *wire.Encoder) { gen.AppendBlasSetStreamCall(e, l.xbl(h), l.xs(stream)) }, journal)
 		return nil
 	}
 	l.remote(p)
-	return l.cl.BlasSetStream(p, h, stream)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.BlasSetStream(p, l.xbl(h), l.xs(stream)) })
+	if err == nil && l.rec != nil {
+		journal()
+	}
+	return err
 }
 
 // BlasGemm mirrors cublasSgemm.
 func (l *Lib) BlasGemm(p *sim.Proc, h cudalibs.BLASHandle, dur time.Duration, bufs []cuda.DevPtr) error {
 	l.remote(p)
-	return l.cl.BlasGemm(p, h, dur, bufs)
+	return l.reliably(p, func(p *sim.Proc) error {
+		return l.cl.BlasGemm(p, l.xbl(h), dur, l.xptrs(bufs))
+	})
 }

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -437,6 +438,279 @@ func TestOptAsyncDegradesWithoutAsyncTransport(t *testing.T) {
 		}
 		if st.Batched == 0 {
 			t.Fatalf("fallback did not batch: %+v", st)
+		}
+	})
+}
+
+// --- crash-recovery tests ---
+
+// flakyAsync is an async loopback that can die like a severed connection:
+// once broken, every roundtrip and submission fails with ErrConnClosed.
+type flakyAsync struct {
+	asyncLoopback
+	broken bool
+}
+
+func (l *flakyAsync) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	if l.broken {
+		return nil, remoting.ErrConnClosed
+	}
+	return l.asyncLoopback.Roundtrip(p, req, reqData)
+}
+
+func (l *flakyAsync) Submit(p *sim.Proc, req []byte, reqData int64) error {
+	if l.broken {
+		return remoting.ErrConnClosed
+	}
+	return l.asyncLoopback.Submit(p, req, reqData)
+}
+
+func (l *flakyAsync) Close() { l.broken = true }
+
+// recoveryRig hands out fresh backends on redial: each conn fronts a brand
+// new native runtime, so replayed sessions land on different real handles —
+// exactly the situation the guest's handle translation must absorb.
+type recoveryRig struct {
+	e     *sim.Engine
+	conns []*flakyAsync
+}
+
+func (r *recoveryRig) dial() *flakyAsync {
+	cfg := gpu.V100Config(0)
+	cfg.CopyLat, cfg.KernelLat = 0, 0
+	dev := gpu.New(r.e, cfg)
+	rt := cuda.NewRuntime(r.e, []*gpu.Device{dev}, cuda.Costs{})
+	c := &flakyAsync{asyncLoopback: asyncLoopback{countingLoopback: countingLoopback{b: native.New(rt, cudalibs.Costs{})}}}
+	r.conns = append(r.conns, c)
+	return c
+}
+
+func rigRecoverable(e *sim.Engine, opt Opt) (*Lib, *recoveryRig) {
+	r := &recoveryRig{e: e}
+	rc := RecoveryConfig{
+		Redial:      func(p *sim.Proc) (remoting.Caller, error) { return r.dial(), nil },
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  8 * time.Millisecond,
+	}
+	return NewRecoverable(r.dial(), opt, rc), r
+}
+
+func sawCall(calls []uint16, id uint16) bool {
+	for _, c := range calls {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRecoveryRedialsAndReplaysJournal(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, r := rigRecoverable(e, OptAll|OptAsync)
+		if err := lib.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		fns, err := lib.RegisterKernels(p, []string{"k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := lib.Malloc(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 1, Size: 1 << 20}, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		stream, err := lib.StreamCreate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dnn, err := lib.DnnCreate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.DnnSetStream(p, dnn, stream); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatal(err)
+		}
+
+		// The server vanishes between calls.
+		r.conns[0].broken = true
+
+		// The next synchronous call recovers transparently.
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatalf("call across conn loss = %v, want recovery", err)
+		}
+		st := lib.Stats()
+		if st.Recoveries != 1 || st.Redials != 1 {
+			t.Fatalf("recoveries/redials = %d/%d, want 1/1", st.Recoveries, st.Redials)
+		}
+		if len(r.conns) != 2 {
+			t.Fatalf("dialed %d conns, want 2", len(r.conns))
+		}
+		// The journal replayed every state-establishing call on the fresh
+		// backend, in its original order.
+		for _, id := range []uint16{gen.CallHello, gen.CallRegisterKernels, gen.CallMalloc,
+			gen.CallMemcpyH2D, gen.CallStreamCreate, gen.CallDnnCreate, gen.CallDnnSetStream} {
+			if !sawCall(r.conns[1].calls, id) {
+				t.Errorf("replay did not re-issue call %d on the new backend", id)
+			}
+		}
+		if st.Replayed == 0 {
+			t.Fatal("stats recorded no replayed journal entries")
+		}
+		// Pre-failure handles stay valid: translation maps them onto the new
+		// backend's real handles.
+		if err := lib.Memset(p, ptr, 0, 1<<20); err != nil {
+			t.Fatalf("old devptr after recovery: %v", err)
+		}
+		if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond, Mutates: []cuda.DevPtr{ptr}}); err != nil {
+			t.Fatalf("old fnptr after recovery: %v", err)
+		}
+		if err := lib.StreamSynchronize(p, stream); err != nil {
+			t.Fatalf("old stream after recovery: %v", err)
+		}
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := lib.GetLastError(p); code != 0 {
+			t.Fatalf("recovered session carries error %d", code)
+		}
+	})
+}
+
+func TestFenceAfterConnLossRecoversUnfencedWindow(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, r := rigRecoverable(e, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		fns, _ := lib.RegisterKernels(p, []string{"k"})
+		ptr, _ := lib.Malloc(p, 1<<20)
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatal(err)
+		}
+		// Three launches enter the pipelined lane, then the conn dies with
+		// all three unfenced.
+		for i := 0; i < 3; i++ {
+			if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond, Mutates: []cuda.DevPtr{ptr}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.conns[0].broken = true
+		// A further submission recovers the session in-line...
+		if err := lib.LaunchKernel(p, cuda.LaunchParams{Fn: fns[0], Duration: time.Millisecond, Mutates: []cuda.DevPtr{ptr}}); err != nil {
+			t.Fatalf("async submit across conn loss = %v, want recovery", err)
+		}
+		// ...and the fence drains the re-sent window without hanging.
+		if err := lib.DeviceSynchronize(p); err != nil {
+			t.Fatal(err)
+		}
+		st := lib.Stats()
+		if st.Recoveries != 1 {
+			t.Fatalf("recoveries = %d, want 1", st.Recoveries)
+		}
+		// The new backend executed the three re-sent launches plus the one
+		// submitted after recovery.
+		if got := r.conns[1].submits; got != 4 {
+			t.Fatalf("new backend saw %d submissions, want 4 (3 re-sent + 1 new)", got)
+		}
+		if code, _ := lib.GetLastError(p); code != 0 {
+			t.Fatalf("recovered async lane carries error %d", code)
+		}
+	})
+}
+
+func TestRecoveryPreservesStickyError(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		lib, r := rigRecoverable(e, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		// Latch a genuine CUDA error: an async memset of unallocated memory
+		// fails on the server and surfaces at the next fence.
+		if err := lib.Memset(p, cuda.DevPtr(0xDEAD0000), 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		_ = lib.DeviceSynchronize(p)
+		// Kill the conn and recover through an unrelated call.
+		r.conns[0].broken = true
+		if _, err := lib.Malloc(p, 4096); err != nil {
+			t.Fatalf("malloc across conn loss = %v, want recovery", err)
+		}
+		if lib.Stats().Recoveries != 1 {
+			t.Fatal("expected one recovery")
+		}
+		// cudaGetLastError still reports the pre-failure sticky error:
+		// recovery is invisible to the application's error model.
+		code, _ := lib.GetLastError(p)
+		if code == 0 {
+			t.Fatal("sticky error lost across recovery")
+		}
+		if again, _ := lib.GetLastError(p); again != 0 {
+			t.Fatalf("sticky error not cleared after read: %d", again)
+		}
+	})
+}
+
+func TestRecoveryExhaustionLatchesDevicesUnavailable(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		r := &recoveryRig{e: e}
+		redials := 0
+		rc := RecoveryConfig{
+			Redial: func(p *sim.Proc) (remoting.Caller, error) {
+				redials++
+				return nil, remoting.ErrConnClosed // every backend is gone
+			},
+			MaxAttempts: 3,
+			BackoffBase: time.Millisecond,
+			BackoffCap:  8 * time.Millisecond,
+		}
+		lib := NewRecoverable(r.dial(), OptAll|OptAsync, rc)
+		_ = lib.Hello(p, "fn", 1<<30)
+		r.conns[0].broken = true
+		err := lib.DeviceSynchronize(p)
+		if !errors.Is(err, cuda.ErrDevicesUnavailable) {
+			t.Fatalf("exhausted recovery = %v, want cudaErrorDevicesUnavailable", err)
+		}
+		if redials != 3 {
+			t.Fatalf("redial attempts = %d, want MaxAttempts (3)", redials)
+		}
+		// The session is lost for good: later calls fail fast, with no
+		// further redial storms.
+		if _, err := lib.Malloc(p, 4096); !errors.Is(err, cuda.ErrDevicesUnavailable) {
+			t.Fatalf("call on lost session = %v, want cudaErrorDevicesUnavailable", err)
+		}
+		if redials != 3 {
+			t.Fatalf("lost session redialed again (%d attempts)", redials)
+		}
+		if code, _ := lib.GetLastError(p); code != int(cuda.ErrDevicesUnavailable) {
+			t.Fatalf("last error = %d, want %d", code, int(cuda.ErrDevicesUnavailable))
+		}
+	})
+}
+
+func TestLegacyGuestMapsConnFaultToDevicesUnavailable(t *testing.T) {
+	// Without a recovery policy the guest must still fail fast and typed —
+	// never hang — when the connection dies under it.
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		r := &recoveryRig{e: e}
+		conn := r.dial()
+		lib := New(conn, OptAll|OptAsync)
+		_ = lib.Hello(p, "fn", 1<<30)
+		ptr, _ := lib.Malloc(p, 1<<20)
+		_ = lib.Memset(p, ptr, 0, 1<<20) // enters the async lane
+		conn.broken = true
+		err := lib.DeviceSynchronize(p)
+		if !errors.Is(err, cuda.ErrDevicesUnavailable) {
+			t.Fatalf("conn fault on legacy guest = %v, want cudaErrorDevicesUnavailable", err)
+		}
+		if code, _ := lib.GetLastError(p); code == 0 {
+			t.Fatal("conn fault left no sticky error")
 		}
 	})
 }

@@ -1,0 +1,511 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/cudalibs"
+	"dgsf/internal/remoting"
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/sim"
+)
+
+// Session recovery. A recoverable guest library survives the loss of its API
+// server: it virtualizes every server-issued handle, keeps an idempotent
+// replay journal of the calls that established session state, and on a
+// transport fault redials (through a backend-supplied policy), replays the
+// journal against the fresh session, re-sends the pipelined submissions that
+// were never covered by a fence, and retries the interrupted call.
+//
+// What is NOT replayed, by design: kernel launches, memsets and
+// device-to-device copies. Their effects are intermediate device state that
+// DGSF functions recompute from replayed inputs — functions are assumed
+// idempotent within a phase, the same assumption serverless platforms make
+// when they re-execute a function after a worker loss.
+
+// ErrSessionLost is returned (wrapped) when recovery exhausted its redial
+// budget without re-establishing a session.
+var ErrSessionLost = errors.New("guest: session lost, recovery exhausted")
+
+// RedialFunc produces a fresh transport to a healthy API server. It is
+// called with the guest's process so backoff and lease re-acquisition run on
+// simulated time. Returning an error counts against the attempt budget.
+type RedialFunc func(p *sim.Proc) (remoting.Caller, error)
+
+// RecoveryConfig tunes the crash-recovery behavior of a recoverable guest.
+type RecoveryConfig struct {
+	// Redial re-acquires a session endpoint after a transport fault.
+	Redial RedialFunc
+	// MaxAttempts bounds redials per recovery episode (default 5).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; it doubles per attempt up to
+	// BackoffCap, with +/-50% deterministic jitter from the proc's RNG.
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential backoff (default 100ms).
+	BackoffCap time.Duration
+	// CallDeadline bounds every synchronous round trip; a reply that does
+	// not arrive in time is treated as a connection fault. Zero disables
+	// per-call deadlines (faults are then detected only on closed
+	// transports).
+	CallDeadline time.Duration
+	// FenceLag bounds how stale the pipelined lane may run: if the oldest
+	// unfenced submission is older than FenceLag when the next one is
+	// issued, a fence is forced first so latched errors (and dead
+	// connections) surface promptly. Zero disables the staleness bound.
+	FenceLag time.Duration
+}
+
+// maxCallRecoveries bounds how many distinct recovery episodes a single
+// interposed call may trigger before giving up.
+const maxCallRecoveries = 3
+
+// Virtual handle namespaces. A recoverable guest never exposes server-issued
+// handles to the application: recovered sessions mint different ones (and a
+// different server has a different VA allocator), so the guest hands out
+// stable virtual IDs and translates at encode time.
+const (
+	virtPtrBase    = 0x7e00_0000_0000 // device pointers, bump-allocated
+	virtFnBase     = 0x5e00_0000_0000 // kernel function pointers
+	virtHostBase   = 0x6b00_0000_0000 // host (pinned) allocations
+	virtStreamBase = 0x6600_0000      // streams
+	virtEventBase  = 0x6700_0000      // events
+	virtDnnBase    = 0x6800_0000      // cuDNN handles
+	virtBlasBase   = 0x6900_0000      // cuBLAS handles
+	virtDescBase   = 0x6a00_0000      // cuDNN descriptors (remoted mode)
+)
+
+// journalEntry is one state-establishing call in the replay journal. Entries
+// are replayed in original order; superseded or released entries are marked
+// dead in place so replacement cannot reorder a call before state it uses.
+type journalEntry struct {
+	key    string
+	base   cuda.DevPtr // owning allocation for content uploads, 0 otherwise
+	dead   bool
+	replay func(p *sim.Proc) error
+}
+
+// batchOp is a deferred batched call in closure form: the encode runs at
+// flush time so handle translation reflects the current session, and onDone
+// runs once the batch round trip confirms execution.
+type batchOp struct {
+	app    func(e *wire.Encoder)
+	onDone func()
+}
+
+// asyncOp mirrors one in-flight pipelined submission so it can be re-sent
+// against a recovered session; onDone runs at the first successful fence.
+type asyncOp struct {
+	app     func(e *wire.Encoder)
+	reqData int64
+	onDone  func()
+}
+
+// NewRecoverable returns a guest library that recovers from API server
+// failures according to rc. Handle virtualization, journaling and per-call
+// deadlines are active only on libraries built through this constructor; New
+// keeps the exact non-recoverable fast paths.
+func NewRecoverable(t remoting.Caller, opt Opt, rc RecoveryConfig) *Lib {
+	l := New(t, opt)
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 5
+	}
+	if rc.BackoffBase <= 0 {
+		rc.BackoffBase = time.Millisecond
+	}
+	if rc.BackoffCap <= 0 {
+		rc.BackoffCap = 100 * time.Millisecond
+	}
+	l.rec = &rc
+	l.ptrMap = make(map[cuda.DevPtr]cuda.DevPtr)
+	l.streamMap = make(map[cuda.StreamHandle]cuda.StreamHandle)
+	l.eventMap = make(map[cuda.EventHandle]cuda.EventHandle)
+	l.dnnMap = make(map[cudalibs.DNNHandle]cudalibs.DNNHandle)
+	l.blasMap = make(map[cudalibs.BLASHandle]cudalibs.BLASHandle)
+	l.fnMap = make(map[cuda.FnPtr]cuda.FnPtr)
+	l.descMap = make(map[cudalibs.Descriptor]cudalibs.Descriptor)
+	l.hostMap = make(map[uint64]uint64)
+	l.journalKeys = make(map[string]*journalEntry)
+	l.adoptTransport(t)
+	return l
+}
+
+// adoptTransport points the library at a (re)dialed transport, wrapping the
+// synchronous lane with the per-call deadline when one is configured.
+func (l *Lib) adoptTransport(t remoting.Caller) {
+	l.conn = t
+	l.cl.T = t
+	if l.rec != nil && l.rec.CallDeadline > 0 {
+		if _, ok := t.(remoting.DeadlineCaller); ok {
+			l.cl.T = &deadlineWrap{inner: t, d: l.rec.CallDeadline}
+		}
+	}
+	if ac, ok := t.(remoting.AsyncCaller); ok {
+		l.async = ac
+	} else {
+		l.async = nil
+	}
+}
+
+// deadlineWrap bounds every synchronous round trip on transports that
+// support reply deadlines, converting a silently-dead server into a typed
+// fault the recovery path can act on.
+type deadlineWrap struct {
+	inner remoting.Caller
+	d     time.Duration
+}
+
+func (w *deadlineWrap) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	return w.inner.(remoting.DeadlineCaller).RoundtripTimeout(p, req, reqData, w.d)
+}
+
+func (w *deadlineWrap) Close() { w.inner.Close() }
+
+// --- virtual handle minting and translation ---
+
+func (l *Lib) newVirt() uint64 {
+	l.nextVirt++
+	return l.nextVirt
+}
+
+// newVirtPtr mints a stable guest-virtual device pointer for an allocation
+// of the given size. 4 KiB alignment keeps interior-pointer arithmetic
+// exact across ranges.
+func (l *Lib) newVirtPtr(size int64) cuda.DevPtr {
+	v := cuda.DevPtr(virtPtrBase + l.nextVA)
+	l.nextVA += (size + 4095) &^ 4095
+	if size == 0 {
+		l.nextVA += 4096
+	}
+	return v
+}
+
+// xp translates a guest-virtual device pointer (base or interior) to the
+// current session's real pointer. Identity on non-recoverable libraries.
+func (l *Lib) xp(v cuda.DevPtr) cuda.DevPtr {
+	if l.rec == nil || v == 0 {
+		return v
+	}
+	if r, ok := l.ptrMap[v]; ok {
+		return r
+	}
+	for base, size := range l.ptrSizes {
+		if v > base && uint64(v) < uint64(base)+uint64(size) {
+			if r, ok := l.ptrMap[base]; ok {
+				return r + (v - base)
+			}
+		}
+	}
+	return v
+}
+
+func (l *Lib) xs(v cuda.StreamHandle) cuda.StreamHandle {
+	if l.rec == nil || v == 0 {
+		return v
+	}
+	if r, ok := l.streamMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xe(v cuda.EventHandle) cuda.EventHandle {
+	if l.rec == nil || v == 0 {
+		return v
+	}
+	if r, ok := l.eventMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xdn(v cudalibs.DNNHandle) cudalibs.DNNHandle {
+	if l.rec == nil {
+		return v
+	}
+	if r, ok := l.dnnMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xbl(v cudalibs.BLASHandle) cudalibs.BLASHandle {
+	if l.rec == nil {
+		return v
+	}
+	if r, ok := l.blasMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xf(v cuda.FnPtr) cuda.FnPtr {
+	if l.rec == nil {
+		return v
+	}
+	if r, ok := l.fnMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xdc(v cudalibs.Descriptor) cudalibs.Descriptor {
+	if l.rec == nil {
+		return v
+	}
+	if r, ok := l.descMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+func (l *Lib) xhost(v uint64) uint64 {
+	if l.rec == nil {
+		return v
+	}
+	if r, ok := l.hostMap[v]; ok {
+		return r
+	}
+	return v
+}
+
+// xlp translates a LaunchParams for the wire. The Mutates slice is copied:
+// the caller's slice must not observe translated pointers.
+func (l *Lib) xlp(lp cuda.LaunchParams) cuda.LaunchParams {
+	if l.rec == nil {
+		return lp
+	}
+	lp.Fn = l.xf(lp.Fn)
+	lp.Stream = l.xs(lp.Stream)
+	if len(lp.Mutates) > 0 {
+		m := make([]cuda.DevPtr, len(lp.Mutates))
+		for i, v := range lp.Mutates {
+			m[i] = l.xp(v)
+		}
+		lp.Mutates = m
+	}
+	return lp
+}
+
+func (l *Lib) xptrs(bufs []cuda.DevPtr) []cuda.DevPtr {
+	if l.rec == nil || len(bufs) == 0 {
+		return bufs
+	}
+	out := make([]cuda.DevPtr, len(bufs))
+	for i, v := range bufs {
+		out[i] = l.xp(v)
+	}
+	return out
+}
+
+func (l *Lib) xdescs(descs []uint64) []uint64 {
+	if l.rec == nil || len(descs) == 0 {
+		return descs
+	}
+	out := make([]uint64, len(descs))
+	for i, v := range descs {
+		out[i] = uint64(l.xdc(cudalibs.Descriptor(v)))
+	}
+	return out
+}
+
+// --- journal ---
+
+func ptrKey(v cuda.DevPtr) string          { return fmt.Sprintf("ptr:%x", uint64(v)) }
+func streamKey(v cuda.StreamHandle) string { return fmt.Sprintf("stream:%x", uint64(v)) }
+func eventKey(v cuda.EventHandle) string   { return fmt.Sprintf("event:%x", uint64(v)) }
+func dnnKey(v cudalibs.DNNHandle) string   { return fmt.Sprintf("dnn:%x", uint64(v)) }
+func blasKey(v cudalibs.BLASHandle) string { return fmt.Sprintf("blas:%x", uint64(v)) }
+func descKey(v cudalibs.Descriptor) string { return fmt.Sprintf("desc:%x", uint64(v)) }
+func hostKey(v uint64) string              { return fmt.Sprintf("host:%x", v) }
+func h2dKey(dst cuda.DevPtr, size int64) string {
+	return fmt.Sprintf("h2d:%x:%x", uint64(dst), size)
+}
+
+// journalPut records (or replaces) a state-establishing call. Replacement
+// appends and kills the old entry rather than updating in place: the new
+// call may reference state created after the original (a re-bound stream,
+// say), and replay order must respect that.
+func (l *Lib) journalPut(key string, replay func(p *sim.Proc) error) {
+	l.journalPutPtr(key, 0, replay)
+}
+
+func (l *Lib) journalPutPtr(key string, base cuda.DevPtr, replay func(p *sim.Proc) error) {
+	if l.rec == nil {
+		return
+	}
+	if old, ok := l.journalKeys[key]; ok {
+		old.dead = true
+	}
+	en := &journalEntry{key: key, base: base, replay: replay}
+	l.journal = append(l.journal, en)
+	l.journalKeys[key] = en
+}
+
+// journalDrop kills the entry for a released resource.
+func (l *Lib) journalDrop(key string) {
+	if l.rec == nil {
+		return
+	}
+	if en, ok := l.journalKeys[key]; ok {
+		en.dead = true
+		delete(l.journalKeys, key)
+	}
+}
+
+// dropPtrEntries kills the allocation entry for ptr and every content upload
+// targeting it. Called when the allocation leaves the session (Free,
+// ModelPersist).
+func (l *Lib) dropPtrEntries(ptr cuda.DevPtr, size int64) {
+	if l.rec == nil {
+		return
+	}
+	l.journalDrop(ptrKey(ptr))
+	for _, en := range l.journal {
+		if !en.dead && en.base != 0 && en.base >= ptr && uint64(en.base) < uint64(ptr)+uint64(size) {
+			en.dead = true
+			delete(l.journalKeys, en.key)
+		}
+	}
+	delete(l.ptrMap, ptr)
+}
+
+// replayJournal re-establishes session state on a fresh connection.
+func (l *Lib) replayJournal(p *sim.Proc) error {
+	for _, en := range l.journal {
+		if en.dead {
+			continue
+		}
+		if err := en.replay(p); err != nil {
+			return err
+		}
+		l.stats.Replayed++
+	}
+	return nil
+}
+
+// resendUnfenced re-submits the pipelined calls issued after the last
+// successful fence. Encoding runs fresh so translation picks up the
+// recovered session's handles.
+func (l *Lib) resendUnfenced(p *sim.Proc) error {
+	l.asyncInFlight = 0
+	if len(l.unfenced) == 0 {
+		return nil
+	}
+	if l.async == nil {
+		return errors.New("guest: recovered transport lacks the pipelined lane")
+	}
+	for _, op := range l.unfenced {
+		var e wire.Encoder
+		e.U16(remoting.CallAsync)
+		op.app(&e)
+		if err := l.async.Submit(p, e.Bytes(), op.reqData); err != nil {
+			return err
+		}
+		l.asyncInFlight++
+	}
+	return nil
+}
+
+// clearUnfenced retires the tracked pipelined window. On success the
+// deferred completion hooks (journal retirements, handle-map cleanup) run in
+// submission order.
+func (l *Lib) clearUnfenced(success bool) {
+	if l.rec == nil {
+		return
+	}
+	if success {
+		for _, op := range l.unfenced {
+			if op.onDone != nil {
+				op.onDone()
+			}
+		}
+	}
+	l.unfenced = l.unfenced[:0]
+	l.oldestUnfenced = 0
+}
+
+// --- recovery driver ---
+
+// reliably runs one synchronous remoted call, recovering the session and
+// retrying when the transport faults. Non-fault errors (CUDA status codes)
+// pass through untouched. On a non-recoverable library, or when recovery is
+// exhausted, a transport fault surfaces as cudaErrorDevicesUnavailable —
+// what a native runtime reports when its device disappears.
+func (l *Lib) reliably(p *sim.Proc, fn func(p *sim.Proc) error) error {
+	if l.rec != nil && l.lost {
+		return cuda.ErrDevicesUnavailable
+	}
+	err := fn(p)
+	if err == nil || !remoting.IsConnFault(err) {
+		return err
+	}
+	if l.rec == nil || l.recovering {
+		l.lastError = int(cuda.ErrDevicesUnavailable)
+		return cuda.ErrDevicesUnavailable
+	}
+	for tries := 0; tries < maxCallRecoveries; tries++ {
+		if rerr := l.recoverSession(p); rerr != nil {
+			break
+		}
+		err = fn(p)
+		if err == nil || !remoting.IsConnFault(err) {
+			return err
+		}
+	}
+	l.lastError = int(cuda.ErrDevicesUnavailable)
+	return cuda.ErrDevicesUnavailable
+}
+
+// recoverSession redials, replays the journal and re-sends unfenced work,
+// with capped exponential backoff and deterministic jitter between attempts.
+// The sticky cudaGetLastError value observed before the fault is preserved:
+// recovery is transparent to the application's error-model view.
+func (l *Lib) recoverSession(p *sim.Proc) error {
+	rec := l.rec
+	l.stats.Recoveries++
+	sticky := l.lastError
+	l.recovering = true
+	defer func() { l.recovering = false }()
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	for attempt := 0; attempt < rec.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := rec.BackoffBase << (attempt - 1)
+			if d > rec.BackoffCap {
+				d = rec.BackoffCap
+			}
+			// Uniform jitter in [d/2, 3d/2): deterministic per proc.
+			d = d/2 + time.Duration(p.Rand().Int63n(int64(d)+1))
+			p.Sleep(d)
+		}
+		l.stats.Redials++
+		nc, err := rec.Redial(p)
+		if err != nil || nc == nil {
+			continue
+		}
+		l.adoptTransport(nc)
+		if err := l.replayJournal(p); err != nil {
+			if remoting.IsConnFault(err) {
+				l.conn.Close()
+				continue
+			}
+			l.lost = true
+			return fmt.Errorf("%w: journal replay: %v", ErrSessionLost, err)
+		}
+		if err := l.resendUnfenced(p); err != nil {
+			if remoting.IsConnFault(err) {
+				l.conn.Close()
+				continue
+			}
+			l.lost = true
+			return fmt.Errorf("%w: resend: %v", ErrSessionLost, err)
+		}
+		l.lastError = sticky
+		return nil
+	}
+	l.lost = true
+	return ErrSessionLost
+}

@@ -2,10 +2,12 @@ package remoting
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dgsf/internal/sim"
 )
@@ -65,18 +67,37 @@ func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
 	defer framePool.Put(bp)
 	hdr := (*bp)[:frameHeaderLen]
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, 0, err
+		return nil, 0, wrapReadErr(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > maxFrameLen {
-		return nil, 0, fmt.Errorf("remoting: frame of %d bytes exceeds limit", n)
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds %d-byte limit", ErrFrameCorrupt, n, maxFrameLen)
 	}
 	data = int64(binary.LittleEndian.Uint64(hdr[4:12]))
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, err
+		return nil, 0, wrapReadErr(err)
 	}
 	return payload, data, nil
+}
+
+// wrapReadErr types a raw socket read error: orderly or abrupt peer death
+// becomes ErrConnClosed, a read deadline becomes ErrCallTimeout, so callers
+// can distinguish connection faults from protocol bugs without string
+// matching.
+func wrapReadErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrConnClosed, err)
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return fmt.Errorf("%w: %v", ErrCallTimeout, err)
+		}
+		return fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
 }
 
 // setNoDelay disables Nagle's algorithm explicitly on TCP connections: the
@@ -154,12 +175,28 @@ func (c *tcpCaller) enqueue(payload []byte, data int64) {
 // Because async submissions receive no reply, the next frame read off the
 // socket is always this call's response.
 func (c *tcpCaller) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	return c.RoundtripTimeout(p, req, reqData, 0)
+}
+
+// RoundtripTimeout is Roundtrip with a wall-clock reply deadline (d <= 0
+// means none). On timeout the socket is closed: a late reply cannot be
+// re-matched to its request.
+func (c *tcpCaller) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enqueue(req, reqData)
+	if d > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(d))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
 	payload, _, err := ReadFrame(c.conn)
-	if err != nil && c.writeErr != nil {
-		err = c.writeErr
+	if err != nil {
+		if c.writeErr != nil {
+			err = fmt.Errorf("%w: %v", ErrConnClosed, c.writeErr)
+		}
+		if errors.Is(err, ErrCallTimeout) {
+			_ = c.conn.Close()
+		}
 	}
 	return payload, err
 }
@@ -171,7 +208,7 @@ func (c *tcpCaller) Submit(p *sim.Proc, req []byte, reqData int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.writeErr != nil {
-		return c.writeErr
+		return fmt.Errorf("%w: %v", ErrConnClosed, c.writeErr)
 	}
 	c.enqueue(req, reqData)
 	return nil
@@ -216,7 +253,11 @@ func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan s
 			if err != nil {
 				return
 			}
-			inbox.Send(Request{Payload: payload, ReqData: data, ReplyTo: replies})
+			// The hosted API server may have crashed (closed its inbox);
+			// drop the bridge rather than panic.
+			if !inbox.TrySend(Request{Payload: payload, ReqData: data, ReplyTo: replies}) {
+				return
+			}
 		}
 	}()
 	return done

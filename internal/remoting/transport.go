@@ -11,6 +11,8 @@
 package remoting
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"dgsf/internal/sim"
@@ -76,6 +78,35 @@ type Caller interface {
 	Close()
 }
 
+// DeadlineCaller is a Caller that can bound an individual round trip: if no
+// reply arrives within d of (virtual or wall) time, the call fails with
+// ErrCallTimeout and the connection is torn down — a late reply can no
+// longer be matched to its request, so the transport must not be reused.
+// Both built-in transports implement it; the guest's failure detector uses
+// it for per-call deadlines on the sync lane.
+type DeadlineCaller interface {
+	Caller
+	RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d time.Duration) (resp []byte, err error)
+}
+
+// Faultable is the fault-injection surface of the simulated transport. The
+// faults framework (internal/faults) uses it to model peer death, link
+// stalls, and frame corruption deterministically.
+type Faultable interface {
+	// Break severs the connection as if the peer died: pending and future
+	// calls fail with ErrConnClosed, and nothing further reaches the
+	// listener.
+	Break()
+	// StallFor delays the next outbound message by d, modeling a transient
+	// link stall (e.g. a routing flap) without killing the connection.
+	StallFor(d time.Duration)
+	// CorruptNext makes the next outbound message fail framing validation:
+	// the call charges its transfer time, then fails with an error wrapping
+	// ErrFrameCorrupt, and the connection breaks (a corrupt stream cannot
+	// be resynchronized).
+	CorruptNext()
+}
+
 // AsyncCaller is a Caller with a pipelined submission lane. Submit fires a
 // one-way message (normally a CallAsync-wrapped call) without waiting for an
 // acknowledgement; the transport guarantees FIFO ordering between Submit and
@@ -124,6 +155,12 @@ type simConn struct {
 	replies *sim.Queue[Response]
 	closed  bool
 
+	// Fault-injection state (Faultable). All mutation happens from
+	// simulated processes, serialized by the engine.
+	broken  bool          // peer considered dead; calls fail typed
+	stall   time.Duration // extra one-shot delay on the next send
+	corrupt bool          // next message fails framing validation
+
 	// pipe, once the async lane has been used, carries every outbound
 	// message (one-way and round-trip alike) so FIFO ordering holds across
 	// the two kinds. It is created lazily on the first Submit: purely
@@ -164,7 +201,12 @@ func (c *simConn) ensurePipe(p *sim.Proc) {
 			if d := it.deliverAt - p.Now(); d > 0 {
 				p.Sleep(d)
 			}
-			incoming.Send(it.req)
+			// The listener may have crashed (closed its inbox) while the
+			// message was in flight; the wire drops it silently, as real
+			// networks do. The sender learns through reply loss.
+			if !incoming.TrySend(it.req) {
+				return
+			}
 		}
 	})
 }
@@ -172,31 +214,95 @@ func (c *simConn) ensurePipe(p *sim.Proc) {
 // send charges the sender-side occupancy (transfer time of message plus
 // logical payload) and puts the request on the wire, to arrive half an RTT
 // later. With no pipe running it degenerates to the original synchronous
-// path, whose sleep ends at the identical virtual instant.
-func (c *simConn) send(p *sim.Proc, req Request) {
+// path, whose sleep ends at the identical virtual instant. It reports
+// whether the message reached a live listener; a false return means the
+// peer is gone and the connection is now broken.
+func (c *simConn) send(p *sim.Proc, req Request) bool {
 	transfer := c.profile.transferTime(p.Rand(), int64(len(req.Payload))+req.ReqData)
+	if c.stall > 0 {
+		transfer += c.stall
+		c.stall = 0
+	}
 	if c.pipe == nil {
 		if d := c.profile.RTT/2 + transfer; d > 0 {
 			p.Sleep(d)
 		}
-		c.l.Incoming.Send(req)
-		return
+		if !c.l.Incoming.TrySend(req) {
+			c.Break()
+			return false
+		}
+		return true
 	}
 	if transfer > 0 {
 		p.Sleep(transfer)
 	}
 	c.pipe.Send(pipeItem{deliverAt: p.Now() + c.profile.RTT/2, req: req})
+	return true
+}
+
+// checkSend folds the pre-send fault checks shared by Roundtrip and Submit:
+// closed/broken connections fail immediately, and an armed corruption charges
+// its transfer time before surfacing the framing error.
+func (c *simConn) checkSend(p *sim.Proc, n int64) error {
+	if c.closed || c.broken {
+		return ErrConnClosed
+	}
+	if c.corrupt {
+		c.corrupt = false
+		if d := c.profile.transferTime(p.Rand(), n); d > 0 {
+			p.Sleep(d)
+		}
+		c.Break()
+		return fmt.Errorf("%w: injected frame corruption", ErrFrameCorrupt)
+	}
+	return nil
 }
 
 // Roundtrip sends one encoded call and blocks until the reply arrives,
 // charging latency and bandwidth in virtual time.
 func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
-	if c.closed {
+	return c.roundtrip(p, req, reqData, -1)
+}
+
+// RoundtripTimeout is Roundtrip with a virtual-time reply deadline. On
+// timeout the connection breaks: a late reply could otherwise be mismatched
+// to the next call.
+func (c *simConn) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d time.Duration) ([]byte, error) {
+	return c.roundtrip(p, req, reqData, d)
+}
+
+func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline time.Duration) ([]byte, error) {
+	start := p.Now()
+	if err := c.checkSend(p, int64(len(req))+reqData); err != nil {
+		return nil, err
+	}
+	if !c.send(p, Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile}) {
 		return nil, ErrConnClosed
 	}
-	c.send(p, Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile})
-	resp, ok := c.replies.Recv(p)
+	var resp Response
+	var ok bool
+	if deadline < 0 {
+		resp, ok = c.replies.Recv(p)
+	} else {
+		// The deadline covers the whole call, the way a socket timeout
+		// does: send-side time (including an injected stall) eats into the
+		// reply budget, and a send that alone overruns it is a timeout.
+		remaining := deadline - (p.Now() - start)
+		if remaining < 0 {
+			remaining = 0
+		}
+		var timedOut bool
+		resp, ok, timedOut = c.replies.RecvTimeout(p, remaining)
+		if timedOut {
+			c.Break()
+			return nil, fmt.Errorf("%w: no reply within %v", ErrCallTimeout, deadline)
+		}
+	}
 	if !ok {
+		// The peer closed our reply queue: the connection is unusable in
+		// both directions, so latch the death — later one-way submissions
+		// must fail fast too, not vanish into a dead pipe.
+		c.Break()
 		return nil, ErrConnClosed
 	}
 	// Inbound: the other half of the RTT plus the response transfer.
@@ -211,11 +317,13 @@ func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, err
 // only its transfer occupancy, not the round trip, so compute and network
 // latency overlap. Ordering with later Roundtrips is FIFO.
 func (c *simConn) Submit(p *sim.Proc, req []byte, reqData int64) error {
-	if c.closed {
-		return ErrConnClosed
+	if err := c.checkSend(p, int64(len(req))+reqData); err != nil {
+		return err
 	}
 	c.ensurePipe(p)
-	c.send(p, Request{Payload: req, ReqData: reqData, Profile: c.profile})
+	if !c.send(p, Request{Payload: req, ReqData: reqData, Profile: c.profile}) {
+		return ErrConnClosed
+	}
 	return nil
 }
 
@@ -230,9 +338,49 @@ func (c *simConn) Close() {
 	}
 }
 
-// ErrConnClosed reports use of a closed connection.
+// Break implements Faultable: the peer is considered dead. Unlike Close,
+// the conn object stays distinguishable as "severed by fault" so tests can
+// assert the failure path, but the caller-visible behavior is identical —
+// everything fails with ErrConnClosed.
+func (c *simConn) Break() {
+	if c.broken {
+		return
+	}
+	c.broken = true
+	c.replies.Close()
+	if c.pipe != nil {
+		c.pipe.Close()
+		c.pipe = nil
+	}
+}
+
+// StallFor implements Faultable: the next outbound message is delayed d.
+func (c *simConn) StallFor(d time.Duration) { c.stall += d }
+
+// CorruptNext implements Faultable: the next outbound message fails framing.
+func (c *simConn) CorruptNext() { c.corrupt = true }
+
+// ErrConnClosed reports use of a closed connection or one whose peer died.
 var ErrConnClosed = connErr("remoting: connection closed")
+
+// ErrFrameCorrupt reports a message that failed framing validation — a
+// protocol-level fault, distinct from orderly peer death.
+var ErrFrameCorrupt = connErr("remoting: frame corrupt")
+
+// ErrCallTimeout reports a round trip that exceeded its reply deadline. The
+// connection is broken afterwards: a late reply cannot be re-matched.
+var ErrCallTimeout = connErr("remoting: call deadline exceeded")
 
 type connErr string
 
 func (e connErr) Error() string { return string(e) }
+
+// IsConnFault reports whether err is a transport-level connection fault
+// (closed/severed connection, corrupt frame, or reply deadline) as opposed
+// to an application-level error. Guests map these to
+// cudaErrorDevicesUnavailable and trigger session recovery.
+func IsConnFault(err error) bool {
+	return errors.Is(err, ErrConnClosed) ||
+		errors.Is(err, ErrFrameCorrupt) ||
+		errors.Is(err, ErrCallTimeout)
+}

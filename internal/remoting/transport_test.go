@@ -2,6 +2,8 @@ package remoting
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"net"
 	"testing"
@@ -375,5 +377,134 @@ func TestFrameRoundTripBoundedAllocs(t *testing.T) {
 		}
 	}); avg > 1 {
 		t.Fatalf("frame round trip allocates %.1f times, want <= 1", avg)
+	}
+}
+
+// --- fault-lane tests: typed errors across connection loss ---
+
+// TestFenceAfterConnFaultSurfacesTypedError drives the pipelined lane into
+// every injectable connection fault and checks that a subsequent fence-style
+// round trip returns the matching typed error instead of hanging on a reply
+// that will never arrive — the failure-detection contract the guest's
+// recovery layer is built on. It also checks the conn stays dead afterwards:
+// later calls fail fast with ErrConnClosed rather than waiting out another
+// deadline.
+func TestFenceAfterConnFaultSurfacesTypedError(t *testing.T) {
+	cases := []struct {
+		name string
+		// fault arms the failure after ten async submissions, before the
+		// fence round trip.
+		fault func(f Faultable)
+		// serverDrops makes the server close the reply queue instead of
+		// answering the fence (a peer crash with the request in flight).
+		serverDrops bool
+		// deadline, when non-zero, issues the fence through RoundtripTimeout.
+		deadline time.Duration
+		want     error
+	}{
+		{name: "guest side break", fault: func(f Faultable) { f.Break() }, want: ErrConnClosed},
+		{name: "peer closes mid fence", serverDrops: true, want: ErrConnClosed},
+		{name: "corrupt frame", fault: func(f Faultable) { f.CorruptNext() }, want: ErrFrameCorrupt},
+		{name: "stall past deadline", fault: func(f Faultable) { f.StallFor(10 * time.Second) }, deadline: time.Second, want: ErrCallTimeout},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine(1)
+			e.Run("root", func(p *sim.Proc) {
+				l := NewListener(e)
+				p.SpawnDaemon("server", func(p *sim.Proc) {
+					for {
+						req, ok := l.Incoming.Recv(p)
+						if !ok {
+							return
+						}
+						if req.ReplyTo == nil {
+							continue
+						}
+						if tc.serverDrops {
+							req.ReplyTo.Close()
+							continue
+						}
+						req.ReplyTo.Send(Response{Payload: []byte("ok")})
+					}
+				})
+				conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+				for i := 0; i < 10; i++ {
+					if err := conn.Submit(p, []byte("one-way"), 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if tc.fault != nil {
+					tc.fault(conn.(Faultable))
+				}
+				var err error
+				if tc.deadline > 0 {
+					_, err = conn.(DeadlineCaller).RoundtripTimeout(p, []byte("fence"), 0, tc.deadline)
+				} else {
+					_, err = conn.Roundtrip(p, []byte("fence"), 0)
+				}
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("fence after fault = %v, want %v", err, tc.want)
+				}
+				if !IsConnFault(err) {
+					t.Fatalf("%v not classified as a connection fault", err)
+				}
+				// However the connection died, it stays dead and fails fast.
+				start := p.Now()
+				if _, err := conn.Roundtrip(p, []byte("fence"), 0); !errors.Is(err, ErrConnClosed) {
+					t.Fatalf("fence on dead conn = %v, want ErrConnClosed", err)
+				}
+				if waited := p.Now() - start; waited != 0 {
+					t.Fatalf("call on dead conn waited %v, want immediate failure", waited)
+				}
+				if err := conn.Submit(p, []byte("one-way"), 0); !errors.Is(err, ErrConnClosed) {
+					t.Fatalf("submit on dead conn = %v, want ErrConnClosed", err)
+				}
+			})
+		})
+	}
+}
+
+// TestRoundtripTimeoutHappyPathUnaffected: a deadline on a healthy conn is
+// free — same reply, same virtual-time cost as the plain call.
+func TestRoundtripTimeoutHappyPathUnaffected(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		l := NewListener(e)
+		p.SpawnDaemon("server", func(p *sim.Proc) {
+			for {
+				req, ok := l.Incoming.Recv(p)
+				if !ok {
+					return
+				}
+				req.ReplyTo.Send(Response{Payload: req.Payload})
+			}
+		})
+		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond}).(DeadlineCaller)
+		start := p.Now()
+		resp, err := conn.RoundtripTimeout(p, []byte("ping"), 0, time.Second)
+		if err != nil || !bytes.Equal(resp, []byte("ping")) {
+			t.Fatalf("deadline roundtrip = %q, %v", resp, err)
+		}
+		if got := p.Now() - start; got != 100*time.Microsecond {
+			t.Fatalf("deadline roundtrip took %v, want the RTT", got)
+		}
+	})
+}
+
+// TestConnFaultClassification pins down which sentinels count as connection
+// faults (recoverable transport failures) and which do not.
+func TestConnFaultClassification(t *testing.T) {
+	for _, err := range []error{ErrConnClosed, ErrFrameCorrupt, ErrCallTimeout} {
+		if !IsConnFault(err) {
+			t.Errorf("IsConnFault(%v) = false, want true", err)
+		}
+		if !IsConnFault(fmt.Errorf("wrapped: %w", err)) {
+			t.Errorf("IsConnFault(wrapped %v) = false, want true", err)
+		}
+	}
+	if IsConnFault(nil) || IsConnFault(io.EOF) || IsConnFault(errors.New("gpu melted")) {
+		t.Error("IsConnFault claims unrelated errors")
 	}
 }

@@ -145,6 +145,42 @@ func (q *Queue[T]) Send(v T) {
 	e.maybeDispatchLocked()
 }
 
+// TrySend enqueues v like Send but reports false instead of panicking when
+// the queue is already closed. Fault-tolerant senders use it to race a
+// receiver that may crash (close its inbox) at any instant.
+func (q *Queue[T]) TrySend(v T) bool {
+	e := q.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.handed {
+			continue
+		}
+		w.v, w.ok, w.handed = v, true, true
+		if w.t != nil {
+			w.t.cancelLocked()
+		}
+		e.readyLocked(w.p)
+		e.maybeDispatchLocked()
+		return true
+	}
+	q.items = append(q.items, v)
+	e.maybeDispatchLocked()
+	return true
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	return q.closed
+}
+
 // Close marks the queue closed. Blocked and future receivers observe ok=false
 // once the queue drains. Sending after Close panics.
 func (q *Queue[T]) Close() {
