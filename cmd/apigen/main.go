@@ -37,6 +37,17 @@ type Call struct {
 	Class   string // "remote", "local" (guest-answerable), "batchable"
 	ReqData string // request field carrying logical payload bytes guest→server
 	RspData string // request field carrying logical payload bytes server→guest
+
+	// Async marks a call that is safe to submit one-way on the pipelined
+	// lane (OptAsync): it bears no result the caller needs immediately and
+	// its error may latch until the next fence. Only batchable calls and
+	// result-free remote calls qualify; the generator enforces this.
+	Async bool
+	// Establishes marks a call that creates server-side session state
+	// (returns or consumes a handle, uploads guest-owned bytes, or binds
+	// handles together). A recoverable guest must register every such call
+	// in its replay journal; the journalcover analyzer enforces this.
+	Establishes bool
 }
 
 // kinds maps a spec kind to its Go type and encode/decode expressions.
@@ -78,9 +89,9 @@ var kinds = map[string]struct {
 // accumulated and shipped in one batch message.
 var spec = []Call{
 	// --- DGSF session control ---
-	{Name: "Hello", Doc: "opens a function session on the API server, declaring the function's GPU memory requirement", Req: []Field{{"FnID", "str"}, {"MemLimit", "i64"}}, Class: "remote"},
+	{Name: "Hello", Doc: "opens a function session on the API server, declaring the function's GPU memory requirement", Req: []Field{{"FnID", "str"}, {"MemLimit", "i64"}}, Class: "remote", Establishes: true},
 	{Name: "Bye", Doc: "ends the function session, releasing all of its server-side resources", Class: "remote"},
-	{Name: "RegisterKernels", Doc: "sends the function's kernel symbols ahead of execution (step 2 in Fig. 2) and returns their function handles", Req: []Field{{"Names", "strs"}}, Resp: []Field{{"Ptrs", "fnptrs"}}, Class: "remote"},
+	{Name: "RegisterKernels", Doc: "sends the function's kernel symbols ahead of execution (step 2 in Fig. 2) and returns their function handles", Req: []Field{{"Names", "strs"}}, Resp: []Field{{"Ptrs", "fnptrs"}}, Class: "remote", Establishes: true},
 
 	// --- device management (cudaGetDevice* etc.) ---
 	{Name: "GetDeviceCount", Doc: "mirrors cudaGetDeviceCount; DGSF API servers always answer 1", Resp: []Field{{"N", "int"}}, Class: "remote"},
@@ -94,44 +105,47 @@ var spec = []Call{
 	{Name: "RuntimeGetVersion", Doc: "mirrors cudaRuntimeGetVersion; a constant, answered locally", Resp: []Field{{"V", "int"}}, Class: "local"},
 
 	// --- memory management ---
-	{Name: "Malloc", Doc: "mirrors cudaMalloc; the API server realizes it through the low-level VMM path so migration preserves the address", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "devptr"}}, Class: "remote"},
+	{Name: "Malloc", Doc: "mirrors cudaMalloc; the API server realizes it through the low-level VMM path so migration preserves the address", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "devptr"}}, Class: "remote", Establishes: true},
+	// Free is deliberately NOT Async: releasing memory while earlier one-way
+	// work may still reference it requires draining the lane first, so the
+	// guest routes it through the fencing path.
 	{Name: "Free", Doc: "mirrors cudaFree", Req: []Field{{"Ptr", "devptr"}}, Class: "batchable"},
-	{Name: "Memset", Doc: "mirrors cudaMemset", Req: []Field{{"Ptr", "devptr"}, {"Value", "byte"}, {"Size", "i64"}}, Class: "batchable"},
-	{Name: "MemcpyH2D", Doc: "mirrors cudaMemcpy(HostToDevice); the host payload rides with the request", Req: []Field{{"Dst", "devptr"}, {"Src", "hostbuf"}, {"Size", "i64"}}, Class: "remote", ReqData: "Size"},
+	{Name: "Memset", Doc: "mirrors cudaMemset", Req: []Field{{"Ptr", "devptr"}, {"Value", "byte"}, {"Size", "i64"}}, Class: "batchable", Async: true},
+	{Name: "MemcpyH2D", Doc: "mirrors cudaMemcpy(HostToDevice); the host payload rides with the request", Req: []Field{{"Dst", "devptr"}, {"Src", "hostbuf"}, {"Size", "i64"}}, Class: "remote", ReqData: "Size", Async: true, Establishes: true},
 	{Name: "MemcpyD2H", Doc: "mirrors cudaMemcpy(DeviceToHost); the device payload rides with the response", Req: []Field{{"Src", "devptr"}, {"Size", "i64"}}, Resp: []Field{{"Buf", "hostbuf"}}, Class: "remote", RspData: "Size"},
 	{Name: "MemcpyD2D", Doc: "mirrors cudaMemcpy(DeviceToDevice)", Req: []Field{{"Dst", "devptr"}, {"Src", "devptr"}, {"Size", "i64"}}, Class: "remote"},
-	{Name: "MallocHost", Doc: "mirrors cudaMallocHost; host-only state, fully emulated by the guest library when optimized", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "u64"}}, Class: "local"},
+	{Name: "MallocHost", Doc: "mirrors cudaMallocHost; host-only state, fully emulated by the guest library when optimized", Req: []Field{{"Size", "i64"}}, Resp: []Field{{"Ptr", "u64"}}, Class: "local", Establishes: true},
 	{Name: "FreeHost", Doc: "mirrors cudaFreeHost", Req: []Field{{"Ptr", "u64"}}, Class: "local"},
 	{Name: "PointerGetAttributes", Doc: "mirrors cudaPointerGetAttributes; the optimized guest answers from tracked allocations", Req: []Field{{"Ptr", "devptr"}}, Resp: []Field{{"A", "attrs"}}, Class: "local"},
 
 	// --- execution ---
 	{Name: "PushCallConfiguration", Doc: "mirrors __cudaPushCallConfiguration; piggybacked onto the launch when optimized", Req: []Field{{"Grid", "vec3"}, {"Block", "vec3"}, {"Stream", "stream"}}, Class: "local"},
 	{Name: "PopCallConfiguration", Doc: "mirrors __cudaPopCallConfiguration", Class: "local"},
-	{Name: "LaunchKernel", Doc: "mirrors cudaLaunchKernel; asynchronous, so batchable", Req: []Field{{"LP", "launch"}}, Class: "batchable"},
-	{Name: "StreamCreate", Doc: "mirrors cudaStreamCreate; the server pre-replicates the stream in every context it holds (§V-D)", Resp: []Field{{"H", "stream"}}, Class: "remote"},
-	{Name: "StreamDestroy", Doc: "mirrors cudaStreamDestroy", Req: []Field{{"H", "stream"}}, Class: "batchable"},
+	{Name: "LaunchKernel", Doc: "mirrors cudaLaunchKernel; asynchronous, so batchable", Req: []Field{{"LP", "launch"}}, Class: "batchable", Async: true},
+	{Name: "StreamCreate", Doc: "mirrors cudaStreamCreate; the server pre-replicates the stream in every context it holds (§V-D)", Resp: []Field{{"H", "stream"}}, Class: "remote", Establishes: true},
+	{Name: "StreamDestroy", Doc: "mirrors cudaStreamDestroy", Req: []Field{{"H", "stream"}}, Class: "batchable", Async: true},
 	{Name: "StreamSynchronize", Doc: "mirrors cudaStreamSynchronize", Req: []Field{{"H", "stream"}}, Class: "remote"},
-	{Name: "EventCreate", Doc: "mirrors cudaEventCreate", Resp: []Field{{"H", "event"}}, Class: "remote"},
-	{Name: "EventDestroy", Doc: "mirrors cudaEventDestroy", Req: []Field{{"H", "event"}}, Class: "batchable"},
-	{Name: "EventRecord", Doc: "mirrors cudaEventRecord", Req: []Field{{"H", "event"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "EventCreate", Doc: "mirrors cudaEventCreate", Resp: []Field{{"H", "event"}}, Class: "remote", Establishes: true},
+	{Name: "EventDestroy", Doc: "mirrors cudaEventDestroy", Req: []Field{{"H", "event"}}, Class: "batchable", Async: true},
+	{Name: "EventRecord", Doc: "mirrors cudaEventRecord", Req: []Field{{"H", "event"}, {"Stream", "stream"}}, Class: "batchable", Async: true},
 	{Name: "EventSynchronize", Doc: "mirrors cudaEventSynchronize", Req: []Field{{"H", "event"}}, Class: "remote"},
 	{Name: "EventElapsed", Doc: "mirrors cudaEventElapsedTime", Req: []Field{{"Start", "event"}, {"End", "event"}}, Resp: []Field{{"D", "dur"}}, Class: "remote"},
 
 	// --- cuDNN ---
-	{Name: "DnnCreate", Doc: "mirrors cudnnCreate; served from the API server's pre-created handle pool when optimized (§V-C)", Resp: []Field{{"H", "dnn"}}, Class: "remote"},
-	{Name: "DnnDestroy", Doc: "mirrors cudnnDestroy", Req: []Field{{"H", "dnn"}}, Class: "batchable"},
-	{Name: "DnnSetStream", Doc: "mirrors cudnnSetStream", Req: []Field{{"H", "dnn"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "DnnCreate", Doc: "mirrors cudnnCreate; served from the API server's pre-created handle pool when optimized (§V-C)", Resp: []Field{{"H", "dnn"}}, Class: "remote", Establishes: true},
+	{Name: "DnnDestroy", Doc: "mirrors cudnnDestroy", Req: []Field{{"H", "dnn"}}, Class: "batchable", Async: true},
+	{Name: "DnnSetStream", Doc: "mirrors cudnnSetStream", Req: []Field{{"H", "dnn"}, {"Stream", "stream"}}, Class: "batchable", Async: true, Establishes: true},
 	{Name: "DnnGetConvolutionWorkspaceSize", Doc: "mirrors cudnnGetConvolutionForwardWorkspaceSize", Req: []Field{{"D", "desc"}}, Resp: []Field{{"Size", "i64"}}, Class: "remote"},
 	{Name: "DnnForward", Doc: "runs a cuDNN compute primitive (convolution, batch-norm, ...) of the given nominal duration", Req: []Field{{"H", "dnn"}, {"Op", "str"}, {"Dur", "dur"}, {"Bufs", "devptrs"}, {"Descs", "u64s"}}, Class: "remote"},
 
 	// --- cuBLAS ---
-	{Name: "BlasCreate", Doc: "mirrors cublasCreate; pooled like cuDNN handles", Resp: []Field{{"H", "blas"}}, Class: "remote"},
-	{Name: "BlasDestroy", Doc: "mirrors cublasDestroy", Req: []Field{{"H", "blas"}}, Class: "batchable"},
-	{Name: "BlasSetStream", Doc: "mirrors cublasSetStream", Req: []Field{{"H", "blas"}, {"Stream", "stream"}}, Class: "batchable"},
+	{Name: "BlasCreate", Doc: "mirrors cublasCreate; pooled like cuDNN handles", Resp: []Field{{"H", "blas"}}, Class: "remote", Establishes: true},
+	{Name: "BlasDestroy", Doc: "mirrors cublasDestroy", Req: []Field{{"H", "blas"}}, Class: "batchable", Async: true},
+	{Name: "BlasSetStream", Doc: "mirrors cublasSetStream", Req: []Field{{"H", "blas"}, {"Stream", "stream"}}, Class: "batchable", Async: true, Establishes: true},
 	{Name: "BlasGemm", Doc: "mirrors cublasSgemm with the given nominal duration", Req: []Field{{"H", "blas"}, {"Dur", "dur"}, {"Bufs", "devptrs"}}, Class: "remote"},
 
 	// --- model cache (DGSF extension; internal/modelcache) ---
-	{Name: "ModelAttach", Doc: "asks the API server for a cached copy of the session function's model working set; Tier reports where it was found (0 miss, 1 host-staged, 2 GPU-resident) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Tier", "int"}}, Class: "remote"},
+	{Name: "ModelAttach", Doc: "asks the API server for a cached copy of the session function's model working set; Tier reports where it was found (0 miss, 1 host-staged, 2 GPU-resident) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Tier", "int"}}, Class: "remote", Establishes: true},
 	{Name: "ModelPersist", Doc: "marks a session allocation as the function's model working set, a candidate for retention in the model cache when the session ends; without a cache it behaves like cudaFree", Req: []Field{{"Ptr", "devptr"}}, Class: "remote"},
 }
 
@@ -197,18 +211,79 @@ func results(c Call) string {
 
 func main() {
 	out := flag.String("out", "internal/remoting/gen/gen.go", "output file")
+	table := flag.String("table", "internal/remoting/gen/calltable.go", "call-classification table output file")
 	flag.Parse()
 	calls := buildSpec()
-
-	// Sanity: unique names and IDs.
-	seen := map[string]bool{}
-	for _, c := range calls {
-		if seen[c.Name] {
-			log.Fatalf("duplicate call %s", c.Name)
-		}
-		seen[c.Name] = true
+	if err := validate(calls); err != nil {
+		log.Fatal(err)
 	}
 
+	src, err := genAPI(calls)
+	if err != nil {
+		log.Fatalf("gen api: %v", err)
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	tsrc, err := genTable(calls)
+	if err != nil {
+		log.Fatalf("gen table: %v", err)
+	}
+	if err := os.WriteFile(*table, tsrc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// Report surface size for the curious.
+	classes := map[string]int{}
+	for _, c := range calls {
+		classes[c.Class]++
+	}
+	var keys []string
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("apigen: %d calls (", len(calls))
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d %s", classes[k], k)
+	}
+	fmt.Printf(") -> %s, %s\n", *out, *table)
+}
+
+// validate enforces spec-level invariants before any code is generated.
+func validate(calls []Call) error {
+	seen := map[string]bool{}
+	ids := map[int]bool{}
+	for _, c := range calls {
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate call %s", c.Name)
+		}
+		seen[c.Name] = true
+		if ids[c.ID] || c.ID <= 0 {
+			return fmt.Errorf("call %s: bad or duplicate ID %d", c.Name, c.ID)
+		}
+		ids[c.ID] = true
+		// An Async call is fired one-way on the pipelined lane: it may not
+		// carry a response the caller needs, and local calls never hit the
+		// wire at all.
+		if c.Async {
+			if len(c.Resp) > 0 {
+				return fmt.Errorf("call %s: Async but has response fields", c.Name)
+			}
+			if c.Class == "local" {
+				return fmt.Errorf("call %s: Async but classed local", c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// genAPI renders the main generated file (gen.go): IDs, messages, Client,
+// Dispatch.
+func genAPI(calls []Call) ([]byte, error) {
 	var b bytes.Buffer
 	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 
@@ -347,30 +422,78 @@ func main() {
 	src, err := format.Source(b.Bytes())
 	if err != nil {
 		// Dump the unformatted source to ease generator debugging.
-		_ = os.WriteFile(*out+".bad", b.Bytes(), 0o644)
-		log.Fatalf("format: %v (unformatted source in %s.bad)", err, *out)
+		_ = os.WriteFile("gen.go.bad", b.Bytes(), 0o644)
+		return nil, fmt.Errorf("format: %w (unformatted source in gen.go.bad)", err)
 	}
-	if err := os.WriteFile(*out, src, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	// Report surface size for the curious.
-	classes := map[string]int{}
+	return src, nil
+}
+
+// genTable renders calltable.go: the machine-readable call-classification
+// table. It is the single source of truth for which calls may ride the
+// one-way async lane (consumed by the guest submit guard, the API server's
+// CallAsync validator, and the asyncsafe analyzer) and which calls establish
+// server-side state that crash recovery must replay (consumed by the
+// journalcover analyzer).
+func genTable(calls []Call) ([]byte, error) {
+	var b bytes.Buffer
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	p("// Code generated by cmd/apigen. DO NOT EDIT.")
+	p("")
+	p("package gen")
+	p("")
+	p("// DeferrableCalls names the calls that are safe to submit one-way on the")
+	p("// pipelined async lane (OptAsync): result-free, with errors allowed to")
+	p("// latch until the next fence. Free is intentionally absent — it fences.")
+	p("var DeferrableCalls = map[string]bool{")
 	for _, c := range calls {
-		classes[c.Class]++
-	}
-	var keys []string
-	for k := range classes {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	fmt.Printf("apigen: %d calls (", len(calls))
-	for i, k := range keys {
-		if i > 0 {
-			fmt.Print(", ")
+		if c.Async {
+			p("\t%q: true,", c.Name)
 		}
-		fmt.Printf("%d %s", classes[k], k)
 	}
-	fmt.Printf(") -> %s\n", *out)
+	p("}")
+	p("")
+	p("// StateEstablishingCalls names the calls that create server-side session")
+	p("// state (handles, device allocations, uploaded bytes, handle bindings).")
+	p("// The guest recovery journal must register a replay entry for each.")
+	p("var StateEstablishingCalls = map[string]bool{")
+	for _, c := range calls {
+		if c.Establishes {
+			p("\t%q: true,", c.Name)
+		}
+	}
+	p("}")
+	p("")
+	p("var deferrableByID = map[uint16]bool{")
+	for _, c := range calls {
+		if c.Async {
+			p("\tCall%s: true,", c.Name)
+		}
+	}
+	p("}")
+	p("")
+	p("var establishesByID = map[uint16]bool{")
+	for _, c := range calls {
+		if c.Establishes {
+			p("\tCall%s: true,", c.Name)
+		}
+	}
+	p("}")
+	p("")
+	p("// CallIsDeferrable reports whether a call ID may be wrapped in a")
+	p("// remoting.CallAsync envelope.")
+	p("func CallIsDeferrable(id uint16) bool { return deferrableByID[id] }")
+	p("")
+	p("// CallEstablishesState reports whether a call ID creates server-side")
+	p("// session state that a recovered session must re-establish.")
+	p("func CallEstablishesState(id uint16) bool { return establishesByID[id] }")
+
+	src, err := format.Source(b.Bytes())
+	if err != nil {
+		_ = os.WriteFile("calltable.go.bad", b.Bytes(), 0o644)
+		return nil, fmt.Errorf("format: %w (unformatted source in calltable.go.bad)", err)
+	}
+	return src, nil
 }
 
 // emitCall writes the message types, Append helper and Client method.

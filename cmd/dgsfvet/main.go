@@ -1,0 +1,79 @@
+// Command dgsfvet runs the project's custom static analyzers: the
+// cross-cutting invariants behind the simulator's determinism, the
+// transport's typed sentinels, the async lane's deferrable-call table, the
+// crash-recovery journal and server goroutine hygiene. See DESIGN.md
+// "Invariants" for the full list and the //lint:allow escape hatch.
+//
+// Standalone:
+//
+//	go run ./cmd/dgsfvet ./...
+//
+// As a vet tool (integrates with go vet's caching and package graph):
+//
+//	go build -o /tmp/dgsfvet ./cmd/dgsfvet
+//	go vet -vettool=/tmp/dgsfvet ./...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dgsf/internal/lint"
+	"dgsf/internal/lint/passes"
+)
+
+func main() {
+	analyzers := passes.All()
+
+	// go vet protocol (-V=full / -flags / pkg.cfg): VetMain exits if it
+	// recognizes the invocation.
+	if lint.VetMain(os.Args[1:], analyzers) {
+		return
+	}
+
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if patterns[0] == "-h" || patterns[0] == "--help" || patterns[0] == "help" {
+		fmt.Println("usage: dgsfvet [packages]")
+		fmt.Println()
+		for _, a := range analyzers {
+			fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintln(os.Stderr, e)
+			}
+			exit = 1
+			continue
+		}
+		diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgsfvet:", err)
+	os.Exit(1)
+}

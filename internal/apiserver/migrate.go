@@ -87,7 +87,8 @@ func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
 			}
 		}
 		// 4b. Replicate streams and events into the new context.
-		for _, perDev := range sess.streams {
+		for _, virt := range sortedKeys(sess.streams) {
+			perDev := sess.streams[virt]
 			if _, ok := perDev[target]; ok {
 				continue
 			}
@@ -97,7 +98,8 @@ func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
 			}
 			perDev[target] = real
 		}
-		for _, perDev := range sess.events {
+		for _, virt := range sortedKeys(sess.events) {
+			perDev := sess.events[virt]
 			if _, ok := perDev[target]; ok {
 				continue
 			}
@@ -108,13 +110,13 @@ func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
 			perDev[target] = real
 		}
 		// 4c. Rebind library handles (their workspaces move devices).
-		for _, real := range sess.dnns {
-			if err := s.libs.RebindDNN(p, real, newCtx); err != nil {
+		for _, virt := range sortedKeys(sess.dnns) {
+			if err := s.libs.RebindDNN(p, sess.dnns[virt], newCtx); err != nil {
 				return 0, err
 			}
 		}
-		for _, real := range sess.blass {
-			if err := s.libs.RebindBLAS(p, real, newCtx); err != nil {
+		for _, virt := range sortedKeys(sess.blass) {
+			if err := s.libs.RebindBLAS(p, sess.blass[virt], newCtx); err != nil {
 				return 0, err
 			}
 		}

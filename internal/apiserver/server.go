@@ -274,31 +274,33 @@ func (s *Server) scavenge(p *sim.Proc) {
 	s.asyncErr = 0
 	if sess != nil {
 		if ctx, err := s.rt.Context(p, s.curDev); err == nil {
-			for ptr := range sess.allocs {
+			for _, ptr := range sortedKeys(sess.allocs) {
 				_ = ctx.Free(p, ptr)
 			}
 		}
-		for _, perDev := range sess.streams {
-			for dev, h := range perDev {
+		for _, virt := range sortedKeys(sess.streams) {
+			perDev := sess.streams[virt]
+			for _, dev := range sortedKeys(perDev) {
 				if c, err := s.rt.Context(p, dev); err == nil {
-					_ = c.StreamDestroy(p, h)
+					_ = c.StreamDestroy(p, perDev[dev])
 				}
 			}
 		}
-		for _, perDev := range sess.events {
-			for dev, h := range perDev {
+		for _, virt := range sortedKeys(sess.events) {
+			perDev := sess.events[virt]
+			for _, dev := range sortedKeys(perDev) {
 				if c, err := s.rt.Context(p, dev); err == nil {
-					_ = c.EventDestroy(p, h)
+					_ = c.EventDestroy(p, perDev[dev])
 				}
 			}
 		}
-		for _, real := range sess.dnns {
-			_ = s.libs.DNNDestroy(p, real)
+		for _, virt := range sortedKeys(sess.dnns) {
+			_ = s.libs.DNNDestroy(p, sess.dnns[virt])
 		}
-		for _, real := range sess.blass {
-			_ = s.libs.BLASDestroy(p, real)
+		for _, virt := range sortedKeys(sess.blass) {
+			_ = s.libs.BLASDestroy(p, sess.blass[virt])
 		}
-		for d := range sess.descs {
+		for _, d := range sortedKeys(sess.descs) {
 			_ = s.libs.DestroyDescriptor(p, d)
 		}
 	}
@@ -406,11 +408,20 @@ func (s *Server) handle(p *sim.Proc, payload []byte) ([]byte, int64) {
 // until the next fence.
 func (s *Server) handleAsync(p *sim.Proc, inner []byte) {
 	s.stats.AsyncHandled++
-	if id := wire.NewDecoder(inner).U16(); id == remoting.CallAsync || id == remoting.CallFence {
+	id := wire.NewDecoder(inner).U16()
+	if id == remoting.CallAsync || id == remoting.CallFence || id == remoting.CallBatch {
 		if s.asyncErr == 0 {
 			s.asyncErr = int32(cuda.Code(cuda.ErrInvalidValue))
 		}
 		return // malformed: reserved IDs do not nest inside a submission
+	}
+	// Only table-deferrable calls may run one-way: anything result-bearing
+	// would silently drop its result here, so reject it instead of executing.
+	if !gen.CallIsDeferrable(id) {
+		if s.asyncErr == 0 {
+			s.asyncErr = int32(cuda.Code(cuda.ErrInvalidValue))
+		}
+		return
 	}
 	resp, _ := s.handle(p, inner)
 	rd := wire.NewDecoder(resp)
@@ -530,35 +541,37 @@ func (s *Server) Bye(p *sim.Proc) error {
 			sess.used -= size
 		}
 	}
-	for ptr := range sess.allocs {
+	for _, ptr := range sortedKeys(sess.allocs) {
 		_ = ctx.Free(p, ptr)
 	}
-	for _, perDev := range sess.streams {
-		for dev, h := range perDev {
+	for _, virt := range sortedKeys(sess.streams) {
+		perDev := sess.streams[virt]
+		for _, dev := range sortedKeys(perDev) {
 			c, err := s.rt.Context(p, dev)
 			if err == nil {
-				_ = c.StreamDestroy(p, h)
+				_ = c.StreamDestroy(p, perDev[dev])
 			}
 		}
 	}
-	for _, perDev := range sess.events {
-		for dev, h := range perDev {
+	for _, virt := range sortedKeys(sess.events) {
+		perDev := sess.events[virt]
+		for _, dev := range sortedKeys(perDev) {
 			c, err := s.rt.Context(p, dev)
 			if err == nil {
-				_ = c.EventDestroy(p, h)
+				_ = c.EventDestroy(p, perDev[dev])
 			}
 		}
 	}
 	// Non-pooled handles created for this session are destroyed; pooled
 	// ones were already returned by DnnDestroy/BlasDestroy or are returned
 	// now.
-	for _, real := range sess.dnns {
-		s.releaseDNN(p, real)
+	for _, virt := range sortedKeys(sess.dnns) {
+		s.releaseDNN(p, sess.dnns[virt])
 	}
-	for _, real := range sess.blass {
-		s.releaseBLAS(p, real)
+	for _, virt := range sortedKeys(sess.blass) {
+		s.releaseBLAS(p, sess.blass[virt])
 	}
-	for d := range sess.descs {
+	for _, d := range sortedKeys(sess.descs) {
 		_ = s.libs.DestroyDescriptor(p, d)
 	}
 	s.sess = nil
@@ -1022,12 +1035,12 @@ func (s *Server) StreamDestroy(p *sim.Proc, h cuda.StreamHandle) error {
 	if !ok {
 		return cuda.ErrInvalidResourceHandle
 	}
-	for dev, real := range perDev {
+	for _, dev := range sortedKeys(perDev) {
 		c, err := s.rt.Context(p, dev)
 		if err != nil {
 			continue
 		}
-		_ = c.StreamDestroy(p, real)
+		_ = c.StreamDestroy(p, perDev[dev])
 	}
 	delete(sess.streams, h)
 	return nil
@@ -1079,12 +1092,12 @@ func (s *Server) EventDestroy(p *sim.Proc, h cuda.EventHandle) error {
 	if !ok {
 		return cuda.ErrInvalidResourceHandle
 	}
-	for dev, real := range perDev {
+	for _, dev := range sortedKeys(perDev) {
 		c, err := s.rt.Context(p, dev)
 		if err != nil {
 			continue
 		}
-		_ = c.EventDestroy(p, real)
+		_ = c.EventDestroy(p, perDev[dev])
 	}
 	delete(sess.events, h)
 	return nil

@@ -1,0 +1,19 @@
+package apiserver
+
+import (
+	"cmp"
+	"slices"
+)
+
+// sortedKeys returns m's keys in ascending order. Teardown, scavenge and
+// migration loops walk maps of handles while emitting simulated events;
+// iterating in map order would randomize event order across runs and break
+// the simulator's same-seed-same-trace guarantee (simdeterminism).
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,6 +1,7 @@
 package cuda
 
 import (
+	"slices"
 	"time"
 
 	"dgsf/internal/gpu"
@@ -119,8 +120,14 @@ func (c *Context) DeviceSynchronize(p *sim.Proc) error {
 		return err
 	}
 	c.defStream.awaitIdle(p)
-	for _, s := range c.streams {
-		s.awaitIdle(p)
+	// Sorted so the per-stream waits replay in the same order every run.
+	hs := make([]StreamHandle, 0, len(c.streams))
+	for h := range c.streams {
+		hs = append(hs, h)
+	}
+	slices.Sort(hs)
+	for _, h := range hs {
+		c.streams[h].awaitIdle(p)
 	}
 	return nil
 }

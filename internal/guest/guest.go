@@ -229,6 +229,13 @@ func (l *Lib) submitAsyncDone(p *sim.Proc, reqData int64, appendFn func(e *wire.
 	var e wire.Encoder
 	e.U16(remoting.CallAsync)
 	appendFn(&e)
+	// Only table-deferrable calls may ride the one-way lane; a result-bearing
+	// call submitted here would lose its result. The asyncsafe analyzer
+	// enforces this statically — this guard catches dynamically-built
+	// submissions that slip past it.
+	if id := wire.NewDecoder(e.Bytes()[2:]).U16(); !gen.CallIsDeferrable(id) {
+		panic(fmt.Sprintf("guest: %s (call %d) submitted async but not in gen.DeferrableCalls", gen.CallName(id), id))
+	}
 	err := l.async.Submit(p, e.Bytes(), reqData)
 	if err != nil && l.rec != nil && !l.recovering && remoting.IsConnFault(err) {
 		if rerr := l.recoverSession(p); rerr == nil {

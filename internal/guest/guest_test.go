@@ -197,7 +197,7 @@ func TestLocalDescriptorsNeverCrossTheWire(t *testing.T) {
 			t.Fatalf("localized = %d, want 150", st.Localized)
 		}
 		// Stale descriptor handles are rejected locally too.
-		if err := lib.DnnSetTensorDescriptor(p, 0xDEAD); err != cuda.ErrInvalidResourceHandle {
+		if err := lib.DnnSetTensorDescriptor(p, 0xDEAD); !errors.Is(err, cuda.ErrInvalidResourceHandle) {
 			t.Fatalf("stale descriptor err = %v", err)
 		}
 	})
@@ -216,7 +216,7 @@ func TestHostMemoryEmulation(t *testing.T) {
 		if err := lib.FreeHost(p, ptr); err != nil {
 			t.Fatal(err)
 		}
-		if err := lib.FreeHost(p, ptr); err != cuda.ErrInvalidValue {
+		if err := lib.FreeHost(p, ptr); !errors.Is(err, cuda.ErrInvalidValue) {
 			t.Fatalf("double FreeHost = %v", err)
 		}
 		if lb.n != before {
@@ -236,7 +236,7 @@ func TestLocalPointerAttributes(t *testing.T) {
 		if err != nil || !a.IsDevice || a.Size != 1<<20 {
 			t.Fatalf("attrs = (%+v, %v)", a, err)
 		}
-		if _, err := lib.PointerGetAttributes(p, cuda.DevPtr(12345)); err != cuda.ErrInvalidValue {
+		if _, err := lib.PointerGetAttributes(p, cuda.DevPtr(12345)); !errors.Is(err, cuda.ErrInvalidValue) {
 			t.Fatalf("unknown pointer err = %v", err)
 		}
 		if lb.n != before {

@@ -1,0 +1,10 @@
+// Package allowtest is a fixture for the //lint:allow suppression test.
+package allowtest
+
+//lint:allow demo suppressed by the directive above the declaration
+func suppressed() {}
+
+func flagged() {}
+
+//lint:allow otheranalyzer a directive for a different analyzer does not apply
+func wrongname() {}

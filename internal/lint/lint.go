@@ -1,0 +1,181 @@
+// Package lint is a small static-analysis framework for dgsfvet, the
+// project's invariant checker. It deliberately mirrors the API shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Reportf) so analyzers read
+// like standard vet passes, but it is built only on the standard library:
+// packages are loaded with `go list -export` and type-checked against the
+// compiler's export data, so no third-party dependency is needed.
+//
+// Suppression: a comment of the form
+//
+//	//lint:allow analyzer1,analyzer2 reason...
+//
+// silences the named analyzers on the same line and on the line directly
+// below (so it can sit above the offending statement). The reason is
+// mandatory by convention and surfaced in DESIGN.md's invariant table.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant it enforces.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgPathHasSuffix reports whether a package import path is, or ends with,
+// the given slash-separated suffix (e.g. "internal/sim" matches both
+// "dgsf/internal/sim" and a testdata package "x/internal/sim").
+func PkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// allowKey identifies one (file, line) granted to one analyzer.
+type allowKey struct {
+	file string
+	line int
+}
+
+// collectAllows scans the files for //lint:allow directives and returns the
+// set of (analyzer, file, line) suppressions they grant.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[allowKey]bool {
+	allows := map[string]map[allowKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if allows[name] == nil {
+						allows[name] = map[allowKey]bool{}
+					}
+					// The directive covers its own line (trailing comment)
+					// and the line below (comment above the statement).
+					allows[name][allowKey{pos.Filename, pos.Line}] = true
+					allows[name][allowKey{pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// diagnostics that survive //lint:allow filtering, sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	allows := collectAllows(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows[d.Analyzer][allowKey{d.Pos.Filename, d.Pos.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// NewInfo returns a types.Info with every map allocated, ready for
+// types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

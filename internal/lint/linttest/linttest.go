@@ -1,0 +1,219 @@
+// Package linttest is a golden-file test harness for dgsfvet analyzers,
+// modeled on x/tools' analysistest: testdata packages annotate expected
+// diagnostics with `// want "substring"` comments, and the harness fails
+// the test on any missed or unexpected diagnostic.
+//
+// Layout: testdata/src/<importpath>/*.go. Imports between testdata packages
+// resolve within testdata/src; imports of real module or standard-library
+// packages resolve through `go list -deps -export` run once per process.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"dgsf/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkgpath>, applies the analyzer, and checks the
+// diagnostics against the package's `// want` annotations.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{testdata: testdata, fset: fset, pkgs: map[string]*types.Package{}}
+	files, pkg, info, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgpath, err)
+	}
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{} // expected message substrings
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					var s string
+					// The capture is a quoted Go-ish string; reuse JSON
+					// unquoting for escapes.
+					if err := json.Unmarshal([]byte(`"`+m[1]+`"`), &s); err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], s)
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, ws := range wants {
+		matched[k] = make([]bool, len(ws))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+// loader type-checks testdata packages, resolving testdata-internal imports
+// from source and everything else from module/std export data.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package // memo of testdata packages
+}
+
+func (ld *loader) load(pkgpath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.testdata, "src", pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		return ld.importPkg(path)
+	})}
+	pkg, err := conf.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// importPkg resolves one import: testdata-local packages load from source,
+// others from export data.
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if dir := filepath.Join(ld.testdata, "src", path); isDir(dir) {
+		_, pkg, _, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		ld.pkgs[path] = pkg
+		return pkg, nil
+	}
+	imp := importer.ForCompiler(ld.fset, "gc", func(p string) (io.ReadCloser, error) {
+		ef, err := moduleExport(p)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(ef)
+	})
+	pkg, err := imp.(types.ImporterFrom).ImportFrom(path, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// moduleExport maps an import path to its export data file, computed once
+// per test process by listing the module's full dependency closure.
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+func moduleExport(path string) (string, error) {
+	exportOnce.Do(func() {
+		exportMap = map[string]string{}
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json", "dgsf/...")
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			exportErr = fmt.Errorf("go list: %w\n%s", err, errb.String())
+			return
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var lp struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				exportErr = err
+				return
+			}
+			if lp.Export != "" && !strings.Contains(lp.ImportPath, " [") {
+				exportMap[lp.ImportPath] = lp.Export
+			}
+		}
+	})
+	if exportErr != nil {
+		return "", exportErr
+	}
+	f, ok := exportMap[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q (is it in dgsf's dependency closure?)", path)
+	}
+	return f, nil
+}

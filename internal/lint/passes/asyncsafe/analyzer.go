@@ -1,0 +1,83 @@
+// Package asyncsafe guards the one-way async lane: every call submitted
+// through the guest's submitAsync/submitAsyncDone helpers (which wrap the
+// payload in remoting.CallAsync) must be in apigen's deferrable-call table.
+// A refactor that turns a result-bearing call into a fire-and-forget
+// submission would otherwise silently discard its result and error.
+package asyncsafe
+
+import (
+	"go/ast"
+	"regexp"
+
+	"dgsf/internal/lint"
+	"dgsf/internal/remoting/gen"
+)
+
+// Analyzer is the asyncsafe pass.
+var Analyzer = &lint.Analyzer{
+	Name: "asyncsafe",
+	Doc: "every Append*Call encoded inside a submitAsync/submitAsyncDone " +
+		"submission must be in gen.DeferrableCalls (apigen's Async flag); " +
+		"result-bearing calls must use the synchronous path",
+	Run: run,
+}
+
+// Deferrable is the call table consulted; it defaults to the generated
+// single source of truth and is overridable in tests.
+var Deferrable = gen.DeferrableCalls
+
+// submitFuncs are the guest helpers that wrap their payload in CallAsync.
+var submitFuncs = map[string]bool{"submitAsync": true, "submitAsyncDone": true}
+
+var appendCallRe = regexp.MustCompile(`^Append([A-Z]\w*)Call$`)
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !submitFuncs[name] {
+				return true
+			}
+			// The payload is built by a closure argument; find every
+			// Append*Call it encodes and check the table.
+			for _, arg := range call.Args {
+				fl, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					inner, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					iname := calleeName(inner)
+					sub := appendCallRe.FindStringSubmatch(iname)
+					if sub == nil {
+						return true
+					}
+					if !Deferrable[sub[1]] {
+						pass.Reportf(inner.Pos(), "%s submitted on the one-way async lane but %s is not in gen.DeferrableCalls; its result/ordering would be silently lost — mark it Async in cmd/apigen's spec or use the synchronous path", iname, sub[1])
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+package asyncsafe_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/asyncsafe"
+	"dgsf/internal/remoting/gen"
+)
+
+func TestAsyncsafe(t *testing.T) {
+	old := asyncsafe.Deferrable
+	asyncsafe.Deferrable = map[string]bool{"Good": true}
+	defer func() { asyncsafe.Deferrable = old }()
+	linttest.Run(t, "testdata", asyncsafe.Analyzer, "a/async")
+}
+
+// TestDefaultTableIsGenerated pins the analyzer to apigen's single source
+// of truth: the default table must be the generated one, not a copy.
+func TestDefaultTableIsGenerated(t *testing.T) {
+	if len(asyncsafe.Deferrable) == 0 {
+		t.Fatal("default Deferrable table is empty")
+	}
+	for name := range asyncsafe.Deferrable {
+		if !gen.DeferrableCalls[name] {
+			t.Errorf("analyzer table has %s but gen.DeferrableCalls does not", name)
+		}
+	}
+	for name := range gen.DeferrableCalls {
+		if !asyncsafe.Deferrable[name] {
+			t.Errorf("gen.DeferrableCalls has %s but analyzer table does not", name)
+		}
+	}
+}

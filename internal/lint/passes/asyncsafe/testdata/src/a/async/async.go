@@ -1,0 +1,25 @@
+package async
+
+type enc struct{}
+
+// AppendGoodCall stands in for a generated deferrable call's encoder.
+func AppendGoodCall(e *enc) {}
+
+// AppendBadCall stands in for a generated result-bearing call's encoder.
+func AppendBadCall(e *enc) {}
+
+type lib struct{}
+
+func (l *lib) submitAsync(fn func(e *enc)) error     { return nil }
+func (l *lib) submitAsyncDone(fn func(e *enc)) error { return nil }
+
+func use(l *lib) {
+	_ = l.submitAsync(func(e *enc) { AppendGoodCall(e) })
+	_ = l.submitAsyncDone(func(e *enc) { AppendGoodCall(e) })
+	_ = l.submitAsync(func(e *enc) { AppendBadCall(e) })     // want "not in gen.DeferrableCalls"
+	_ = l.submitAsyncDone(func(e *enc) { AppendBadCall(e) }) // want "not in gen.DeferrableCalls"
+
+	// Outside a submit closure, any Append*Call is fine (batching path).
+	var e enc
+	AppendBadCall(&e)
+}

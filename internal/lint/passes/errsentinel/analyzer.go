@@ -1,0 +1,161 @@
+// Package errsentinel forbids identity comparison against error sentinels
+// and error formatting that loses the wrap chain. The transport deliberately
+// returns wrapped sentinels (ErrConnClosed, ErrFrameCorrupt, ErrCallTimeout
+// carry the failing conn's detail), so `err == ErrConnClosed` silently stops
+// matching the moment a path adds context; errors.Is and %w keep the chain
+// intact.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dgsf/internal/lint"
+)
+
+// Analyzer is the errsentinel pass.
+var Analyzer = &lint.Analyzer{
+	Name: "errsentinel",
+	Doc: "forbid ==/!= against error sentinels (use errors.Is) and fmt.Errorf " +
+		"wrapping an error without %w (which breaks errors.Is matching downstream)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCompare(pass *lint.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	// Comparisons against nil are the idiomatic success check; leave them.
+	if isNil(pass, be.X) || isNil(pass, be.Y) {
+		return
+	}
+	sentinel := sentinelName(pass, be.X)
+	other := be.Y
+	if sentinel == "" {
+		sentinel = sentinelName(pass, be.Y)
+		other = be.X
+	}
+	if sentinel == "" {
+		return
+	}
+	// Require the other side to be error-ish so we do not flag comparisons
+	// of, say, integer constants that happen to be named ErrFoo codes —
+	// unless both sides are the concrete sentinel type, which still breaks
+	// under wrapping when one side came through an error path.
+	if !isErrorish(pass.TypeOf(other)) && !isErrorish(pass.TypeOf(be.X)) {
+		return
+	}
+	pass.Reportf(be.OpPos, "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is", sentinel, be.Op)
+}
+
+// isNil reports whether the expression is the untyped nil.
+func isNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinelName reports the name of a package-level Err* error value the
+// expression denotes, or "".
+func sentinelName(pass *lint.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	// Package-level (not local) vars/consts named Err* whose type is
+	// error-ish: errors.New sentinels, typed sentinel constants like
+	// cuda.ErrInvalidValue, etc.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return ""
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorish(obj.Type()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isErrorish reports whether t is the error interface or a concrete type
+// implementing it.
+func isErrorish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if types.Implements(t, errIface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), errIface)
+}
+
+// checkErrorf flags fmt.Errorf calls whose format has no %w verb but whose
+// arguments include an error: the wrap chain is cut and errors.Is stops
+// matching.
+func checkErrorf(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot reason about it
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil || !isErrorInterface(t) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "fmt.Errorf formats an error argument without %%w; the sentinel becomes unmatchable by errors.Is")
+		return
+	}
+}
+
+// isErrorInterface reports whether t is exactly the error interface type
+// (concrete error-typed values formatted with %v are usually intentional
+// code/status rendering, e.g. cuda.Error codes).
+func isErrorInterface(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(t, errType)
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/errsentinel"
+)
+
+func TestErrsentinel(t *testing.T) {
+	linttest.Run(t, "testdata", errsentinel.Analyzer, "a/errsent")
+}

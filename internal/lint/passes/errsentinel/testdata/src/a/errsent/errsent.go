@@ -1,0 +1,42 @@
+package errsent
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed mimics a transport sentinel.
+var ErrClosed = errors.New("closed")
+
+// notSentinel is package-level but not Err-named; identity comparison is
+// assumed intentional.
+var notSentinel = errors.New("other")
+
+func op() error { return ErrClosed }
+
+func bad() {
+	if op() == ErrClosed { // want "use errors.Is"
+		return
+	}
+	if ErrClosed != op() { // want "use errors.Is"
+		return
+	}
+	err := op()
+	_ = fmt.Errorf("op failed: %v", err) // want "without %w"
+}
+
+func good() error {
+	err := op()
+	if err == nil { // nil checks are the success idiom
+		return nil
+	}
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	if err == notSentinel {
+		return nil
+	}
+	_ = fmt.Errorf("op failed: %w", err)
+	_ = fmt.Errorf("count %d", 7)
+	return err
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/goroutineleak"
+)
+
+func TestGoroutineleak(t *testing.T) {
+	linttest.Run(t, "testdata", goroutineleak.Analyzer, "d/internal/gpuserver")
+}

@@ -1,0 +1,67 @@
+// Package gpuserver is a miniature server package: the goroutineleak
+// analyzer keys on the server package path suffixes.
+package gpuserver
+
+import "os"
+
+type srv struct {
+	ch   chan int
+	done chan struct{}
+	stop bool
+}
+
+func bad(s *srv) {
+	go func() { // want "can never be shut down"
+		for {
+			<-s.ch
+		}
+	}()
+	go func() { // want "can never be shut down"
+		for {
+			select {
+			case <-s.ch:
+				break // only exits the select, not the loop
+			}
+		}
+	}()
+}
+
+func good(s *srv) {
+	go func() {
+		for {
+			select {
+			case <-s.ch:
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	go func() {
+		for v := range s.ch { // range over a channel ends when it closes
+			_ = v
+		}
+	}()
+	go func() {
+		for {
+			if s.stop {
+				break
+			}
+		}
+	}()
+	go func() {
+		for {
+			if s.stop {
+				os.Exit(1) // terminal calls count as an exit
+			}
+		}
+	}()
+	go s.loop() // named method resolves to its declaration below
+}
+
+func (s *srv) loop() {
+	for {
+		if _, ok := <-s.ch; !ok {
+			return
+		}
+	}
+}

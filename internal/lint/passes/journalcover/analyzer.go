@@ -1,0 +1,79 @@
+// Package journalcover ties the guest library to the crash-recovery replay
+// journal: every guest method implementing a state-establishing call (per
+// apigen's StateEstablishingCalls table) must register a journal entry
+// (journalPut/journalPutPtr), or a recovered session would come back
+// without that piece of server-side state.
+package journalcover
+
+import (
+	"go/ast"
+
+	"dgsf/internal/lint"
+	"dgsf/internal/remoting/gen"
+)
+
+// Analyzer is the journalcover pass.
+var Analyzer = &lint.Analyzer{
+	Name: "journalcover",
+	Doc: "every guest method implementing a call in gen.StateEstablishingCalls " +
+		"must call journalPut/journalPutPtr so crash recovery can re-establish " +
+		"the state it creates",
+	Run: run,
+}
+
+// Required is the table of state-establishing call names; it defaults to
+// the generated single source of truth and is overridable in tests.
+var Required = gen.StateEstablishingCalls
+
+// journalFuncs register a replay entry.
+var journalFuncs = map[string]bool{"journalPut": true, "journalPutPtr": true}
+
+func run(pass *lint.Pass) error {
+	if !lint.PkgPathHasSuffix(pass.Pkg.Path(), "internal/guest") {
+		return nil // the replay journal lives in the guest library
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !Required[fd.Name.Name] {
+				continue
+			}
+			if !callsJournal(fd.Body) {
+				pass.Reportf(fd.Pos(), "%s establishes server-side state (gen.StateEstablishingCalls) but never registers a replay-journal entry (journalPut/journalPutPtr); a recovered session would lose this state", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func callsJournal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if journalFuncs[name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

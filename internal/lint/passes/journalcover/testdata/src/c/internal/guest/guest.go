@@ -1,0 +1,35 @@
+// Package guest is a miniature guest library: the journalcover analyzer
+// keys on the "internal/guest" path suffix.
+package guest
+
+// Lib mimics the guest library with its replay journal.
+type Lib struct {
+	journal map[string]func()
+}
+
+func (l *Lib) journalPut(key string, replay func()) { l.journal[key] = replay }
+
+func (l *Lib) journalPutPtr(key string, base uint64, replay func()) { l.journal[key] = replay }
+
+// Malloc establishes state but forgets to journal it.
+func (l *Lib) Malloc(size int64) uint64 { // want "never registers a replay-journal entry"
+	return uint64(size)
+}
+
+// StreamCreate journals directly.
+func (l *Lib) StreamCreate() uint64 {
+	l.journalPut("stream", func() {})
+	return 1
+}
+
+// MemcpyH2D journals inside a closure, the common shape in the real guest.
+func (l *Lib) MemcpyH2D(dst uint64, n int64) error {
+	submit := func() {
+		l.journalPutPtr("h2d", dst, func() {})
+	}
+	submit()
+	return nil
+}
+
+// Bye is not state-establishing; no journal entry required.
+func (l *Lib) Bye() {}

@@ -1,0 +1,17 @@
+package rawconn_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/rawconn"
+)
+
+func TestRawconn(t *testing.T) {
+	linttest.Run(t, "testdata", rawconn.Analyzer, "a/rawc")
+}
+
+// TestTransportExempt checks the transport package itself is not flagged.
+func TestTransportExempt(t *testing.T) {
+	linttest.Run(t, "testdata", rawconn.Analyzer, "b/internal/remoting")
+}

@@ -1,0 +1,156 @@
+// Package simdeterminism forbids nondeterminism sources in simulation-driven
+// code: wall-clock reads, the global math/rand generator, and unordered map
+// iteration that feeds simulated events. The simulator's reproducibility
+// guarantee (same seed, same trace) holds only if every event's timing and
+// payload derive from the engine seed; see internal/sim's per-Proc RNG.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dgsf/internal/lint"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &lint.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid time.Now, global math/rand and unordered map iteration feeding " +
+		"sim events; use p.Now()/p.Rand() so runs replay deterministically " +
+		"(//lint:allow simdeterminism for real-clock paths like the TCP transport)",
+	Run: run,
+}
+
+// forbiddenTime lists time-package functions that read or depend on the real
+// clock. Constructors like time.Duration arithmetic are fine.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand lists math/rand functions that construct explicitly-seeded
+// generators (the deterministic per-Proc pattern); every other package-level
+// function uses the shared global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue // tests may time themselves
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSelector(pass *lint.Pass, sel *ast.SelectorExpr) {
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: methods (e.g. (*rand.Rand).Intn,
+	// (time.Time).Sub) have a receiver and are deterministic given their
+	// receiver.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTime[fn.Name()] {
+			pass.Reportf(sel.Pos(), "time.%s reads the real clock; use the Proc/engine virtual clock (p.Now) in simulation-driven code", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(sel.Pos(), "rand.%s uses the global RNG; use the deterministic per-Proc generator (p.Rand) seeded from the engine seed", fn.Name())
+		}
+	}
+}
+
+// checkRange flags `for k := range m` over a map when the loop body makes a
+// call involving a *sim.Proc or other internal/sim value: map order is
+// random per run, so such a loop emits simulated events in random order.
+func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var bad ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callTouchesSim(pass, call) {
+			bad = call
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized but this loop drives simulated events (%s); collect and sort the keys first", exprString(pass, bad))
+	}
+}
+
+func callTouchesSim(pass *lint.Pass, call *ast.CallExpr) bool {
+	// Builtins (delete, append, len, ...) never emit events.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return false
+		}
+	}
+	for _, arg := range call.Args {
+		if isSimType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if isSimType(pass.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSimType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return lint.PkgPathHasSuffix(named.Obj().Pkg().Path(), "internal/sim")
+}
+
+func exprString(pass *lint.Pass, n ast.Node) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "call"
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return "call to " + fun.Sel.Name
+	case *ast.Ident:
+		return "call to " + fun.Name
+	}
+	return "call"
+}

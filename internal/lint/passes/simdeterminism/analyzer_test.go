@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/simdeterminism"
+)
+
+func TestSimdeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", simdeterminism.Analyzer, "a/simdet")
+}

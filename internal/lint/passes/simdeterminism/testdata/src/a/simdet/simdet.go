@@ -1,0 +1,44 @@
+package simdet
+
+import (
+	"math/rand"
+	"time"
+
+	"a/internal/sim"
+)
+
+func emit(p *sim.Proc, k int) {}
+
+func bad(p *sim.Proc, m map[int]string) {
+	_ = time.Now()                     // want "time.Now reads the real clock"
+	time.Sleep(1)                      // want "time.Sleep reads the real clock"
+	_ = rand.Intn(4)                   // want "global RNG"
+	rand.Shuffle(2, func(i, j int) {}) // want "global RNG"
+	for k := range m {                 // want "map iteration order is randomized"
+		emit(p, k)
+	}
+}
+
+func good(p *sim.Proc, m map[int]string) {
+	r := rand.New(rand.NewSource(1)) // explicitly-seeded constructors are the sanctioned pattern
+	_ = r.Intn(4)
+	_ = p.Now()
+	_ = time.Duration(3) * time.Second // duration arithmetic never reads the clock
+
+	total := 0
+	for k := range m { // no simulated event in the body: order is invisible
+		total += k
+	}
+	_ = total
+
+	keys := make([]int, 0, len(m))
+	for k := range m { // collecting keys for sorting is exactly the fix
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		emit(p, k)
+	}
+
+	//lint:allow simdeterminism exercising the escape hatch
+	_ = time.Now()
+}

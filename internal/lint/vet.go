@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol (the same one
+// x/tools' unitchecker speaks), so dgsfvet can run as
+//
+//	go vet -vettool=$(pwd)/dgsfvet ./...
+//
+// The go command invokes the tool three ways:
+//
+//	dgsfvet -V=full           print a version fingerprint
+//	dgsfvet -flags            print supported flags as JSON
+//	dgsfvet [-json] foo.cfg   analyze one package described by the cfg file
+//
+// The cfg file carries the package's file list and an ImportMap/PackageFile
+// mapping for resolving imports to export data — no `go list` calls needed.
+
+// vetConfig mirrors the JSON config the go command writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain handles one vettool invocation if args match the protocol, and
+// reports whether it did. On a cfg-file invocation it exits the process
+// itself (exit 2 when diagnostics were found, like go vet).
+func VetMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 0 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full" || (len(args) >= 2 && args[0] == "-V" && args[1] == "full"):
+		// The go command caches vet results keyed on this fingerprint.
+		fmt.Printf("dgsfvet version devel comments-go-here buildID=%s\n", buildFingerprint(analyzers))
+		os.Exit(0)
+	case args[0] == "-flags":
+		// Report the standard flags go vet may pass. JSON array of objects.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
+		os.Exit(0)
+	}
+	jsonOut := false
+	rest := args
+	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+		if rest[0] == "-json" || rest[0] == "-json=true" {
+			jsonOut = true
+		}
+		rest = rest[1:]
+	}
+	if len(rest) != 1 || !strings.HasSuffix(rest[0], ".cfg") {
+		return false
+	}
+	vetRun(rest[0], jsonOut, analyzers)
+	return true // unreachable; vetRun exits
+}
+
+// buildFingerprint folds the analyzer names and docs into a stable ID so
+// that editing an analyzer invalidates go vet's result cache.
+func buildFingerprint(analyzers []*Analyzer) string {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	for _, a := range analyzers {
+		mix(a.Name)
+		mix(a.Doc)
+	}
+	return fmt.Sprintf("%016x/%016x", h, h)
+}
+
+func vetRun(cfgPath string, jsonOut bool, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("%s: %w", cfgPath, err))
+	}
+	// Facts are not used by dgsfvet, but the go command requires the vetx
+	// output file to exist even for VetxOnly (dependency) packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	parsed, err := parseAll(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fatal(err)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, parsed, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		for _, e := range typeErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	}
+
+	diags, err := RunAnalyzers(fset, parsed, pkg, info, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		emitJSON(cfg.ImportPath, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// emitJSON prints diagnostics in go vet's -json shape:
+// {"pkgpath": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func emitJSON(pkgPath string, diags []Diagnostic) {
+	byAnalyzer := map[string][]map[string]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], map[string]string{
+			"posn":    d.Pos.String(),
+			"message": d.Message,
+		})
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for n := range byAnalyzer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := map[string]map[string][]map[string]string{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func parseAll(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgsfvet:", err)
+	os.Exit(1)
+}

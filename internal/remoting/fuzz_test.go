@@ -1,0 +1,78 @@
+package remoting
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame drives the frame reader with arbitrary byte streams —
+// truncated headers, mid-frame truncation, hostile length prefixes — and
+// checks the two invariants every caller relies on: a failure is always a
+// typed connection fault (IsConnFault), and a success never fabricates
+// bytes that were not on the wire.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteFrame(&good, []byte("hello dgsf"), 10); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())                    // well-formed frame
+	f.Add(good.Bytes()[:frameHeaderLen+3]) // mid-frame truncation
+	f.Add(good.Bytes()[:5])                // mid-header truncation
+	f.Add([]byte{})                        // empty stream
+
+	hostile := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(hostile, 0xFFFF_FFFF) // over the frame cap
+	f.Add(hostile)
+
+	big := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(big, maxFrameLen) // at the cap, body missing
+	f.Add(append(big, bytes.Repeat([]byte{0xAB}, 1024)...))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		payload, _, err := ReadFrame(bytes.NewReader(in))
+		if err != nil {
+			if !IsConnFault(err) {
+				t.Fatalf("ReadFrame error is not a typed conn fault: %v", err)
+			}
+			return
+		}
+		if len(in) < frameHeaderLen {
+			t.Fatalf("ReadFrame succeeded on a %d-byte stream", len(in))
+		}
+		declared := binary.LittleEndian.Uint32(in[0:4])
+		if uint32(len(payload)) != declared {
+			t.Fatalf("payload length %d disagrees with prefix %d", len(payload), declared)
+		}
+		if len(payload) > maxFrameLen {
+			t.Fatalf("payload %d exceeds maxFrameLen", len(payload))
+		}
+		if len(payload) > len(in)-frameHeaderLen {
+			t.Fatalf("payload %d longer than the %d body bytes on the wire", len(payload), len(in)-frameHeaderLen)
+		}
+		if !bytes.Equal(payload, in[frameHeaderLen:frameHeaderLen+len(payload)]) {
+			t.Fatal("payload does not match wire bytes")
+		}
+	})
+}
+
+// FuzzFrameRoundtrip checks WriteFrame|ReadFrame is the identity on
+// payload and data for arbitrary inputs.
+func FuzzFrameRoundtrip(f *testing.F) {
+	f.Add([]byte("payload"), int64(7))
+	f.Add([]byte{}, int64(0))
+	f.Add(bytes.Repeat([]byte{0x5A}, maxPooledFrame+17), int64(-1)) // beyond the pooled size class
+	f.Fuzz(func(t *testing.T, payload []byte, data int64) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload, data); err != nil {
+			t.Fatal(err)
+		}
+		got, gotData, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotData != data || !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip mismatch: %d bytes/%d data, want %d/%d", len(got), gotData, len(payload), data)
+		}
+	})
+}

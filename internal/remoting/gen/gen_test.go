@@ -1,6 +1,7 @@
 package gen_test
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -193,7 +194,7 @@ func TestClientDispatchLoopback(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Errors propagate as typed codes across the encode/decode boundary.
-		if err := c.Free(p, cuda.DevPtr(0xBAD)); err != cuda.ErrInvalidValue {
+		if err := c.Free(p, cuda.DevPtr(0xBAD)); !errors.Is(err, cuda.ErrInvalidValue) {
 			t.Fatalf("Free(bad) = %v, want ErrInvalidValue", err)
 		}
 		if err := c.Free(p, ptr); err != nil {

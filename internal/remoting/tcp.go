@@ -74,11 +74,44 @@ func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
 		return nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds %d-byte limit", ErrFrameCorrupt, n, maxFrameLen)
 	}
 	data = int64(binary.LittleEndian.Uint64(hdr[4:12]))
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, wrapReadErr(err)
+	payload, err = readPayload(r, int(n))
+	if err != nil {
+		return nil, 0, err
 	}
 	return payload, data, nil
+}
+
+// readPayload reads n payload bytes. Frames up to maxPooledFrame (the
+// steady state) allocate exactly once; larger claims grow the buffer
+// geometrically as bytes actually arrive, so a corrupted length prefix just
+// under maxFrameLen on a truncated stream cannot force a 64 MiB up-front
+// allocation.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= maxPooledFrame {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, wrapReadErr(err)
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, maxPooledFrame)
+	for len(buf) < n {
+		if len(buf) == cap(buf) {
+			newCap := cap(buf) * 2
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, len(buf), newCap)
+			copy(grown, buf)
+			buf = grown
+		}
+		m, err := io.ReadFull(r, buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+m]
+		if err != nil {
+			return nil, wrapReadErr(err)
+		}
+	}
+	return buf, nil
 }
 
 // wrapReadErr types a raw socket read error: orderly or abrupt peer death
@@ -186,6 +219,7 @@ func (c *tcpCaller) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d t
 	defer c.mu.Unlock()
 	c.enqueue(req, reqData)
 	if d > 0 {
+		//lint:allow simdeterminism the TCP transport runs against the real network, so deadlines are real-clock by design
 		_ = c.conn.SetReadDeadline(time.Now().Add(d))
 		defer c.conn.SetReadDeadline(time.Time{})
 	}

@@ -106,7 +106,7 @@ func TestClosedConnFails(t *testing.T) {
 		l := NewListener(e)
 		conn := Dial(e, l, NetProfile{})
 		conn.Close()
-		if _, err := conn.Roundtrip(p, []byte("x"), 0); err != ErrConnClosed {
+		if _, err := conn.Roundtrip(p, []byte("x"), 0); !errors.Is(err, ErrConnClosed) {
 			t.Fatalf("Roundtrip on closed conn = %v, want ErrConnClosed", err)
 		}
 	})
@@ -122,7 +122,7 @@ func TestServerClosePendingRoundtripFails(t *testing.T) {
 			req, _ := l.Incoming.Recv(p)
 			req.ReplyTo.Close()
 		})
-		if _, err := conn.Roundtrip(p, []byte("x"), 0); err != ErrConnClosed {
+		if _, err := conn.Roundtrip(p, []byte("x"), 0); !errors.Is(err, ErrConnClosed) {
 			t.Fatalf("Roundtrip with closed reply queue = %v, want ErrConnClosed", err)
 		}
 	})
@@ -283,7 +283,7 @@ func TestSubmitOnClosedConnFails(t *testing.T) {
 		l := NewListener(e)
 		conn := Dial(e, l, NetProfile{})
 		conn.Close()
-		if err := conn.Submit(p, []byte("x"), 0); err != ErrConnClosed {
+		if err := conn.Submit(p, []byte("x"), 0); !errors.Is(err, ErrConnClosed) {
 			t.Fatalf("Submit on closed conn = %v, want ErrConnClosed", err)
 		}
 	})

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -88,11 +89,11 @@ func TestTruncatedDecodeSticksError(t *testing.T) {
 	e.U64(1)
 	d := NewDecoder(e.Bytes()[:4])
 	_ = d.U64()
-	if d.Err() != ErrTruncated {
+	if !errors.Is(d.Err(), ErrTruncated) {
 		t.Fatalf("err = %v, want ErrTruncated", d.Err())
 	}
 	// Subsequent reads stay zero with the same error.
-	if d.U32() != 0 || d.Str() != "" || d.Err() != ErrTruncated {
+	if d.U32() != 0 || d.Str() != "" || !errors.Is(d.Err(), ErrTruncated) {
 		t.Fatal("sticky error not preserved")
 	}
 }
@@ -101,7 +102,7 @@ func TestOversizedSliceRejected(t *testing.T) {
 	var e Encoder
 	e.U32(1 << 25) // claims a 32M-entry slice
 	d := NewDecoder(e.Bytes())
-	if d.U64s() != nil || d.Err() != ErrOversized {
+	if d.U64s() != nil || !errors.Is(d.Err(), ErrOversized) {
 		t.Fatalf("err = %v, want ErrOversized", d.Err())
 	}
 }
