@@ -51,34 +51,52 @@ type Call struct {
 }
 
 // kinds maps a spec kind to its Go type and encode/decode expressions.
+// DecShared, when set, is an allocation-free decode whose result aliases
+// the decoder's buffer/scratch (valid until the decoder resets); the server
+// dispatch path prefers it, since the dispatch decoder outlives the backend
+// call. At most one field per shared kind may appear in a message — the
+// scratch is per-decoder, so a second use would clobber the first
+// (validate enforces this).
 var kinds = map[string]struct {
-	GoType string
-	Enc    string // method on wire.Encoder; %s is the value
-	Dec    string // expression on wire.Decoder
+	GoType    string
+	Enc       string // method on wire.Encoder; %s is the value
+	Dec       string // expression on wire.Decoder
+	DecShared string // alloc-free variant aliasing the decoder, if any
 }{
-	"bool":    {"bool", "e.Bool(%s)", "d.Bool()"},
-	"byte":    {"byte", "e.U8(%s)", "d.U8()"},
-	"int":     {"int", "e.Int(%s)", "d.Int()"},
-	"i64":     {"int64", "e.I64(%s)", "d.I64()"},
-	"u64":     {"uint64", "e.U64(%s)", "d.U64()"},
-	"u64s":    {"[]uint64", "e.U64s(%s)", "d.U64s()"},
-	"dur":     {"time.Duration", "e.Dur(%s)", "d.Dur()"},
-	"str":     {"string", "e.Str(%s)", "d.Str()"},
-	"strs":    {"[]string", "e.Strs(%s)", "d.Strs()"},
-	"vec3":    {"[3]int", "e.Vec3(%s)", "d.Vec3()"},
-	"hostbuf": {"gpu.HostBuffer", "e.HostBuf(%s)", "d.HostBuf()"},
-	"prop":    {"cuda.DeviceProp", "e.Prop(%s)", "d.Prop()"},
-	"attrs":   {"cuda.PtrAttributes", "e.Attrs(%s)", "d.Attrs()"},
-	"launch":  {"cuda.LaunchParams", "e.Launch(%s)", "d.Launch()"},
-	"devptr":  {"cuda.DevPtr", "e.U64(uint64(%s))", "cuda.DevPtr(d.U64())"},
-	"devptrs": {"[]cuda.DevPtr", "e.DevPtrs(%s)", "d.DevPtrs()"},
-	"fnptr":   {"cuda.FnPtr", "e.U64(uint64(%s))", "cuda.FnPtr(d.U64())"},
-	"fnptrs":  {"[]cuda.FnPtr", "e.FnPtrs(%s)", "d.FnPtrs()"},
-	"stream":  {"cuda.StreamHandle", "e.U64(uint64(%s))", "cuda.StreamHandle(d.U64())"},
-	"event":   {"cuda.EventHandle", "e.U64(uint64(%s))", "cuda.EventHandle(d.U64())"},
-	"dnn":     {"cudalibs.DNNHandle", "e.U64(uint64(%s))", "cudalibs.DNNHandle(d.U64())"},
-	"blas":    {"cudalibs.BLASHandle", "e.U64(uint64(%s))", "cudalibs.BLASHandle(d.U64())"},
-	"desc":    {"cudalibs.Descriptor", "e.U64(uint64(%s))", "cudalibs.Descriptor(d.U64())"},
+	"bool":    {GoType: "bool", Enc: "e.Bool(%s)", Dec: "d.Bool()"},
+	"byte":    {GoType: "byte", Enc: "e.U8(%s)", Dec: "d.U8()"},
+	"int":     {GoType: "int", Enc: "e.Int(%s)", Dec: "d.Int()"},
+	"i64":     {GoType: "int64", Enc: "e.I64(%s)", Dec: "d.I64()"},
+	"u64":     {GoType: "uint64", Enc: "e.U64(%s)", Dec: "d.U64()"},
+	"u64s":    {GoType: "[]uint64", Enc: "e.U64s(%s)", Dec: "d.U64s()"},
+	"dur":     {GoType: "time.Duration", Enc: "e.Dur(%s)", Dec: "d.Dur()"},
+	"str":     {GoType: "string", Enc: "e.Str(%s)", Dec: "d.Str()"},
+	"strs":    {GoType: "[]string", Enc: "e.Strs(%s)", Dec: "d.Strs()", DecShared: "d.StrsShared()"},
+	"vec3":    {GoType: "[3]int", Enc: "e.Vec3(%s)", Dec: "d.Vec3()"},
+	"hostbuf": {GoType: "gpu.HostBuffer", Enc: "e.HostBuf(%s)", Dec: "d.HostBuf()"},
+	"prop":    {GoType: "cuda.DeviceProp", Enc: "e.Prop(%s)", Dec: "d.Prop()"},
+	"attrs":   {GoType: "cuda.PtrAttributes", Enc: "e.Attrs(%s)", Dec: "d.Attrs()"},
+	"launch":  {GoType: "cuda.LaunchParams", Enc: "e.Launch(%s)", Dec: "d.Launch()", DecShared: "d.LaunchShared()"},
+	"devptr":  {GoType: "cuda.DevPtr", Enc: "e.U64(uint64(%s))", Dec: "cuda.DevPtr(d.U64())"},
+	"devptrs": {GoType: "[]cuda.DevPtr", Enc: "e.DevPtrs(%s)", Dec: "d.DevPtrs()"},
+	"fnptr":   {GoType: "cuda.FnPtr", Enc: "e.U64(uint64(%s))", Dec: "cuda.FnPtr(d.U64())"},
+	"fnptrs":  {GoType: "[]cuda.FnPtr", Enc: "e.FnPtrs(%s)", Dec: "d.FnPtrs()"},
+	"stream":  {GoType: "cuda.StreamHandle", Enc: "e.U64(uint64(%s))", Dec: "cuda.StreamHandle(d.U64())"},
+	"event":   {GoType: "cuda.EventHandle", Enc: "e.U64(uint64(%s))", Dec: "cuda.EventHandle(d.U64())"},
+	"dnn":     {GoType: "cudalibs.DNNHandle", Enc: "e.U64(uint64(%s))", Dec: "cudalibs.DNNHandle(d.U64())"},
+	"blas":    {GoType: "cudalibs.BLASHandle", Enc: "e.U64(uint64(%s))", Dec: "cudalibs.BLASHandle(d.U64())"},
+	"desc":    {GoType: "cudalibs.Descriptor", Enc: "e.U64(uint64(%s))", Dec: "cudalibs.Descriptor(d.U64())"},
+}
+
+// hasShared reports whether any field of a message decodes through a
+// shared (decoder-aliasing) variant.
+func hasShared(fields []Field) bool {
+	for _, f := range fields {
+		if kinds[f.Kind].DecShared != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // spec is the remoted API surface: the CUDA runtime calls DGSF interposes,
@@ -212,6 +230,7 @@ func results(c Call) string {
 func main() {
 	out := flag.String("out", "internal/remoting/gen/gen.go", "output file")
 	table := flag.String("table", "internal/remoting/gen/calltable.go", "call-classification table output file")
+	storeOut := flag.String("storeout", "internal/store/storegen/storegen.go", "store protocol stubs output file")
 	flag.Parse()
 	calls := buildSpec()
 	if err := validate(calls); err != nil {
@@ -230,6 +249,17 @@ func main() {
 		log.Fatalf("gen table: %v", err)
 	}
 	if err := os.WriteFile(*table, tsrc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	storeCalls := buildStoreSpec()
+	if err := validateStore(storeCalls); err != nil {
+		log.Fatal(err)
+	}
+	ssrc, err := genStoreAPI(storeCalls)
+	if err != nil {
+		log.Fatalf("gen store: %v", err)
+	}
+	if err := os.WriteFile(*storeOut, ssrc, 0o644); err != nil {
 		log.Fatal(err)
 	}
 
@@ -251,6 +281,7 @@ func main() {
 		fmt.Printf("%d %s", classes[k], k)
 	}
 	fmt.Printf(") -> %s, %s\n", *out, *table)
+	fmt.Printf("apigen: %d store calls -> %s\n", len(storeCalls), *storeOut)
 }
 
 // validate enforces spec-level invariants before any code is generated.
@@ -275,6 +306,18 @@ func validate(calls []Call) error {
 			}
 			if c.Class == "local" {
 				return fmt.Errorf("call %s: Async but classed local", c.Name)
+			}
+		}
+		// Shared decoding reuses per-decoder scratch, so a second field of
+		// the same shared kind in one message would clobber the first.
+		perKind := map[string]int{}
+		for _, f := range c.Req {
+			if kinds[f.Kind].DecShared == "" {
+				continue
+			}
+			perKind[f.Kind]++
+			if perKind[f.Kind] > 1 {
+				return fmt.Errorf("call %s: two %q request fields cannot share one decoder's scratch", c.Name, f.Kind)
 			}
 		}
 	}
@@ -529,6 +572,22 @@ func emitCall(p func(string, ...any), c Call) {
 	}
 	p("}")
 	p("")
+	if hasShared(c.Req) {
+		p("// DecodeShared deserializes the request without copying: decoded")
+		p("// slices alias d and are valid only until d resets. Dispatch uses it")
+		p("// (its decoder outlives the backend call); backends must clone any")
+		p("// shared field they retain.")
+		p("func (m *%sReq) DecodeShared(d *wire.Decoder) {", c.Name)
+		for _, f := range c.Req {
+			dec := kinds[f.Kind].Dec
+			if s := kinds[f.Kind].DecShared; s != "" {
+				dec = s
+			}
+			p("\tm.%s = %s", f.Name, dec)
+		}
+		p("}")
+		p("")
+	}
 
 	// Response struct.
 	p("// %sResp is the response message of %s.", c.Name, c.Name)
@@ -624,7 +683,11 @@ func emitCall(p func(string, ...any), c Call) {
 func emitDispatchCase(p func(string, ...any), c Call) {
 	p("\tcase Call%s:", c.Name)
 	p("\t\tvar req %sReq", c.Name)
-	p("\t\treq.Decode(dec)")
+	if hasShared(c.Req) {
+		p("\t\treq.DecodeShared(dec)")
+	} else {
+		p("\t\treq.Decode(dec)")
+	}
 	p("\t\tif dec.Err() != nil {")
 	p("\t\t\treturn errResp(cuda.ErrInvalidValue), 0")
 	p("\t\t}")

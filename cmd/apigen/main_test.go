@@ -39,6 +39,26 @@ func TestGeneratedFilesInSync(t *testing.T) {
 	}
 }
 
+// TestStoreGeneratedFileInSync does the same for the store API stubs.
+func TestStoreGeneratedFileInSync(t *testing.T) {
+	calls := buildStoreSpec()
+	if err := validateStore(calls); err != nil {
+		t.Fatal(err)
+	}
+	want, err := genStoreAPI(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.FromSlash("../../internal/store/storegen/storegen.go")
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s is stale; rerun: go run ./cmd/apigen", path)
+	}
+}
+
 // classificationText renders the call-classification sets in a stable
 // textual form for the golden comparison.
 func classificationText(calls []Call) string {

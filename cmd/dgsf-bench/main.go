@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults)")
+	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults, fleet)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.Int("runs", 3, "runs to average for table2/table5")
 	csvDir := flag.String("csv", "", "directory to write figure time-series as CSV (fig7, fig8)")
@@ -64,11 +64,12 @@ func main() {
 	run("scale", func() { scale(*seed) })
 	run("cache", func() { cache(*seed) })
 	run("faults", func() { faultsExp(*seed) })
+	run("fleet", func() { fleetExp(*seed) })
 
 	if *exp != "all" {
 		switch *exp {
 		case "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6", "fig7", "table5", "fig8",
-			"sched", "sweep", "rtt", "scale", "cache", "faults":
+			"sched", "sweep", "rtt", "scale", "cache", "faults", "fleet":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -336,6 +337,30 @@ func cache(seed int64) {
 			"", st.Pins, st.DeviceEvictions, st.SwapOutBytes>>20, r.DownloadHits, r.Invocations)
 	}
 	fmt.Println("  (locality placement routes repeats to servers already holding their model)")
+}
+
+func fleetExp(seed int64) {
+	header("Extension: fleet control plane (watched store + reconcilers, 120 GPU servers)")
+	r := experiments.RunFleet(seed, 120, 240)
+	fmt.Printf("servers=%d invocations=%d done=%d failed=%d lost=%d retried=%d\n",
+		r.Servers, r.Invocations, r.Done, r.Failed, r.Lost, r.Retried)
+	fmt.Printf("controller-restarts=%d gpu-server-failures=%d staged-bytes=%dMB provider-e2e=%s\n",
+		r.CtrlRestarts, r.FailedGS, r.StagedBytes>>20, s(r.ProviderE2E))
+	fmt.Println("store/controller counters:")
+	fmt.Print(indent(r.MetricsTable, "  "))
+	fmt.Println("  (lost=0 is the acceptance bar: every session converges to Done across")
+	fmt.Println("   machine failures and a placement-controller kill mid-reconcile)")
+}
+
+// indent prefixes every line of s.
+func indent(text, prefix string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		b.WriteString(prefix)
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 func faultsExp(seed int64) {

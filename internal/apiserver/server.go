@@ -21,6 +21,7 @@ package apiserver
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"dgsf/internal/cuda"
@@ -723,6 +724,10 @@ func (s *Server) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, err
 	}
 	out := make([]cuda.FnPtr, 0, len(names))
 	for _, name := range names {
+		// Dispatch decodes the name slice in shared mode: the strings alias
+		// the request buffer and die with it, so anything kept in session
+		// state must own its bytes.
+		name = strings.Clone(name)
 		if _, err := ctx.RegisterFunction(p, name); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,314 @@
+// Package controller is the reconciler runtime of the fleet control plane.
+//
+// A Controller owns a deduplicating work queue of object keys, fed from two
+// sources: store watch streams (edge triggers) and a periodic full relist
+// (the level trigger that makes missed edges harmless). A single reconcile
+// loop pops keys and hands them to the Reconciler, which reads the current
+// state from the store and drives it toward the desired state. Reconcilers
+// must be idempotent: the same key may be delivered many times, and after a
+// crash the resync replays every key.
+//
+// Error handling is uniform: a reconcile error requeues the key with
+// exponential backoff (conflicts are ordinary errors — the next attempt
+// re-reads and retries against fresh state), and store.ErrHalted is fatal —
+// it means this replica's store handle is dead (crash injection or a severed
+// connection), so the controller parks itself and waits to be restarted by
+// its supervisor.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgsf/internal/metrics"
+	"dgsf/internal/sim"
+	"dgsf/internal/store"
+)
+
+// Key identifies one object to reconcile.
+type Key struct {
+	Kind store.Kind
+	Name string
+}
+
+// Reconciler drives the object named by key toward its desired state. A nil
+// error means done (until the next edge); any other error requeues the key
+// with backoff. Returning an error wrapping store.ErrHalted stops the
+// controller.
+type Reconciler interface {
+	Reconcile(p *sim.Proc, key Key) error
+}
+
+// Func adapts a plain function to the Reconciler interface.
+type Func func(p *sim.Proc, key Key) error
+
+// Reconcile implements Reconciler.
+func (f Func) Reconcile(p *sim.Proc, key Key) error { return f(p, key) }
+
+// Options configures a Controller.
+type Options struct {
+	// Name labels metrics and spawned processes.
+	Name string
+	// Store is the handle reconcile reads and writes go through. Wrap it in
+	// a store.Fuse to crash the controller at a chosen write.
+	Store store.Interface
+	// Kinds lists the keyspaces whose events feed the work queue.
+	Kinds []store.Kind
+	// Resync is the period of the level-triggered full relist; 0 disables it.
+	Resync time.Duration
+	// BaseBackoff and MaxBackoff bound the per-key retry delay. Zero values
+	// take the defaults (1ms, 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Registry receives the controller's counters; nil means a private one.
+	Registry *metrics.Registry
+}
+
+// Controller runs one reconcile loop over a watched keyspace.
+type Controller struct {
+	name     string
+	st       store.Interface
+	kinds    []store.Kind
+	resync   time.Duration
+	baseBO   time.Duration
+	maxBO    time.Duration
+	rec      Reconciler
+	queue    *workqueue
+	failures map[Key]int
+
+	halted  bool
+	stopped bool
+	watches []*store.Watch
+
+	reconciles *metrics.Counter
+	requeues   *metrics.Counter
+	resyncs    *metrics.Counter
+}
+
+// New builds a controller; call Run from a simulated process to start it.
+func New(opts Options, rec Reconciler) *Controller {
+	if opts.Name == "" {
+		opts.Name = "controller"
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 250 * time.Millisecond
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Controller{
+		name:       opts.Name,
+		st:         opts.Store,
+		kinds:      opts.Kinds,
+		resync:     opts.Resync,
+		baseBO:     opts.BaseBackoff,
+		maxBO:      opts.MaxBackoff,
+		rec:        rec,
+		failures:   make(map[Key]int),
+		reconciles: reg.Counter(fmt.Sprintf("ctrl_%s_reconciles_total", opts.Name)),
+		requeues:   reg.Counter(fmt.Sprintf("ctrl_%s_requeues_total", opts.Name)),
+		resyncs:    reg.Counter(fmt.Sprintf("ctrl_%s_resyncs_total", opts.Name)),
+	}
+}
+
+// Enqueue adds a key to the work queue (deduplicated). Use it to seed work
+// that has no watch edge, e.g. from a data-plane event.
+func (c *Controller) Enqueue(key Key) {
+	if c.queue != nil {
+		c.queue.Add(key)
+	}
+}
+
+// Halted reports whether the controller stopped because its store handle
+// returned ErrHalted — the signal for a supervisor to start a replacement.
+func (c *Controller) Halted() bool { return c.halted }
+
+// Stop ends the reconcile loop and its watch pumps. Idempotent.
+func (c *Controller) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, w := range c.watches {
+		w.Stop()
+	}
+	if c.queue != nil {
+		c.queue.Close()
+	}
+}
+
+// Run starts the watch pumps and resync ticker, seeds the queue with a full
+// relist, and loops reconciling until Stop or a halt. It blocks for the
+// controller's lifetime; spawn it if the caller has other work.
+func (c *Controller) Run(p *sim.Proc) {
+	c.queue = newWorkqueue(p.Engine())
+
+	// List-then-watch per kind: the initial relist makes the controller
+	// converge from any starting state, and watching from the relist's RV
+	// avoids replaying the very edges the relist already covered.
+	for _, kind := range c.kinds {
+		rs, rv, err := c.st.List(p, kind)
+		if err != nil {
+			c.halted = c.halted || store.IsHalted(err)
+			c.finish()
+			return
+		}
+		for _, r := range rs {
+			c.queue.Add(Key{Kind: kind, Name: r.Meta().Name})
+		}
+		w, err := c.st.Watch(p, kind, rv)
+		if err != nil {
+			// ErrHalted before we even started: park immediately.
+			c.halted = c.halted || store.IsHalted(err)
+			c.finish()
+			return
+		}
+		c.watches = append(c.watches, w)
+		kind := kind
+		p.SpawnDaemon(fmt.Sprintf("%s-watch-%s", c.name, kind), func(p *sim.Proc) {
+			for {
+				ev, ok := w.Events.Recv(p)
+				if !ok {
+					return
+				}
+				c.queue.Add(Key{Kind: kind, Name: ev.Object.Meta().Name})
+			}
+		})
+	}
+
+	if c.resync > 0 {
+		p.SpawnDaemon(c.name+"-resync", func(p *sim.Proc) {
+			for !c.stopped {
+				p.Sleep(c.resync)
+				if c.stopped {
+					return
+				}
+				c.resyncs.Inc()
+				if !c.relist(p) {
+					return
+				}
+			}
+		})
+	}
+
+	for {
+		key, ok := c.queue.Get(p)
+		if !ok || c.stopped {
+			c.finish()
+			return
+		}
+		c.reconciles.Inc()
+		err := c.rec.Reconcile(p, key)
+		switch {
+		case err == nil:
+			delete(c.failures, key)
+		case errors.Is(err, store.ErrHalted):
+			c.halted = true
+			c.finish()
+			return
+		default:
+			c.failures[key]++
+			c.requeues.Inc()
+			d := c.backoff(c.failures[key])
+			p.Spawn(c.name+"-requeue", func(p *sim.Proc) {
+				p.Sleep(d)
+				if !c.stopped {
+					c.queue.Add(key)
+				}
+			})
+		}
+	}
+}
+
+// relist enqueues every current object of every watched kind. It reports
+// false when the store handle is dead, which also marks the controller
+// halted and stops it.
+func (c *Controller) relist(p *sim.Proc) bool {
+	for _, kind := range c.kinds {
+		rs, _, err := c.st.List(p, kind)
+		if err != nil {
+			if store.IsHalted(err) {
+				c.halted = true
+				c.Stop()
+			}
+			return false
+		}
+		for _, r := range rs {
+			c.queue.Add(Key{Kind: kind, Name: r.Meta().Name})
+		}
+	}
+	return true
+}
+
+// backoff returns the delay before the n-th consecutive retry of a key.
+func (c *Controller) backoff(n int) time.Duration {
+	d := c.baseBO
+	for i := 1; i < n && d < c.maxBO; i++ {
+		d *= 2
+	}
+	if d > c.maxBO {
+		d = c.maxBO
+	}
+	return d
+}
+
+// finish tears down watches and the queue when the loop exits for any reason.
+func (c *Controller) finish() {
+	c.Stop()
+}
+
+// workqueue is a deduplicating FIFO of keys. A key already waiting is not
+// added again; a key being reconciled right now can be re-added (it is no
+// longer "in" the queue), which is what coalesces event storms into at most
+// one pending reconcile per object.
+type workqueue struct {
+	items   []Key
+	present map[Key]bool
+	cond    *sim.Cond
+	closed  bool
+}
+
+func newWorkqueue(e *sim.Engine) *workqueue {
+	return &workqueue{present: make(map[Key]bool), cond: sim.NewCond(e)}
+}
+
+// Add enqueues key unless it is already pending or the queue is closed.
+func (q *workqueue) Add(key Key) {
+	if q.closed || q.present[key] {
+		return
+	}
+	q.present[key] = true
+	q.items = append(q.items, key)
+	q.cond.Signal()
+}
+
+// Get blocks until a key is available or the queue closes.
+func (q *workqueue) Get(p *sim.Proc) (Key, bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait(p)
+	}
+	if len(q.items) == 0 {
+		return Key{}, false
+	}
+	key := q.items[0]
+	q.items = q.items[1:]
+	delete(q.present, key)
+	return key, true
+}
+
+// Len reports the number of pending keys.
+func (q *workqueue) Len() int { return len(q.items) }
+
+// Close wakes all waiters; pending keys are still drained by Get.
+func (q *workqueue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,241 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dgsf/internal/metrics"
+	"dgsf/internal/sim"
+	"dgsf/internal/store"
+)
+
+func newSession(name string) *store.Session {
+	s := &store.Session{}
+	s.ObjectMeta.Name = name
+	s.Spec.FnID = "fn"
+	return s
+}
+
+// TestReconcilesOnWatchEdges checks that creates flow through the watch pump
+// into reconcile calls, and that the controller sees pre-existing objects via
+// the initial relist.
+func TestReconcilesOnWatchEdges(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.SetTimeLimit(time.Minute)
+	st := store.New(e, nil)
+	seen := map[string]int{}
+	var ctrl *Controller
+	ctrl = New(Options{
+		Name:  "test",
+		Store: st,
+		Kinds: []store.Kind{store.KindSession},
+	}, Func(func(p *sim.Proc, key Key) error {
+		seen[key.Name]++
+		if len(seen) == 3 && seen["pre"] > 0 && seen["a"] > 0 && seen["b"] > 0 {
+			ctrl.Stop()
+		}
+		return nil
+	}))
+	e.Run("test", func(p *sim.Proc) {
+		if _, err := st.Create(p, newSession("pre")); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		p.Spawn("writer", func(p *sim.Proc) {
+			p.Sleep(time.Millisecond)
+			if _, err := st.Create(p, newSession("a")); err != nil {
+				t.Errorf("Create a: %v", err)
+			}
+			if _, err := st.Create(p, newSession("b")); err != nil {
+				t.Errorf("Create b: %v", err)
+			}
+		})
+		ctrl.Run(p)
+	})
+	for _, name := range []string{"pre", "a", "b"} {
+		if seen[name] == 0 {
+			t.Errorf("key %q never reconciled: %v", name, seen)
+		}
+	}
+}
+
+// TestRequeueWithBackoffOnError checks that a failing key is retried with
+// increasing delay until it succeeds, and that the requeue counter advances.
+func TestRequeueWithBackoffOnError(t *testing.T) {
+	e := sim.NewEngine(2)
+	e.SetTimeLimit(time.Minute)
+	st := store.New(e, nil)
+	reg := metrics.NewRegistry()
+	var attempts int
+	var times []time.Duration
+	var ctrl *Controller
+	ctrl = New(Options{
+		Name:        "retry",
+		Store:       st,
+		Kinds:       []store.Kind{store.KindSession},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Registry:    reg,
+	}, Func(func(p *sim.Proc, key Key) error {
+		attempts++
+		times = append(times, p.Now())
+		if attempts < 4 {
+			return fmt.Errorf("transient failure %d", attempts)
+		}
+		ctrl.Stop()
+		return nil
+	}))
+	e.Run("test", func(p *sim.Proc) {
+		if _, err := st.Create(p, newSession("s")); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		ctrl.Run(p)
+	})
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	// Delays double: 1ms, 2ms, 4ms between consecutive attempts.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d != want[i-1] {
+			t.Errorf("gap %d = %v, want %v", i, d, want[i-1])
+		}
+	}
+	if got := reg.Get("ctrl_retry_requeues_total"); got != 3 {
+		t.Errorf("requeues counter = %d, want 3", got)
+	}
+	if got := reg.Get("ctrl_retry_reconciles_total"); got != 4 {
+		t.Errorf("reconciles counter = %d, want 4", got)
+	}
+}
+
+// TestResyncRedeliversAllKeys checks the level trigger: with no edges at all
+// after startup, every object is still re-reconciled each resync period.
+func TestResyncRedeliversAllKeys(t *testing.T) {
+	e := sim.NewEngine(3)
+	e.SetTimeLimit(time.Minute)
+	st := store.New(e, nil)
+	seen := map[string]int{}
+	var ctrl *Controller
+	ctrl = New(Options{
+		Name:   "resync",
+		Store:  st,
+		Kinds:  []store.Kind{store.KindSession},
+		Resync: 5 * time.Millisecond,
+	}, Func(func(p *sim.Proc, key Key) error {
+		seen[key.Name]++
+		if seen["x"] >= 3 && seen["y"] >= 3 {
+			ctrl.Stop()
+		}
+		return nil
+	}))
+	e.Run("test", func(p *sim.Proc) {
+		for _, n := range []string{"x", "y"} {
+			if _, err := st.Create(p, newSession(n)); err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+		}
+		ctrl.Run(p)
+	})
+	if seen["x"] < 3 || seen["y"] < 3 {
+		t.Fatalf("resync did not redeliver: %v", seen)
+	}
+}
+
+// TestQueueCoalescesEventStorms checks the dedup property: many edges for a
+// key already pending collapse into one reconcile.
+func TestQueueCoalescesEventStorms(t *testing.T) {
+	e := sim.NewEngine(4)
+	q := newWorkqueue(e)
+	for i := 0; i < 100; i++ {
+		q.Add(Key{Kind: store.KindSession, Name: "same"})
+	}
+	q.Add(Key{Kind: store.KindSession, Name: "other"})
+	if q.Len() != 2 {
+		t.Fatalf("queue length = %d, want 2", q.Len())
+	}
+	e.Run("test", func(p *sim.Proc) {
+		k1, ok1 := q.Get(p)
+		k2, ok2 := q.Get(p)
+		if !ok1 || !ok2 || k1.Name != "same" || k2.Name != "other" {
+			t.Errorf("drain order wrong: %v %v %v %v", k1, ok1, k2, ok2)
+		}
+		// Once popped, the key may be re-added (it is no longer pending).
+		q.Add(k1)
+		if q.Len() != 1 {
+			t.Errorf("re-add after pop failed, len=%d", q.Len())
+		}
+	})
+}
+
+// TestHaltsWhenStoreFuseBlows checks the crash path: the store handle dies
+// mid-reconcile (fuse blows between two writes) and the controller parks
+// itself with Halted() true instead of spinning on a dead handle.
+func TestHaltsWhenStoreFuseBlows(t *testing.T) {
+	e := sim.NewEngine(7)
+	e.SetTimeLimit(time.Minute)
+	st := store.New(e, nil)
+	fuse := store.NewFuse(st)
+	var ctrl *Controller
+	ctrl = New(Options{
+		Name:  "crash",
+		Store: fuse,
+		Kinds: []store.Kind{store.KindSession},
+	}, Func(func(p *sim.Proc, key Key) error {
+		cur, err := fuse.Get(p, key.Kind, key.Name)
+		if err != nil {
+			return err
+		}
+		up := cur.DeepCopy().(*store.Session)
+		up.Status.Phase = store.PhasePlaced
+		if _, err := fuse.UpdateStatus(p, up); err != nil {
+			return err
+		}
+		// Second write of the same reconcile: the fuse blows here.
+		up2 := cur.DeepCopy().(*store.Session)
+		up2.Status.Phase = store.PhaseRunning
+		if _, err := fuse.UpdateStatus(p, up2); err != nil {
+			return err
+		}
+		return nil
+	}))
+	var phase string
+	var restartedSaw bool
+	e.Run("test", func(p *sim.Proc) {
+		if _, err := st.Create(p, newSession("victim")); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		fuse.Arm(1) // one write allowed, the second blows
+		ctrl.Run(p)
+
+		// The store itself survived the crash with the first write applied:
+		// a replacement controller with a fresh handle resumes from exactly
+		// this intermediate state.
+		r, err := st.Get(p, store.KindSession, "victim")
+		if err != nil {
+			t.Fatalf("Get after crash: %v", err)
+		}
+		phase = r.(*store.Session).Status.Phase
+
+		var ctrl2 *Controller
+		ctrl2 = New(Options{
+			Name:  "crash2",
+			Store: st, // fresh, unblown handle
+			Kinds: []store.Kind{store.KindSession},
+		}, Func(func(p *sim.Proc, key Key) error {
+			restartedSaw = true
+			ctrl2.Stop()
+			return nil
+		}))
+		ctrl2.Run(p)
+	})
+	if !ctrl.Halted() {
+		t.Fatal("controller did not halt on blown fuse")
+	}
+	if phase != store.PhasePlaced {
+		t.Fatalf("stored phase = %v, want Placed (first write only)", phase)
+	}
+	if !restartedSaw {
+		t.Fatal("restarted controller never saw the orphaned key")
+	}
+}

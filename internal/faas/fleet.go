@@ -1,0 +1,579 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dgsf/internal/controller"
+	"dgsf/internal/gpuserver"
+	"dgsf/internal/guest"
+	"dgsf/internal/metrics"
+	"dgsf/internal/modelcache"
+	"dgsf/internal/objstore"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+	"dgsf/internal/store"
+)
+
+// ErrNoPlacement reports that a session exhausted its placement attempts.
+var ErrNoPlacement = errors.New("faas: session exhausted its placement attempts")
+
+// FleetConfig parameterizes the fleet backend.
+type FleetConfig struct {
+	Env Env
+	// MaxAttempts bounds run attempts per session before it fails
+	// terminally; 0 means 5.
+	MaxAttempts int
+	// RetryBackoff is the pause before a failed attempt hands the session
+	// back to Pending, so the attempt budget outlives the window in which
+	// the store still advertises a just-dead machine as healthy; 0 means
+	// 100ms.
+	RetryBackoff time.Duration
+	// Registry receives the fleet's counters; nil means a private one.
+	Registry *metrics.Registry
+}
+
+// FleetBackend is the cluster-scale serverless backend: where Backend holds
+// direct pointers into every GPU server's monitor, FleetBackend routes all
+// cross-component state through the cluster store. Submit records a Session
+// object; the placement controller (a watch-driven reconciler) binds Pending
+// sessions to healthy GPU servers using only stored state; the executor
+// observes its session turning Placed and then drives the data plane —
+// download, lease, guest calls — against the chosen machine. Machine health
+// and occupancy arrive via the GPU servers' agents, never by calling into
+// the monitor.
+type FleetBackend struct {
+	e   *sim.Engine
+	st  store.Interface
+	env Env
+	cfg FleetConfig
+
+	// Data-plane handles: leases and guest connections still need the real
+	// machine. Placement decisions never read these.
+	servers map[string]*gpuserver.GPUServer
+
+	nextSeq     int
+	invocations []*Invocation
+	inflight    *sim.WaitGroup
+	history     map[string]time.Duration
+	objects     *objstore.Store
+	waiters     map[string]*sim.Queue[*store.Session]
+
+	sessionsDone   *metrics.Counter
+	sessionsFailed *metrics.Counter
+	runRetries     *metrics.Counter
+
+	// DialHook, when set, wraps every guest transport at dial time (fault
+	// injection interposes here, as with Backend).
+	DialHook func(p *sim.Proc, conn remoting.AsyncCaller) remoting.AsyncCaller
+}
+
+// NewFleet returns a fleet backend over the given store handle.
+func NewFleet(e *sim.Engine, st store.Interface, cfg FleetConfig) *FleetBackend {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &FleetBackend{
+		e:              e,
+		st:             st,
+		env:            cfg.Env,
+		cfg:            cfg,
+		servers:        make(map[string]*gpuserver.GPUServer),
+		inflight:       sim.NewWaitGroup(e),
+		history:        make(map[string]time.Duration),
+		objects:        objstore.New(),
+		waiters:        make(map[string]*sim.Queue[*store.Session]),
+		sessionsDone:   reg.Counter("fleet_sessions_done"),
+		sessionsFailed: reg.Counter("fleet_sessions_failed"),
+		runRetries:     reg.Counter("fleet_run_retries"),
+	}
+}
+
+// AddServer registers a machine's data-plane handle under the name its agent
+// publishes to the store.
+func (b *FleetBackend) AddServer(name string, gs *gpuserver.GPUServer) {
+	b.servers[name] = gs
+}
+
+// Run starts the session-event router: one watch over the Session keyspace
+// whose events fan out to the per-session executor queues. Call it once
+// before the first Submit.
+func (b *FleetBackend) Run(p *sim.Proc) error {
+	w, err := b.st.Watch(p, store.KindSession, 0)
+	if err != nil {
+		return err
+	}
+	p.SpawnDaemon("fleet-session-router", func(p *sim.Proc) {
+		for {
+			ev, ok := w.Events.Recv(p)
+			if !ok {
+				return
+			}
+			sess, ok := ev.Object.(*store.Session)
+			if !ok {
+				continue
+			}
+			if q, ok := b.waiters[sess.Meta().Name]; ok {
+				q.TrySend(sess)
+			}
+		}
+	})
+	return nil
+}
+
+// Submit records a Session in the store and launches its executor. The
+// placement controller — possibly in another failure domain — picks the
+// machine; the executor runs the data plane once placed.
+func (b *FleetBackend) Submit(p *sim.Proc, fn *Function) *Invocation {
+	b.nextSeq++
+	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now()}
+	b.invocations = append(b.invocations, inv)
+	name := fmt.Sprintf("%s-%d", fn.Name, inv.Seq)
+	b.waiters[name] = sim.NewQueue[*store.Session](b.e)
+	b.inflight.Add(1)
+	p.Spawn(fmt.Sprintf("fleet-%s", name), func(p *sim.Proc) {
+		defer b.inflight.Done()
+		defer delete(b.waiters, name)
+		b.executeSession(p, inv, name)
+	})
+	return inv
+}
+
+// executeSession drives one invocation through the control plane: create
+// Pending, wait for Placed, run the data plane, mark Done — or hand the
+// session back to Pending on a failed attempt until the attempt budget runs
+// out.
+func (b *FleetBackend) executeSession(p *sim.Proc, inv *Invocation, name string) {
+	fn := inv.Fn
+	sess := &store.Session{}
+	sess.ObjectMeta.Name = name
+	sess.Spec.FnID = fn.Name
+	sess.Spec.MemBytes = fn.GPUMem
+	if fn.ModelDLBytes > 0 {
+		sess.Spec.ModelObject = fn.Name + "/model"
+		b.objects.Put(sess.Spec.ModelObject, fn.ModelDLBytes)
+	}
+	if _, err := b.st.Create(p, sess); err != nil {
+		inv.Err = err
+		inv.Done = p.Now()
+		b.sessionsFailed.Inc()
+		return
+	}
+
+	downloaded := false
+	q := b.waiters[name]
+	for {
+		cur, ok := q.Recv(p)
+		if !ok {
+			inv.Err = fmt.Errorf("%w: session router stopped", ErrNoPlacement)
+			break
+		}
+		switch cur.Status.Phase {
+		case store.PhaseFailed:
+			inv.Err = fmt.Errorf("%w: %s", ErrNoPlacement, cur.Status.Reason)
+		case store.PhasePlaced:
+			gs, ok := b.servers[cur.Status.Server]
+			if !ok {
+				b.endAttempt(p, name, fmt.Sprintf("unknown server %q", cur.Status.Server))
+				continue
+			}
+			if !downloaded {
+				b.download(p, inv, gs)
+				downloaded = true
+			}
+			err := b.runOnce(p, inv, cur, gs)
+			if err != nil {
+				b.runRetries.Inc()
+				p.Sleep(b.cfg.RetryBackoff)
+				b.endAttempt(p, name, err.Error())
+				continue
+			}
+			b.finishSession(p, name)
+			inv.Done = p.Now()
+			b.sessionsDone.Inc()
+			b.recordExec(fn.Name, inv.Done-inv.Granted)
+			return
+		default:
+			continue
+		}
+		break
+	}
+	inv.Done = p.Now()
+	b.sessionsFailed.Inc()
+	b.finalizeFailed(p, name)
+}
+
+// download charges the object-store fetch, serving the model portion from
+// the placed machine's host cache when one exists.
+func (b *FleetBackend) download(p *sim.Proc, inv *Invocation, gs *gpuserver.GPUServer) {
+	fn := inv.Fn
+	var host *modelcache.LRU
+	if c := gs.Cache(); c != nil {
+		host = c.Host()
+	}
+	if fn.ModelDLBytes > 0 && fn.ModelDLBytes <= fn.DownloadBytes && host != nil {
+		_, hit, err := b.objects.DownloadCached(p, b.env.Download, fn.Name+"/model", host)
+		if err == nil {
+			inv.ModelCached = hit
+		}
+		if rest := fn.DownloadBytes - fn.ModelDLBytes; rest > 0 {
+			p.Sleep(b.env.Download.TransferTime(p, rest))
+		}
+	} else if fn.DownloadBytes > 0 {
+		p.Sleep(b.env.Download.TransferTime(p, fn.DownloadBytes))
+	}
+	inv.DownloadDone = p.Now()
+}
+
+// runOnce performs one placed attempt: lease, attach, run, release.
+func (b *FleetBackend) runOnce(p *sim.Proc, inv *Invocation, sess *store.Session, gs *gpuserver.GPUServer) error {
+	fn := inv.Fn
+	lease, err := gs.AcquireHint(p, fn.Name, fn.GPUMem, b.history[fn.Name])
+	if err != nil {
+		return err
+	}
+	inv.Granted = p.Now()
+	inv.QueueDelay = lease.QueueDelay
+
+	up := sess.DeepCopy().(*store.Session)
+	up.Status.Phase = store.PhaseRunning
+	// Async lane: purely observability; a dropped conflict is harmless.
+	_ = b.st.UpdateStatusAsync(p, up)
+
+	conn := remoting.Dial(b.e, lease.Listener(), b.env.Net)
+	if b.DialHook != nil {
+		conn = b.DialHook(p, conn)
+	}
+	lib := guest.New(conn, b.env.GuestOpt)
+	err = lib.Hello(p, fn.Name, fn.GPUMem)
+	if err == nil {
+		err = fn.Run(p, lib)
+		lib.FlushBatch(p)
+		if byeErr := lib.Bye(p); err == nil {
+			err = byeErr
+		}
+	}
+	conn.Close()
+	_ = gs.Release(lease)
+	inv.Recoveries += lib.Stats().Recoveries
+	return err
+}
+
+// endAttempt hands a session back to Pending after a failed attempt (the
+// placement controller decides the next machine), or marks it Failed once
+// the attempt budget is exhausted. Conflicts retry: the executor owns the
+// session's phase transitions at this point.
+func (b *FleetBackend) endAttempt(p *sim.Proc, name, reason string) {
+	for {
+		cur, err := b.st.Get(p, store.KindSession, name)
+		if err != nil {
+			return
+		}
+		up := cur.DeepCopy().(*store.Session)
+		if up.Status.Attempts >= b.cfg.MaxAttempts {
+			up.Status.Phase = store.PhaseFailed
+		} else {
+			up.Status.Phase = store.PhasePending
+			up.Status.Server = ""
+		}
+		up.Status.Reason = reason
+		if _, err := b.st.UpdateStatus(p, up); err == nil || !store.IsConflict(err) {
+			return
+		}
+	}
+}
+
+// finishSession marks a session Done.
+func (b *FleetBackend) finishSession(p *sim.Proc, name string) {
+	for {
+		cur, err := b.st.Get(p, store.KindSession, name)
+		if err != nil {
+			return
+		}
+		up := cur.DeepCopy().(*store.Session)
+		up.Status.Phase = store.PhaseDone
+		up.Status.DoneAt = p.Now()
+		if _, err := b.st.UpdateStatus(p, up); err == nil || !store.IsConflict(err) {
+			return
+		}
+	}
+}
+
+// finalizeFailed pins the terminal Failed phase in the store (the router may
+// have reported it already; this is idempotent).
+func (b *FleetBackend) finalizeFailed(p *sim.Proc, name string) {
+	for {
+		cur, err := b.st.Get(p, store.KindSession, name)
+		if err != nil {
+			return
+		}
+		if cur.(*store.Session).Terminal() {
+			return
+		}
+		up := cur.DeepCopy().(*store.Session)
+		up.Status.Phase = store.PhaseFailed
+		if _, err := b.st.UpdateStatus(p, up); err == nil || !store.IsConflict(err) {
+			return
+		}
+	}
+}
+
+// recordExec folds an observed execution time into the per-function EWMA.
+func (b *FleetBackend) recordExec(name string, d time.Duration) {
+	if prev, ok := b.history[name]; ok {
+		b.history[name] = (prev*3 + d) / 4
+	} else {
+		b.history[name] = d
+	}
+}
+
+// Drain blocks until every submitted invocation has finished.
+func (b *FleetBackend) Drain(p *sim.Proc) { b.inflight.Wait(p) }
+
+// Invocations returns all records, in submission order.
+func (b *FleetBackend) Invocations() []*Invocation { return b.invocations }
+
+// Env returns the backend's environment profile.
+func (b *FleetBackend) Env() Env { return b.env }
+
+// --- placement controller ---
+
+// PlacementConfig parameterizes the fleet placement controller.
+type PlacementConfig struct {
+	// MaxAttempts must match the backend's budget; 0 means 5.
+	MaxAttempts int
+	// Resync is the level-trigger period; 0 means 100ms.
+	Resync time.Duration
+	// Registry receives the controller's counters.
+	Registry *metrics.Registry
+}
+
+// NewPlacementController builds the reconciler that binds Pending sessions
+// to healthy GPU servers. It reads and writes ONLY the store: machine state
+// arrives via the agents' published status, never from the monitors. The
+// reconcile performs two writes — the session's Placed status, then the
+// chosen server's reservation bookkeeping — and the control plane stays
+// correct if it dies between them: the reservation is a load-smoothing hint,
+// recomputed from the authoritative session list on every pass.
+func NewPlacementController(st store.Interface, cfg PlacementConfig) *controller.Controller {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Resync <= 0 {
+		cfg.Resync = 100 * time.Millisecond
+	}
+	return controller.New(controller.Options{
+		Name:     "placement",
+		Store:    st,
+		Kinds:    []store.Kind{store.KindSession},
+		Resync:   cfg.Resync,
+		Registry: cfg.Registry,
+	}, controller.Func(func(p *sim.Proc, key controller.Key) error {
+		return reconcilePlacement(p, st, key, cfg.MaxAttempts)
+	}))
+}
+
+// reconcilePlacement places one Pending session.
+func reconcilePlacement(p *sim.Proc, st store.Interface, key controller.Key, maxAttempts int) error {
+	cur, err := st.Get(p, key.Kind, key.Name)
+	if err != nil {
+		if store.IsNotFound(err) {
+			return nil
+		}
+		return err
+	}
+	sess := cur.(*store.Session)
+	if sess.Status.Phase != "" && sess.Status.Phase != store.PhasePending {
+		return nil
+	}
+	if sess.Status.Attempts >= maxAttempts {
+		up := sess.DeepCopy().(*store.Session)
+		up.Status.Phase = store.PhaseFailed
+		up.Status.Reason = "placement attempts exhausted"
+		_, err := st.UpdateStatus(p, up)
+		return err
+	}
+
+	target, err := pickServer(p, st, sess)
+	if err != nil {
+		return err
+	}
+	if target == nil {
+		return fmt.Errorf("no healthy GPU server fits session %s (%d bytes)", key.Name, sess.Spec.MemBytes)
+	}
+
+	// Write 1: bind the session. This is the commit point — the executor
+	// acts on it regardless of what happens to this controller next.
+	up := sess.DeepCopy().(*store.Session)
+	up.Status.Phase = store.PhasePlaced
+	up.Status.Server = target.Meta().Name
+	up.Status.Attempts++
+	up.Status.PlacedAt = p.Now()
+	up.Status.Reason = ""
+	if _, err := st.UpdateStatus(p, up); err != nil {
+		return err
+	}
+
+	// Write 2: reservation bookkeeping on the machine. A crash between the
+	// two writes loses only this hint; the next reconcile pass recomputes it
+	// from the session list.
+	gup := target.DeepCopy().(*store.GPUServer)
+	gup.Status.ReservedSessions++
+	gup.Status.ReservedMem += sess.Spec.MemBytes
+	if _, err := st.UpdateStatus(p, gup); err != nil && !store.IsConflict(err) {
+		return err
+	}
+	return nil
+}
+
+// pickServer chooses the least-loaded healthy machine that fits the
+// session's memory demand, using only stored state. Load is derived from the
+// authoritative session list (bound, non-terminal sessions per server), so a
+// lost reservation hint cannot skew routing.
+func pickServer(p *sim.Proc, st store.Interface, sess *store.Session) (*store.GPUServer, error) {
+	servers, _, err := st.List(p, store.KindGPUServer)
+	if err != nil {
+		return nil, err
+	}
+	sessions, _, err := st.List(p, store.KindSession)
+	if err != nil {
+		return nil, err
+	}
+	load := make(map[string]int)
+	for _, r := range sessions {
+		s := r.(*store.Session)
+		if s.Status.Server != "" && !s.Terminal() {
+			load[s.Status.Server]++
+		}
+	}
+	var best *store.GPUServer
+	bestLoad := 0
+	for _, r := range servers {
+		gs := r.(*store.GPUServer)
+		if !gs.Status.Healthy || gs.Spec.Unschedulable || gs.Status.Capacity == 0 {
+			continue
+		}
+		if sess.Spec.MemBytes > gs.Spec.MemBytesPerGPU {
+			continue
+		}
+		if l := load[gs.Meta().Name]; best == nil || l < bestLoad {
+			best, bestLoad = gs, l
+		}
+	}
+	return best, nil
+}
+
+// --- reclaim controller ---
+
+// ReclaimConfig parameterizes the staged-model reclaim controller.
+type ReclaimConfig struct {
+	// Resync is the level-trigger period; 0 means 200ms.
+	Resync time.Duration
+	// Registry receives the controller's counters.
+	Registry *metrics.Registry
+}
+
+// NewReclaimController builds the reconciler that bounds each machine's
+// staged-model bytes: when the mirrored StagedModel objects of a server
+// exceed its StageBudget, the oldest (lowest recency sequence) are deleted
+// from the store, and the machine's agent evicts the corresponding host-tier
+// entries when it observes the deletions. Occupancy thus flows store-ward
+// (agent publishes), and eviction decisions flow machine-ward (agent
+// applies) — the controller never touches a cache directly.
+func NewReclaimController(st store.Interface, cfg ReclaimConfig) *controller.Controller {
+	if cfg.Resync <= 0 {
+		cfg.Resync = 200 * time.Millisecond
+	}
+	return controller.New(controller.Options{
+		Name:     "reclaim",
+		Store:    st,
+		Kinds:    []store.Kind{store.KindGPUServer, store.KindStagedModel},
+		Resync:   cfg.Resync,
+		Registry: cfg.Registry,
+	}, controller.Func(func(p *sim.Proc, key controller.Key) error {
+		server := key.Name
+		if key.Kind == store.KindStagedModel {
+			// StagedModel names are "<server>/<object>".
+			if i := strings.Index(key.Name, "/"); i >= 0 {
+				server = key.Name[:i]
+			} else {
+				return nil
+			}
+		}
+		return reconcileReclaim(p, st, server)
+	}))
+}
+
+// reconcileReclaim trims one server's staged set under its budget.
+func reconcileReclaim(p *sim.Proc, st store.Interface, server string) error {
+	cur, err := st.Get(p, store.KindGPUServer, server)
+	if err != nil {
+		if store.IsNotFound(err) {
+			return nil
+		}
+		return err
+	}
+	budget := cur.(*store.GPUServer).Spec.StageBudget
+	if budget <= 0 {
+		return nil
+	}
+	rs, _, err := st.List(p, store.KindStagedModel)
+	if err != nil {
+		return err
+	}
+	var staged []*store.StagedModel
+	var sum int64
+	for _, r := range rs {
+		sm := r.(*store.StagedModel)
+		if sm.Spec.Server == server {
+			staged = append(staged, sm)
+			sum += sm.Spec.Bytes
+		}
+	}
+	// Oldest first: ascending recency sequence, name as deterministic tie-break.
+	sort.Slice(staged, func(i, j int) bool {
+		if staged[i].Status.Seq != staged[j].Status.Seq {
+			return staged[i].Status.Seq < staged[j].Status.Seq
+		}
+		return staged[i].Meta().Name < staged[j].Meta().Name
+	})
+	for _, sm := range staged {
+		if sum <= budget {
+			break
+		}
+		err := st.Delete(p, store.KindStagedModel, sm.Meta().Name, 0)
+		if err != nil && !store.IsNotFound(err) {
+			return err
+		}
+		sum -= sm.Spec.Bytes
+	}
+	return nil
+}
+
+// RunSupervised runs a controller factory under a restart supervisor: each
+// halt (a blown store fuse — the injected crash) spawns a replacement built
+// from a fresh store handle, after restartDelay. It returns when a
+// controller stops without halting, or after maxRestarts replacements.
+func RunSupervised(p *sim.Proc, restartDelay time.Duration, maxRestarts int, build func() *controller.Controller) (restarts int) {
+	for {
+		ctrl := build()
+		ctrl.Run(p)
+		if !ctrl.Halted() || restarts >= maxRestarts {
+			return restarts
+		}
+		restarts++
+		if restartDelay > 0 {
+			p.Sleep(restartDelay)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"dgsf/internal/gpuserver"
 	"dgsf/internal/remoting"
 	"dgsf/internal/sim"
+	"dgsf/internal/store"
 )
 
 // Kind enumerates injectable fault kinds.
@@ -63,6 +64,22 @@ type Plan struct {
 	// CorruptRate is the probability a dialed connection corrupts the
 	// framing of its first outbound message.
 	CorruptRate float64
+
+	// ControllerKills schedules fleet-controller crashes: at each At, the
+	// next store fuse bound via BindControllerFuse is armed so the
+	// controller's store handle dies AfterWrites writes later — killing the
+	// reconciler mid-flight between two of its writes. The controller's
+	// supervisor is expected to restart a replacement that converges.
+	ControllerKills []ControllerKill
+}
+
+// ControllerKill schedules one fleet-controller crash.
+type ControllerKill struct {
+	At time.Duration
+	// AfterWrites is the write budget the fuse gets when armed: 0 blows on
+	// the very next write; 1 lets exactly one write land first — the cut
+	// between a session bind and its status bookkeeping.
+	AfterWrites int
 }
 
 // Injector applies a Plan to a set of GPU servers.
@@ -70,13 +87,22 @@ type Injector struct {
 	e       *sim.Engine
 	plan    Plan
 	servers []*gpuserver.GPUServer
+	fuses   []*store.Fuse
 
 	// Injection counters, for experiment reporting.
-	Killed    int // API server crashes injected
-	Failed    int // GPU server failures injected
-	Dropped   int // connections scheduled to break
-	Stalled   int // connections stalled
-	Corrupted int // connections set to corrupt a frame
+	Killed     int // API server crashes injected
+	Failed     int // GPU server failures injected
+	Dropped    int // connections scheduled to break
+	Stalled    int // connections stalled
+	Corrupted  int // connections set to corrupt a frame
+	CtrlKilled int // fleet-controller crashes armed
+}
+
+// BindControllerFuse registers a controller replica's store fuse as a kill
+// target. Scheduled ControllerKills consume fuses in binding order; a kill
+// with no fuse left to arm is skipped (the supervisor stopped restarting).
+func (in *Injector) BindControllerFuse(f *store.Fuse) {
+	in.fuses = append(in.fuses, f)
 }
 
 // NewInjector returns an injector over the deployment's GPU servers.
@@ -87,18 +113,30 @@ func NewInjector(e *sim.Engine, plan Plan, servers []*gpuserver.GPUServer) *Inje
 // Arm schedules the plan's events on a daemon: the engine does not wait for
 // outstanding faults at the end of a run.
 func (in *Injector) Arm(p *sim.Proc) {
-	events := in.plan.Events
-	if len(events) == 0 {
-		return
-	}
-	p.SpawnDaemon("fault-injector", func(p *sim.Proc) {
-		for _, ev := range events {
-			if d := ev.At - p.Now(); d > 0 {
-				p.Sleep(d)
+	if events := in.plan.Events; len(events) > 0 {
+		p.SpawnDaemon("fault-injector", func(p *sim.Proc) {
+			for _, ev := range events {
+				if d := ev.At - p.Now(); d > 0 {
+					p.Sleep(d)
+				}
+				in.apply(ev)
 			}
-			in.apply(ev)
-		}
-	})
+		})
+	}
+	if kills := in.plan.ControllerKills; len(kills) > 0 {
+		p.SpawnDaemon("fault-ctrl-killer", func(p *sim.Proc) {
+			for i, k := range kills {
+				if d := k.At - p.Now(); d > 0 {
+					p.Sleep(d)
+				}
+				if i >= len(in.fuses) {
+					return // no replica left to kill
+				}
+				in.fuses[i].Arm(k.AfterWrites)
+				in.CtrlKilled++
+			}
+		})
+	}
 }
 
 // apply fires one scheduled event.

@@ -1,0 +1,269 @@
+package gpuserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dgsf/internal/modelcache"
+	"dgsf/internal/sim"
+	"dgsf/internal/store"
+)
+
+// Agent is the GPU server's fleet-facing half: it mirrors the machine's
+// state into the cluster store and applies cluster decisions back onto the
+// machine, so the fleet backend and the reclaim controller never touch the
+// monitor's internals directly — all cross-component state flows through
+// watched, versioned objects.
+//
+// Outbound, each sync tick publishes the GPUServer status (health, capacity,
+// occupancy, staged bytes, heartbeat time), the per-API-server readiness,
+// and a StagedModel object per host-tier cache entry. Inbound, the agent
+// watches StagedModel deletions — the reclaim controller's eviction verdicts
+// — and evicts the corresponding host-tier entries.
+type Agent struct {
+	gs   *GPUServer
+	st   store.Interface
+	name string
+	cfg  AgentConfig
+
+	watch   *store.Watch
+	stopped bool
+}
+
+// AgentConfig parameterizes an Agent.
+type AgentConfig struct {
+	// SyncPeriod is the status-publication interval; 0 means 100ms.
+	SyncPeriod time.Duration
+	// StageBudget is the staged-bytes bound the reclaim controller enforces
+	// for this server; 0 adopts the host tier's own LRU budget (making the
+	// controller a no-op until the deployment sets a tighter policy bound).
+	StageBudget int64
+}
+
+// NewAgent binds a GPU server to the cluster store under the given name.
+func NewAgent(gs *GPUServer, st store.Interface, name string, cfg AgentConfig) *Agent {
+	if cfg.SyncPeriod <= 0 {
+		cfg.SyncPeriod = 100 * time.Millisecond
+	}
+	return &Agent{gs: gs, st: st, name: name, cfg: cfg}
+}
+
+// Stop ends the agent's sync loop at the next tick.
+func (a *Agent) Stop() { a.stopped = true }
+
+// Run registers the machine's objects and then syncs until stopped or the
+// store handle dies. Run it as a daemon after GPUServer.Start.
+func (a *Agent) Run(p *sim.Proc) {
+	if err := a.register(p); err != nil {
+		return
+	}
+	// Watch staged-model evictions from the RV the registration observed.
+	_, rv, err := a.st.List(p, store.KindStagedModel)
+	if err != nil {
+		return
+	}
+	w, err := a.st.Watch(p, store.KindStagedModel, rv)
+	if err != nil {
+		return
+	}
+	a.watch = w
+	defer w.Stop()
+	for !a.stopped {
+		a.applyEvictions()
+		if err := a.publishStatus(p); err != nil {
+			return
+		}
+		if err := a.syncStaged(p); err != nil {
+			return
+		}
+		p.Sleep(a.cfg.SyncPeriod)
+	}
+}
+
+// register creates (or adopts, after an agent restart) the GPUServer object
+// and one APIServer object per hosted server.
+func (a *Agent) register(p *sim.Proc) error {
+	obj := &store.GPUServer{}
+	obj.ObjectMeta.Name = a.name
+	obj.Spec.GPUs = a.gs.cfg.GPUs
+	obj.Spec.ServersPerGPU = a.gs.cfg.ServersPerGPU
+	if len(a.gs.devs) > 0 {
+		obj.Spec.MemBytesPerGPU = a.gs.devs[0].Cfg.MemBytes
+	}
+	obj.Spec.StageBudget = a.stageBudget()
+	if _, err := a.st.Create(p, obj); err != nil && !store.IsExists(err) {
+		return err
+	}
+	for _, srv := range a.gs.servers {
+		as := &store.APIServer{}
+		as.ObjectMeta.Name = fmt.Sprintf("%s/%d", a.name, srv.ID())
+		as.Spec.Server = a.name
+		as.Spec.GPU = srv.HomeDev()
+		as.Spec.Slot = srv.ID()
+		if _, err := a.st.Create(p, as); err != nil && !store.IsExists(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageBudget resolves the effective staged-bytes bound.
+func (a *Agent) stageBudget() int64 {
+	if a.cfg.StageBudget > 0 {
+		return a.cfg.StageBudget
+	}
+	if c := a.gs.Cache(); c != nil {
+		return c.Host().Budget()
+	}
+	return 0
+}
+
+// publishStatus read-modify-writes the GPUServer status with the machine's
+// current occupancy, preserving the fields other writers own (the placement
+// controller's reservation hints). Conflicts retry against fresh state.
+func (a *Agent) publishStatus(p *sim.Proc) error {
+	for {
+		cur, err := a.st.Get(p, store.KindGPUServer, a.name)
+		if err != nil {
+			return err
+		}
+		obj := cur.DeepCopy().(*store.GPUServer)
+		active, queued := a.gs.Load()
+		obj.Status.Healthy = a.gs.Healthy()
+		obj.Status.Capacity = a.gs.Capacity()
+		obj.Status.Active = active
+		obj.Status.Queued = queued
+		obj.Status.HeartbeatAt = p.Now()
+		if c := a.gs.Cache(); c != nil {
+			obj.Status.StagedBytes = c.Host().Used()
+		}
+		_, err = a.st.UpdateStatus(p, obj)
+		if err == nil || !store.IsConflict(err) {
+			if err != nil {
+				return err
+			}
+			break
+		}
+	}
+	for _, srv := range a.gs.servers {
+		name := fmt.Sprintf("%s/%d", a.name, srv.ID())
+		cur, err := a.st.Get(p, store.KindAPIServer, name)
+		if err != nil {
+			if store.IsNotFound(err) {
+				continue
+			}
+			return err
+		}
+		obj := cur.DeepCopy().(*store.APIServer)
+		ready := !srv.Crashed() && !a.gs.dead[srv.ID()] && !a.gs.failed
+		fnID := ""
+		if lease, ok := a.gs.leased[srv.ID()]; ok {
+			fnID = lease.FnID
+		}
+		if obj.Status.Ready == ready && obj.Status.FnID == fnID {
+			continue
+		}
+		obj.Status.Ready = ready
+		obj.Status.FnID = fnID
+		// Async lane: a dropped conflict self-heals on the next tick.
+		if err := a.st.UpdateStatusAsync(p, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEvictions drains pending StagedModel deletion events and evicts the
+// matching host-tier entries. Running this before syncStaged in the same
+// tick keeps the two from fighting: an evicted entry is gone from the LRU
+// before the diff would re-publish it.
+func (a *Agent) applyEvictions() {
+	c := a.gs.Cache()
+	if a.watch == nil || c == nil {
+		return
+	}
+	for {
+		ev, ok := a.watch.Events.TryRecv()
+		if !ok {
+			return
+		}
+		if ev.Type != store.Deleted {
+			continue
+		}
+		sm, ok := ev.Object.(*store.StagedModel)
+		if !ok || sm.Spec.Server != a.name {
+			continue
+		}
+		for _, e := range c.Host().Entries() {
+			if e.Key.Name == sm.Spec.Object {
+				c.Host().Remove(e.Key)
+				break
+			}
+		}
+	}
+}
+
+// syncStaged diffs the host tier against the store's StagedModel objects for
+// this server: new entries are created, departed entries deleted, recency
+// changes pushed on the async lane (the reclaim controller deletes
+// lowest-sequence objects first).
+func (a *Agent) syncStaged(p *sim.Proc) error {
+	c := a.gs.Cache()
+	if c == nil {
+		return nil
+	}
+	rs, _, err := a.st.List(p, store.KindStagedModel)
+	if err != nil {
+		return err
+	}
+	stored := make(map[string]*store.StagedModel)
+	for _, r := range rs {
+		sm := r.(*store.StagedModel)
+		if sm.Spec.Server == a.name {
+			stored[sm.Spec.Object] = sm
+		}
+	}
+	entries := c.Host().Entries()
+	resident := make(map[string]modelcache.Entry, len(entries))
+	for _, e := range entries {
+		resident[e.Key.Name] = e
+	}
+	for _, e := range entries {
+		seq := c.Host().Seq(e.Key)
+		sm, ok := stored[e.Key.Name]
+		if !ok {
+			obj := &store.StagedModel{}
+			obj.ObjectMeta.Name = store.StagedModelName(a.name, e.Key.Name)
+			obj.Spec.Server = a.name
+			obj.Spec.Object = e.Key.Name
+			obj.Spec.Bytes = e.Bytes
+			obj.Status.Seq = seq
+			if _, err := a.st.Create(p, obj); err != nil && !store.IsExists(err) {
+				return err
+			}
+			continue
+		}
+		if sm.Status.Seq != seq {
+			up := sm.DeepCopy().(*store.StagedModel)
+			up.Status.Seq = seq
+			if err := a.st.UpdateStatusAsync(p, up); err != nil {
+				return err
+			}
+		}
+	}
+	departed := make([]string, 0, len(stored))
+	for name := range stored {
+		if _, ok := resident[name]; !ok {
+			departed = append(departed, name)
+		}
+	}
+	sort.Strings(departed)
+	for _, name := range departed {
+		err := a.st.Delete(p, store.KindStagedModel, stored[name].Meta().Name, 0)
+		if err != nil && !store.IsNotFound(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,6 +27,8 @@ var scopeSuffixes = []string{
 	"internal/apiserver",
 	"internal/remoting",
 	"internal/faas",
+	"internal/store",
+	"internal/controller",
 	"cmd/gpuserver",
 }
 

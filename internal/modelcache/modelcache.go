@@ -154,6 +154,28 @@ func (l *LRU) oldest(keep Key) *Entry {
 	return victim
 }
 
+// Entries returns the resident entries oldest-first (ascending recency).
+// The order is deterministic: sequence numbers are unique. The fleet agent
+// uses this to mirror the host tier into the cluster store as StagedModel
+// objects.
+func (l *LRU) Entries() []Entry {
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Seq returns an entry's recency sequence number (0 if absent); older
+// entries have lower numbers.
+func (l *LRU) Seq(k Key) uint64 {
+	if e, ok := l.entries[k]; ok {
+		return e.seq
+	}
+	return 0
+}
+
 // Remove drops an entry, reporting whether it was resident.
 func (l *LRU) Remove(k Key) bool {
 	e, ok := l.entries[k]

@@ -61,8 +61,20 @@ func WriteFrame(w io.Writer, payload []byte, data int64) error {
 
 // ReadFrame reads one framed message. The header is read into a pooled
 // buffer (a stack array would escape through the io.Reader interface); the
-// returned payload is the only steady-state allocation.
+// returned payload is freshly allocated and owned by the caller — the only
+// steady-state allocation.
 func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
+	return ReadFrameReuse(r, nil)
+}
+
+// ReadFrameReuse is ReadFrame with a caller-supplied payload buffer: when
+// the frame fits in cap(buf) the payload is read into it and no allocation
+// happens; otherwise a larger buffer is allocated, which the caller can
+// keep for the next frame. The returned payload therefore may alias buf —
+// the caller owns both and must finish with the payload before reusing the
+// buffer. Use only where one reader owns the stream (e.g. a caller whose
+// round trips are serialized); concurrent readers must use ReadFrame.
+func ReadFrameReuse(r io.Reader, buf []byte) (payload []byte, data int64, err error) {
 	bp := framePool.Get().(*[]byte)
 	defer framePool.Put(bp)
 	hdr := (*bp)[:frameHeaderLen]
@@ -74,27 +86,34 @@ func ReadFrame(r io.Reader) (payload []byte, data int64, err error) {
 		return nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds %d-byte limit", ErrFrameCorrupt, n, maxFrameLen)
 	}
 	data = int64(binary.LittleEndian.Uint64(hdr[4:12]))
-	payload, err = readPayload(r, int(n))
+	payload, err = readPayload(r, buf, int(n))
 	if err != nil {
 		return nil, 0, err
 	}
 	return payload, data, nil
 }
 
-// readPayload reads n payload bytes. Frames up to maxPooledFrame (the
-// steady state) allocate exactly once; larger claims grow the buffer
-// geometrically as bytes actually arrive, so a corrupted length prefix just
-// under maxFrameLen on a truncated stream cannot force a 64 MiB up-front
-// allocation.
-func readPayload(r io.Reader, n int) ([]byte, error) {
-	if n <= maxPooledFrame {
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
+// readPayload reads n payload bytes, into buf when it fits. Frames up to
+// maxPooledFrame (the steady state) allocate at most once; larger claims
+// grow the buffer geometrically as bytes actually arrive, so a corrupted
+// length prefix just under maxFrameLen on a truncated stream cannot force
+// a 64 MiB up-front allocation.
+func readPayload(r io.Reader, buf []byte, n int) ([]byte, error) {
+	if n <= cap(buf) {
+		out := buf[:n]
+		if _, err := io.ReadFull(r, out); err != nil {
 			return nil, wrapReadErr(err)
 		}
-		return buf, nil
+		return out, nil
 	}
-	buf := make([]byte, 0, maxPooledFrame)
+	if n <= maxPooledFrame {
+		out := make([]byte, n)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, wrapReadErr(err)
+		}
+		return out, nil
+	}
+	buf = make([]byte, 0, maxPooledFrame)
 	for len(buf) < n {
 		if len(buf) == cap(buf) {
 			newCap := cap(buf) * 2
@@ -154,6 +173,11 @@ type tcpCaller struct {
 	mu     sync.Mutex // serializes synchronous round trips
 	conn   net.Conn
 	sendCh chan *[]byte // pre-framed buffers owned by the writer
+
+	// readBuf is the reply buffer reused across round trips (guarded by
+	// mu). Returned payloads alias it, per the Caller contract: a reply is
+	// valid only until the next call on the same caller.
+	readBuf []byte
 
 	closeOnce sync.Once
 	writeErr  error
@@ -223,7 +247,11 @@ func (c *tcpCaller) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d t
 		_ = c.conn.SetReadDeadline(time.Now().Add(d))
 		defer c.conn.SetReadDeadline(time.Time{})
 	}
-	payload, _, err := ReadFrame(c.conn)
+	payload, _, err := ReadFrameReuse(c.conn, c.readBuf)
+	// Keep a grown buffer for the next reply, but never pin a huge one.
+	if cap(payload) > cap(c.readBuf) && cap(payload) <= maxPooledFrame {
+		c.readBuf = payload[:0]
+	}
 	if err != nil {
 		if c.writeErr != nil {
 			err = fmt.Errorf("%w: %v", ErrConnClosed, c.writeErr)

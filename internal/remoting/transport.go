@@ -73,6 +73,11 @@ func (n NetProfile) transferTime(rng interface{ Float64() float64 }, bytes int64
 // with the API server. reqData is the logical payload size riding along with
 // the request (e.g. the bytes of a host-to-device memcpy) — it is charged
 // against bandwidth in addition to the encoded message itself.
+//
+// The returned resp is owned by the transport and valid only until the next
+// call on the same Caller: transports may reuse the reply buffer across
+// round trips. Callers must decode (copying what they keep) before issuing
+// another call — the generated Client does.
 type Caller interface {
 	Roundtrip(p *sim.Proc, req []byte, reqData int64) (resp []byte, err error)
 	Close()

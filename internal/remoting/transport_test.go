@@ -380,6 +380,55 @@ func TestFrameRoundTripBoundedAllocs(t *testing.T) {
 	}
 }
 
+// TestReadFrameReuse checks the reused-buffer read path: a fitting buffer
+// is filled in place, an undersized one is replaced by a grown allocation,
+// and the warm path allocates nothing.
+func TestReadFrameReuse(t *testing.T) {
+	var framed bytes.Buffer
+	small := []byte("abc")
+	big := make([]byte, 300)
+	for i := range big {
+		big[i] = byte(i)
+	}
+
+	// Fits: payload aliases the supplied buffer.
+	if err := WriteFrame(&framed, small, 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 512)
+	got, data, err := ReadFrameReuse(&framed, buf)
+	if err != nil || data != 1 || !bytes.Equal(got, small) {
+		t.Fatalf("reuse read = (%q, %d, %v)", got, data, err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("fitting payload did not reuse the supplied buffer")
+	}
+
+	// Does not fit: a grown buffer comes back, contents intact.
+	framed.Reset()
+	if err := WriteFrame(&framed, big, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, data, err = ReadFrameReuse(&framed, make([]byte, 0, 16))
+	if err != nil || data != 2 || !bytes.Equal(got, big) {
+		t.Fatalf("grown reuse read failed: len=%d data=%d err=%v", len(got), data, err)
+	}
+
+	if !wire.RaceEnabled {
+		raw := appendFrame(nil, big, 7)
+		var stream bytes.Buffer
+		if avg := testing.AllocsPerRun(200, func() {
+			stream.Reset()
+			stream.Write(raw)
+			if _, _, err := ReadFrameReuse(&stream, buf); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Fatalf("warm ReadFrameReuse allocates %.1f times, want 0", avg)
+		}
+	}
+}
+
 // --- fault-lane tests: typed errors across connection loss ---
 
 // TestFenceAfterConnFaultSurfacesTypedError drives the pipelined lane into

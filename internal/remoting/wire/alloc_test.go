@@ -97,3 +97,104 @@ func TestDecoderClampsCorruptLengthPrefix(t *testing.T) {
 		t.Fatalf("corrupt string slice: err=%v len=%d", ds.Err(), len(got))
 	}
 }
+
+// TestSharedDecodeMatchesCopyingDecode: the shared variants produce the
+// same values as their copying counterparts.
+func TestSharedDecodeMatchesCopyingDecode(t *testing.T) {
+	names := []string{"kernel_a", "", "k"}
+	var e Encoder
+	e.Strs(names)
+	d := NewDecoder(e.Bytes())
+	got := d.StrsShared()
+	if d.Err() != nil || len(got) != len(names) {
+		t.Fatalf("StrsShared: err=%v len=%d", d.Err(), len(got))
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("StrsShared[%d] = %q, want %q", i, got[i], names[i])
+		}
+	}
+
+	lp := cuda.LaunchParams{
+		Fn:      0x5000,
+		Grid:    [3]int{8, 1, 1},
+		Block:   [3]int{64, 1, 1},
+		Stream:  3,
+		Mutates: []cuda.DevPtr{0x10, 0x20, 0x30},
+	}
+	var el Encoder
+	el.Launch(lp)
+	dl := NewDecoder(el.Bytes())
+	gl := dl.LaunchShared()
+	if dl.Err() != nil || gl.Fn != lp.Fn || gl.Stream != lp.Stream || len(gl.Mutates) != 3 {
+		t.Fatalf("LaunchShared = %+v, err=%v", gl, dl.Err())
+	}
+	for i, m := range lp.Mutates {
+		if gl.Mutates[i] != m {
+			t.Fatalf("LaunchShared.Mutates[%d] = %#x, want %#x", i, gl.Mutates[i], m)
+		}
+	}
+
+	// Truncated input surfaces the sticky error, like the copying path.
+	trunc := NewDecoder(e.Bytes()[:5])
+	if out := trunc.StrsShared(); trunc.Err() == nil || out != nil {
+		t.Fatalf("truncated StrsShared: err=%v out=%v", trunc.Err(), out)
+	}
+}
+
+// TestSharedDecodeInvalidatedByReset: Reset wipes the string scratch so a
+// pooled decoder cannot pin a previous message's payload.
+func TestSharedDecodeInvalidatedByReset(t *testing.T) {
+	var e Encoder
+	e.Strs([]string{"alpha", "beta"})
+	d := NewDecoder(e.Bytes())
+	got := d.StrsShared()
+	if len(got) != 2 {
+		t.Fatalf("StrsShared len = %d", len(got))
+	}
+	d.Reset(nil)
+	// The caller's view of the scratch still has its headers; the decoder's
+	// own scratch must be cleared.
+	if len(d.strs) != 0 {
+		t.Fatalf("scratch not truncated after Reset: %v", d.strs)
+	}
+	for _, s := range d.strs[:cap(d.strs)][:2] {
+		if s != "" {
+			t.Fatalf("scratch still references old payload: %q", s)
+		}
+	}
+}
+
+// TestSharedDecodeZeroAllocs is the point of the shared variants: decoding
+// the dispatch path's hot messages through the pool allocates nothing.
+func TestSharedDecodeZeroAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race detector drops sync.Pool items; alloc counts are meaningless")
+	}
+	var es Encoder
+	es.Strs([]string{"kernel_a", "kernel_b", "kernel_c", "kernel_d"})
+	strsBuf := es.Bytes()
+	var el Encoder
+	el.Launch(cuda.LaunchParams{Fn: 1, Mutates: []cuda.DevPtr{2, 3}})
+	launchBuf := el.Bytes()
+	// Warm the pool and the scratch.
+	for i := 0; i < 8; i++ {
+		d := GetDecoder(strsBuf)
+		_ = d.StrsShared()
+		PutDecoder(d)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		d := GetDecoder(strsBuf)
+		if out := d.StrsShared(); len(out) != 4 || d.Err() != nil {
+			t.Fatal("bad decode")
+		}
+		PutDecoder(d)
+		d = GetDecoder(launchBuf)
+		if lp := d.LaunchShared(); len(lp.Mutates) != 2 || d.Err() != nil {
+			t.Fatal("bad launch decode")
+		}
+		PutDecoder(d)
+	}); avg != 0 {
+		t.Fatalf("shared decode allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -32,6 +32,9 @@ func BenchmarkEncodeLaunch(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeLaunch measures the launch decode as the server dispatch
+// path runs it: a pooled decoder and the shared (scratch-backed) variant,
+// which is allocation-free in steady state.
 func BenchmarkDecodeLaunch(b *testing.B) {
 	lp := benchLaunch()
 	var e Encoder
@@ -40,14 +43,18 @@ func BenchmarkDecodeLaunch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := NewDecoder(buf)
-		got := d.Launch()
-		if d.Err() != nil || got.Fn != lp.Fn {
+		d := GetDecoder(buf)
+		got := d.LaunchShared()
+		if d.Err() != nil || got.Fn != lp.Fn || len(got.Mutates) != len(lp.Mutates) {
 			b.Fatal("bad decode")
 		}
+		PutDecoder(d)
 	}
 }
 
+// BenchmarkDecodeStrs measures string-slice decode as the server dispatch
+// path runs it (pooled decoder, buffer-aliasing strings): zero allocations
+// once the scratch has warmed up.
 func BenchmarkDecodeStrs(b *testing.B) {
 	var e Encoder
 	e.Strs([]string{"kernel_a", "kernel_b", "kernel_c", "kernel_d"})
@@ -55,9 +62,10 @@ func BenchmarkDecodeStrs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d := NewDecoder(buf)
-		if out := d.Strs(); len(out) != 4 || d.Err() != nil {
+		d := GetDecoder(buf)
+		if out := d.StrsShared(); len(out) != 4 || d.Err() != nil {
 			b.Fatal("bad decode")
 		}
+		PutDecoder(d)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"sync"
 	"time"
+	"unsafe"
 
 	"dgsf/internal/cuda"
 	"dgsf/internal/gpu"
@@ -32,6 +33,10 @@ const maxSliceLen = 1 << 20
 // maxPooledBuf caps the encoder buffers retained by the pool so one giant
 // message (e.g. a model-sized batch) does not pin memory forever.
 const maxPooledBuf = 64 << 10
+
+// maxPooledScratch caps the shared-decode scratch slices (element counts,
+// not bytes) a pooled decoder retains.
+const maxPooledScratch = 1024
 
 // Encoder and Decoder pools for the steady-state remoting data path. The
 // contract is strict ownership: a pooled Encoder's Bytes() must not be
@@ -66,9 +71,16 @@ func GetDecoder(buf []byte) *Decoder {
 }
 
 // PutDecoder returns a decoder to the pool. The decoder must not be used
-// afterwards; any slices it produced remain valid (they are copies).
+// afterwards. Slices produced by the copying methods (Strs, Launch, ...)
+// remain valid; anything produced by the Shared variants dies here.
 func PutDecoder(d *Decoder) {
 	d.Reset(nil)
+	if cap(d.strs) > maxPooledScratch {
+		d.strs = nil
+	}
+	if cap(d.ptrs) > maxPooledScratch {
+		d.ptrs = nil
+	}
 	decPool.Put(d)
 }
 
@@ -211,21 +223,38 @@ func (e *Encoder) FnPtrs(v []cuda.FnPtr) {
 }
 
 // Decoder reads binary values from a buffer with a sticky error.
+//
+// The Shared decode variants (StrsShared, LaunchShared) return values that
+// alias the decoder's buffer and scratch storage: they cost no allocations
+// on the steady-state path but are valid only until the next Reset (or
+// PutDecoder), and at most one live result per variant per decoder. Callers
+// that retain a shared value must clone it first.
 type Decoder struct {
 	buf []byte
 	off int
 	err error
+
+	// Scratch reused by the Shared decode variants.
+	strs []string
+	ptrs []cuda.DevPtr
 }
 
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
 // Reset repositions the decoder at the start of buf, clearing any sticky
-// error, so one decoder can be reused across messages.
+// error, so one decoder can be reused across messages. Values produced by
+// the Shared decode variants are invalidated: the string scratch is zeroed
+// so a pooled decoder cannot pin a previous message's payload.
 func (d *Decoder) Reset(buf []byte) {
 	d.buf = buf
 	d.off = 0
 	d.err = nil
+	for i := range d.strs {
+		d.strs[i] = ""
+	}
+	d.strs = d.strs[:0]
+	d.ptrs = d.ptrs[:0]
 }
 
 // Err returns the sticky decode error, if any.
@@ -360,6 +389,40 @@ func (d *Decoder) Strs() []string {
 	return out
 }
 
+// viewString returns a string aliasing b's bytes without copying. The
+// string lives exactly as long as b's backing array; the Shared decode
+// contract (valid until Reset) is what makes handing it out sound.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// StrsShared reads a length-prefixed string slice without copying: the
+// strings alias the decoder's buffer and the slice is decoder-owned
+// scratch, so steady-state decoding allocates nothing. The result is valid
+// only until the next Reset (or PutDecoder); retained strings must be
+// cloned. The generated server dispatch path decodes request slices this
+// way — the decoder outlives the backend call — so handlers see ordinary
+// strings but must copy before stashing one in session state.
+func (d *Decoder) StrsShared() []string {
+	n := d.sliceLen()
+	if d.err != nil {
+		return nil
+	}
+	d.strs = d.strs[:0]
+	for i := 0; i < n; i++ {
+		m := d.sliceLen()
+		b := d.take(m)
+		if d.err != nil {
+			return nil
+		}
+		d.strs = append(d.strs, viewString(b))
+	}
+	return d.strs
+}
+
 // U64s reads a length-prefixed uint64 slice.
 func (d *Decoder) U64s() []uint64 {
 	n := d.sliceLen()
@@ -430,6 +493,35 @@ func (d *Decoder) Launch() cuda.LaunchParams {
 		}
 		lp.Mutates = append(lp.Mutates, v)
 	}
+	return lp
+}
+
+// LaunchShared reads a cuda.LaunchParams with Mutates backed by
+// decoder-owned scratch instead of a fresh slice: zero allocations on the
+// hottest message of the remoting path. Same contract as StrsShared — the
+// result is valid until the next Reset, and the callee must not retain
+// Mutates (the CUDA layer resolves it to allocations synchronously).
+func (d *Decoder) LaunchShared() cuda.LaunchParams {
+	lp := cuda.LaunchParams{
+		Fn:       cuda.FnPtr(d.U64()),
+		Grid:     d.Vec3(),
+		Block:    d.Vec3(),
+		Stream:   cuda.StreamHandle(d.U64()),
+		Duration: d.Dur(),
+	}
+	n := d.sliceLen()
+	if d.err != nil {
+		return lp
+	}
+	d.ptrs = d.ptrs[:0]
+	for i := 0; i < n; i++ {
+		v := cuda.DevPtr(d.U64())
+		if d.err != nil {
+			return lp
+		}
+		d.ptrs = append(d.ptrs, v)
+	}
+	lp.Mutates = d.ptrs
 	return lp
 }
 

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"fmt"
+
+	"dgsf/internal/sim"
+)
+
+// Fuse wraps a store handle with a deterministic crash point: once armed,
+// it lets the next N writes through and then blows, after which every
+// operation fails with ErrHalted. Wrapping a controller's store handle in a
+// Fuse is how the fault framework kills it "between a store write and its
+// status update" — the W-th write lands, the W+1-th (and everything after)
+// dies — without relying on timing luck inside a reconcile.
+//
+// A blown fuse stays blown: the crashed controller instance can never touch
+// the store again, exactly like a dead process. Recovery restarts a fresh
+// controller on an unfused handle.
+type Fuse struct {
+	inner Interface
+
+	armed      bool
+	writesLeft int
+	blown      bool
+
+	// Blown, if set, is called exactly once when the fuse blows.
+	Blown func()
+}
+
+// NewFuse returns an unarmed fuse over inner; until Arm it is transparent.
+func NewFuse(inner Interface) *Fuse { return &Fuse{inner: inner} }
+
+// Arm sets the crash point: afterWrites more writes succeed, then the fuse
+// blows.
+func (f *Fuse) Arm(afterWrites int) {
+	f.armed = true
+	f.writesLeft = afterWrites
+}
+
+// IsBlown reports whether the crash point has been reached.
+func (f *Fuse) IsBlown() bool { return f.blown }
+
+// check gates every operation; write marks operations that consume the
+// armed write budget.
+func (f *Fuse) check(write bool) error {
+	if f.blown {
+		return fmt.Errorf("%w: controller crashed", ErrHalted)
+	}
+	if f.armed && write {
+		if f.writesLeft <= 0 {
+			f.blown = true
+			if f.Blown != nil {
+				f.Blown()
+			}
+			return fmt.Errorf("%w: controller crashed", ErrHalted)
+		}
+		f.writesLeft--
+	}
+	return nil
+}
+
+// Get implements Interface.
+func (f *Fuse) Get(p *sim.Proc, kind Kind, name string) (Resource, error) {
+	if err := f.check(false); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(p, kind, name)
+}
+
+// List implements Interface.
+func (f *Fuse) List(p *sim.Proc, kind Kind) ([]Resource, uint64, error) {
+	if err := f.check(false); err != nil {
+		return nil, 0, err
+	}
+	return f.inner.List(p, kind)
+}
+
+// Create implements Interface.
+func (f *Fuse) Create(p *sim.Proc, r Resource) (Resource, error) {
+	if err := f.check(true); err != nil {
+		return nil, err
+	}
+	return f.inner.Create(p, r)
+}
+
+// Update implements Interface.
+func (f *Fuse) Update(p *sim.Proc, r Resource) (Resource, error) {
+	if err := f.check(true); err != nil {
+		return nil, err
+	}
+	return f.inner.Update(p, r)
+}
+
+// UpdateStatus implements Interface.
+func (f *Fuse) UpdateStatus(p *sim.Proc, r Resource) (Resource, error) {
+	if err := f.check(true); err != nil {
+		return nil, err
+	}
+	return f.inner.UpdateStatus(p, r)
+}
+
+// UpdateStatusAsync implements Interface.
+func (f *Fuse) UpdateStatusAsync(p *sim.Proc, r Resource) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	return f.inner.UpdateStatusAsync(p, r)
+}
+
+// Delete implements Interface.
+func (f *Fuse) Delete(p *sim.Proc, kind Kind, name string, rv uint64) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	return f.inner.Delete(p, kind, name, rv)
+}
+
+// Watch implements Interface. Established watches keep delivering after the
+// fuse blows (the queue is already wired to the store); the crashed
+// controller stops consuming them when its worker exits on ErrHalted.
+func (f *Fuse) Watch(p *sim.Proc, kind Kind, fromRV uint64) (*Watch, error) {
+	if err := f.check(false); err != nil {
+		return nil, err
+	}
+	return f.inner.Watch(p, kind, fromRV)
+}
+
+var _ Interface = (*Fuse)(nil)

@@ -1,0 +1,348 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"dgsf/internal/remoting/wire"
+	"dgsf/internal/store/storewire"
+)
+
+// Session phases. A session is born Pending, is bound to a server by the
+// placement controller (Placed), runs its function (Running) and ends Done.
+// Failed is terminal and means the control plane gave up — the fleet
+// experiment asserts it never happens.
+const (
+	PhasePending = "Pending"
+	PhasePlaced  = "Placed"
+	PhaseRunning = "Running"
+	PhaseDone    = "Done"
+	PhaseFailed  = "Failed"
+)
+
+// GPUServerSpec is the desired state of one GPU server: its hardware shape
+// and scheduling intent.
+type GPUServerSpec struct {
+	GPUs           int
+	ServersPerGPU  int
+	MemBytesPerGPU int64
+	// StageBudget bounds the host-tier staged-model bytes the fleet reclaim
+	// controller allows before deleting StagedModels (0: unlimited).
+	StageBudget int64
+	// Unschedulable excludes the server from placement (drain).
+	Unschedulable bool
+}
+
+// GPUServerStatus is the observed state its node agent publishes.
+type GPUServerStatus struct {
+	Healthy     bool
+	Capacity    int // live API servers
+	Active      int // leased API servers
+	Queued      int // functions waiting in the monitor's queue
+	StagedBytes int64
+	HeartbeatAt time.Duration // virtual time of the last agent publish
+	// Reserved* are the placement controller's bookkeeping of sessions
+	// bound to this server but not yet released. Recomputed at resync, so
+	// a controller crash between writes only skews them temporarily.
+	ReservedSessions int
+	ReservedMem      int64
+}
+
+// GPUServer is the control-plane record of one GPU server.
+type GPUServer struct {
+	ObjectMeta
+	Spec   GPUServerSpec
+	Status GPUServerStatus
+}
+
+// Kind implements Resource.
+func (g *GPUServer) Kind() Kind { return KindGPUServer }
+
+// Meta implements Resource.
+func (g *GPUServer) Meta() *ObjectMeta { return &g.ObjectMeta }
+
+// DeepCopy implements Resource.
+func (g *GPUServer) DeepCopy() Resource { c := *g; return &c }
+
+// EncodeSpec implements Resource.
+func (g *GPUServer) EncodeSpec(e *wire.Encoder) {
+	e.Int(g.Spec.GPUs)
+	e.Int(g.Spec.ServersPerGPU)
+	e.I64(g.Spec.MemBytesPerGPU)
+	e.I64(g.Spec.StageBudget)
+	e.Bool(g.Spec.Unschedulable)
+}
+
+// DecodeSpec implements Resource.
+func (g *GPUServer) DecodeSpec(d *wire.Decoder) {
+	g.Spec.GPUs = d.Int()
+	g.Spec.ServersPerGPU = d.Int()
+	g.Spec.MemBytesPerGPU = d.I64()
+	g.Spec.StageBudget = d.I64()
+	g.Spec.Unschedulable = d.Bool()
+}
+
+// EncodeStatus implements Resource.
+func (g *GPUServer) EncodeStatus(e *wire.Encoder) {
+	e.Bool(g.Status.Healthy)
+	e.Int(g.Status.Capacity)
+	e.Int(g.Status.Active)
+	e.Int(g.Status.Queued)
+	e.I64(g.Status.StagedBytes)
+	e.Dur(g.Status.HeartbeatAt)
+	e.Int(g.Status.ReservedSessions)
+	e.I64(g.Status.ReservedMem)
+}
+
+// DecodeStatus implements Resource.
+func (g *GPUServer) DecodeStatus(d *wire.Decoder) {
+	g.Status.Healthy = d.Bool()
+	g.Status.Capacity = d.Int()
+	g.Status.Active = d.Int()
+	g.Status.Queued = d.Int()
+	g.Status.StagedBytes = d.I64()
+	g.Status.HeartbeatAt = d.Dur()
+	g.Status.ReservedSessions = d.Int()
+	g.Status.ReservedMem = d.I64()
+}
+
+// APIServerSpec identifies one hosted API server slot on a GPU server.
+type APIServerSpec struct {
+	Server string // owning GPUServer resource name
+	GPU    int
+	Slot   int
+}
+
+// APIServerStatus is the slot's observed state.
+type APIServerStatus struct {
+	Ready bool
+	FnID  string // leased function, if any
+}
+
+// APIServer is the control-plane record of one hosted API server.
+type APIServer struct {
+	ObjectMeta
+	Spec   APIServerSpec
+	Status APIServerStatus
+}
+
+// Kind implements Resource.
+func (a *APIServer) Kind() Kind { return KindAPIServer }
+
+// Meta implements Resource.
+func (a *APIServer) Meta() *ObjectMeta { return &a.ObjectMeta }
+
+// DeepCopy implements Resource.
+func (a *APIServer) DeepCopy() Resource { c := *a; return &c }
+
+// EncodeSpec implements Resource.
+func (a *APIServer) EncodeSpec(e *wire.Encoder) {
+	e.Str(a.Spec.Server)
+	e.Int(a.Spec.GPU)
+	e.Int(a.Spec.Slot)
+}
+
+// DecodeSpec implements Resource.
+func (a *APIServer) DecodeSpec(d *wire.Decoder) {
+	a.Spec.Server = d.Str()
+	a.Spec.GPU = d.Int()
+	a.Spec.Slot = d.Int()
+}
+
+// EncodeStatus implements Resource.
+func (a *APIServer) EncodeStatus(e *wire.Encoder) {
+	e.Bool(a.Status.Ready)
+	e.Str(a.Status.FnID)
+}
+
+// DecodeStatus implements Resource.
+func (a *APIServer) DecodeStatus(d *wire.Decoder) {
+	a.Status.Ready = d.Bool()
+	a.Status.FnID = d.Str()
+}
+
+// SessionSpec is one requested function invocation.
+type SessionSpec struct {
+	FnID     string
+	MemBytes int64
+	// ModelObject is the host-cache object name whose residency makes a
+	// server a locality match ("" if the function has no model).
+	ModelObject string
+}
+
+// SessionStatus tracks the invocation through the control plane.
+type SessionStatus struct {
+	Phase    string
+	Server   string // GPUServer resource name, once placed
+	Attempts int
+	Reason   string // last failure reason, for diagnostics
+	PlacedAt time.Duration
+	DoneAt   time.Duration
+}
+
+// Session is the control-plane record of one function invocation.
+type Session struct {
+	ObjectMeta
+	Spec   SessionSpec
+	Status SessionStatus
+}
+
+// Kind implements Resource.
+func (s *Session) Kind() Kind { return KindSession }
+
+// Meta implements Resource.
+func (s *Session) Meta() *ObjectMeta { return &s.ObjectMeta }
+
+// DeepCopy implements Resource.
+func (s *Session) DeepCopy() Resource { c := *s; return &c }
+
+// EncodeSpec implements Resource.
+func (s *Session) EncodeSpec(e *wire.Encoder) {
+	e.Str(s.Spec.FnID)
+	e.I64(s.Spec.MemBytes)
+	e.Str(s.Spec.ModelObject)
+}
+
+// DecodeSpec implements Resource.
+func (s *Session) DecodeSpec(d *wire.Decoder) {
+	s.Spec.FnID = d.Str()
+	s.Spec.MemBytes = d.I64()
+	s.Spec.ModelObject = d.Str()
+}
+
+// EncodeStatus implements Resource.
+func (s *Session) EncodeStatus(e *wire.Encoder) {
+	e.Str(s.Status.Phase)
+	e.Str(s.Status.Server)
+	e.Int(s.Status.Attempts)
+	e.Str(s.Status.Reason)
+	e.Dur(s.Status.PlacedAt)
+	e.Dur(s.Status.DoneAt)
+}
+
+// DecodeStatus implements Resource.
+func (s *Session) DecodeStatus(d *wire.Decoder) {
+	s.Status.Phase = d.Str()
+	s.Status.Server = d.Str()
+	s.Status.Attempts = d.Int()
+	s.Status.Reason = d.Str()
+	s.Status.PlacedAt = d.Dur()
+	s.Status.DoneAt = d.Dur()
+}
+
+// Terminal reports whether the session reached a final phase.
+func (s *Session) Terminal() bool {
+	return s.Status.Phase == PhaseDone || s.Status.Phase == PhaseFailed
+}
+
+// StagedModelName returns the StagedModel resource name for an object
+// staged on a server (names are per-kind unique, so the server is part of
+// the key).
+func StagedModelName(server, object string) string { return server + "/" + object }
+
+// StagedModelSpec records one host-tier cache resident on one server.
+type StagedModelSpec struct {
+	Server string // GPUServer resource name
+	Object string // host-tier key name (download or staged working set)
+	Bytes  int64
+}
+
+// StagedModelStatus carries the recency the reclaim controller orders by.
+type StagedModelStatus struct {
+	Seq uint64 // LRU sequence: higher is fresher
+}
+
+// StagedModel is the control-plane record of one staged model/object.
+type StagedModel struct {
+	ObjectMeta
+	Spec   StagedModelSpec
+	Status StagedModelStatus
+}
+
+// Kind implements Resource.
+func (m *StagedModel) Kind() Kind { return KindStagedModel }
+
+// Meta implements Resource.
+func (m *StagedModel) Meta() *ObjectMeta { return &m.ObjectMeta }
+
+// DeepCopy implements Resource.
+func (m *StagedModel) DeepCopy() Resource { c := *m; return &c }
+
+// EncodeSpec implements Resource.
+func (m *StagedModel) EncodeSpec(e *wire.Encoder) {
+	e.Str(m.Spec.Server)
+	e.Str(m.Spec.Object)
+	e.I64(m.Spec.Bytes)
+}
+
+// DecodeSpec implements Resource.
+func (m *StagedModel) DecodeSpec(d *wire.Decoder) {
+	m.Spec.Server = d.Str()
+	m.Spec.Object = d.Str()
+	m.Spec.Bytes = d.I64()
+}
+
+// EncodeStatus implements Resource.
+func (m *StagedModel) EncodeStatus(e *wire.Encoder) { e.U64(m.Status.Seq) }
+
+// DecodeStatus implements Resource.
+func (m *StagedModel) DecodeStatus(d *wire.Decoder) { m.Status.Seq = d.U64() }
+
+// NewOfKind returns a zero resource of the named kind, for decoding wire
+// objects back into typed form.
+func NewOfKind(kind Kind) (Resource, error) {
+	switch kind {
+	case KindGPUServer:
+		return &GPUServer{}, nil
+	case KindAPIServer:
+		return &APIServer{}, nil
+	case KindSession:
+		return &Session{}, nil
+	case KindStagedModel:
+		return &StagedModel{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, kind)
+}
+
+// ToWire flattens a resource into its wire Object form.
+func ToWire(r Resource) storewire.Object {
+	m := r.Meta()
+	var spec, status wire.Encoder
+	r.EncodeSpec(&spec)
+	r.EncodeStatus(&status)
+	return storewire.Object{
+		Kind:            string(r.Kind()),
+		Name:            m.Name,
+		UID:             m.UID,
+		ResourceVersion: m.ResourceVersion,
+		Generation:      m.Generation,
+		CreatedAt:       m.CreatedAt,
+		Spec:            spec.Bytes(),
+		Status:          status.Bytes(),
+	}
+}
+
+// FromWire rebuilds a typed resource from its wire Object form.
+func FromWire(o storewire.Object) (Resource, error) {
+	r, err := NewOfKind(Kind(o.Kind))
+	if err != nil {
+		return nil, err
+	}
+	m := r.Meta()
+	m.Name = o.Name
+	m.UID = o.UID
+	m.ResourceVersion = o.ResourceVersion
+	m.Generation = o.Generation
+	m.CreatedAt = o.CreatedAt
+	d := wire.NewDecoder(o.Spec)
+	r.DecodeSpec(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: bad spec encoding: %w", ErrBadRequest, err)
+	}
+	d.Reset(o.Status)
+	r.DecodeStatus(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: bad status encoding: %w", ErrBadRequest, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,385 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dgsf/internal/metrics"
+	"dgsf/internal/sim"
+)
+
+// run executes fn as one simulated process.
+func run(t *testing.T, fn func(p *sim.Proc, s *Store)) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	s := New(e, nil)
+	e.Run("test", func(p *sim.Proc) { fn(p, s) })
+}
+
+func TestCreateGetSemantics(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		in := &GPUServer{ObjectMeta: ObjectMeta{Name: "gs-0"}, Spec: GPUServerSpec{GPUs: 2}}
+		stored, err := s.Create(p, in)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		m := stored.Meta()
+		if m.UID == 0 || m.ResourceVersion == 0 || m.Generation != 1 {
+			t.Fatalf("bad stored meta: %+v", m)
+		}
+		// The returned copy is private: mutating it must not affect the store.
+		stored.(*GPUServer).Spec.GPUs = 99
+		got, err := s.Get(p, KindGPUServer, "gs-0")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if got.(*GPUServer).Spec.GPUs != 2 {
+			t.Fatalf("store state leaked through returned copy")
+		}
+		if _, err := s.Create(p, in); !IsExists(err) {
+			t.Fatalf("duplicate create: got %v, want ErrExists", err)
+		}
+		if _, err := s.Get(p, KindGPUServer, "missing"); !IsNotFound(err) {
+			t.Fatalf("missing get: got %v, want ErrNotFound", err)
+		}
+		if _, err := s.Create(p, &GPUServer{}); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("empty name: got %v, want ErrBadRequest", err)
+		}
+	})
+}
+
+func TestUpdateOptimisticConcurrency(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		stored, err := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s1"}, Spec: SessionSpec{FnID: "f"}})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		a := stored.DeepCopy().(*Session)
+		b := stored.DeepCopy().(*Session)
+		a.Status.Phase = PhasePlaced
+		if _, err := s.UpdateStatus(p, a); err != nil {
+			t.Fatalf("first update: %v", err)
+		}
+		b.Status.Phase = PhaseFailed
+		if _, err := s.UpdateStatus(p, b); !IsConflict(err) {
+			t.Fatalf("stale update: got %v, want ErrConflict", err)
+		}
+		got, _ := s.Get(p, KindSession, "s1")
+		if got.(*Session).Status.Phase != PhasePlaced {
+			t.Fatalf("conflict overwrote state: %+v", got.(*Session).Status)
+		}
+	})
+}
+
+func TestGenerationBumpsOnSpecChangeOnly(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		stored, _ := s.Create(p, &GPUServer{ObjectMeta: ObjectMeta{Name: "gs"}, Spec: GPUServerSpec{GPUs: 1}})
+		cur := stored.DeepCopy().(*GPUServer)
+		cur.Status.Active = 3
+		updated, err := s.UpdateStatus(p, cur)
+		if err != nil {
+			t.Fatalf("status update: %v", err)
+		}
+		if g := updated.Meta().Generation; g != 1 {
+			t.Fatalf("status update bumped generation to %d", g)
+		}
+		if updated.Meta().ResourceVersion <= stored.Meta().ResourceVersion {
+			t.Fatal("status update did not bump RV")
+		}
+		cur = updated.DeepCopy().(*GPUServer)
+		cur.Spec.Unschedulable = true
+		updated, err = s.Update(p, cur)
+		if err != nil {
+			t.Fatalf("spec update: %v", err)
+		}
+		if g := updated.Meta().Generation; g != 2 {
+			t.Fatalf("spec change: generation %d, want 2", g)
+		}
+		// Spec-preserving Update does not bump Generation.
+		cur = updated.DeepCopy().(*GPUServer)
+		updated, err = s.Update(p, cur)
+		if err != nil {
+			t.Fatalf("no-op update: %v", err)
+		}
+		if g := updated.Meta().Generation; g != 2 {
+			t.Fatalf("no-op update: generation %d, want 2", g)
+		}
+	})
+}
+
+func TestUpdateStatusKeepsStoredSpec(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		stored, _ := s.Create(p, &GPUServer{ObjectMeta: ObjectMeta{Name: "gs"}, Spec: GPUServerSpec{GPUs: 4}})
+		cur := stored.DeepCopy().(*GPUServer)
+		cur.Spec.GPUs = 1 // stale/garbled spec on a status write must be ignored
+		cur.Status.Active = 1
+		if _, err := s.UpdateStatus(p, cur); err != nil {
+			t.Fatalf("update status: %v", err)
+		}
+		got, _ := s.Get(p, KindGPUServer, "gs")
+		if got.(*GPUServer).Spec.GPUs != 4 {
+			t.Fatalf("UpdateStatus overwrote spec: %+v", got.(*GPUServer).Spec)
+		}
+		if got.(*GPUServer).Status.Active != 1 {
+			t.Fatalf("UpdateStatus lost status: %+v", got.(*GPUServer).Status)
+		}
+	})
+}
+
+func TestDeleteVersionCheck(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		stored, _ := s.Create(p, &StagedModel{ObjectMeta: ObjectMeta{Name: "gs/m"}})
+		if err := s.Delete(p, KindStagedModel, "gs/m", stored.Meta().ResourceVersion+7); !IsConflict(err) {
+			t.Fatalf("stale delete: got %v, want ErrConflict", err)
+		}
+		if err := s.Delete(p, KindStagedModel, "gs/m", stored.Meta().ResourceVersion); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if err := s.Delete(p, KindStagedModel, "gs/m", 0); !IsNotFound(err) {
+			t.Fatalf("double delete: got %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestListSortedAndVersioned(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		for _, name := range []string{"b", "c", "a"} {
+			if _, err := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: name}}); err != nil {
+				t.Fatalf("create %s: %v", name, err)
+			}
+		}
+		objs, rv, err := s.List(p, KindSession)
+		if err != nil {
+			t.Fatalf("list: %v", err)
+		}
+		if len(objs) != 3 || objs[0].Meta().Name != "a" || objs[2].Meta().Name != "c" {
+			t.Fatalf("list not sorted: %v", objs)
+		}
+		if rv != s.RV() {
+			t.Fatalf("list rv %d != store rv %d", rv, s.RV())
+		}
+	})
+}
+
+func TestWatchDeliversOrderedEvents(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		w, err := s.Watch(p, KindSession, 0)
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+		stored, _ := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s"}})
+		cur := stored.DeepCopy().(*Session)
+		cur.Status.Phase = PhaseDone
+		updated, _ := s.UpdateStatus(p, cur)
+		_ = s.Delete(p, KindSession, "s", updated.Meta().ResourceVersion)
+		// Other kinds must not leak into the stream.
+		_, _ = s.Create(p, &GPUServer{ObjectMeta: ObjectMeta{Name: "gs"}})
+		want := []EventType{Added, Modified, Deleted}
+		var lastRV uint64
+		for _, wt := range want {
+			ev, ok := w.Events.Recv(p)
+			if !ok {
+				t.Fatal("watch closed early")
+			}
+			if ev.Type != wt {
+				t.Fatalf("event type %v, want %v", ev.Type, wt)
+			}
+			if ev.RV <= lastRV {
+				t.Fatalf("events out of RV order: %d after %d", ev.RV, lastRV)
+			}
+			lastRV = ev.RV
+			if ev.Object.Kind() != KindSession {
+				t.Fatalf("foreign kind on stream: %v", ev.Object.Kind())
+			}
+		}
+		w.Stop()
+		if _, ok := w.Events.Recv(p); ok {
+			t.Fatal("stream still open after Stop")
+		}
+	})
+}
+
+func TestWatchFromRVReplaysBacklog(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		first, _ := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s1"}})
+		_, _ = s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s2"}})
+		w, err := s.Watch(p, KindSession, first.Meta().ResourceVersion)
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+		ev, ok := w.Events.Recv(p)
+		if !ok || ev.Object.Meta().Name != "s2" {
+			t.Fatalf("backlog replay: got %+v", ev)
+		}
+		w.Stop()
+	})
+}
+
+func TestWatchFallsBackToRelistWhenLogTruncated(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		_, _ = s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "keep"}})
+		// Overflow the replay log so RV 1 is no longer reachable.
+		for i := 0; i < logWindow+10; i++ {
+			name := fmt.Sprintf("churn-%05d", i)
+			obj, _ := s.Create(p, &StagedModel{ObjectMeta: ObjectMeta{Name: name}})
+			_ = s.Delete(p, KindStagedModel, name, obj.Meta().ResourceVersion)
+		}
+		w, err := s.Watch(p, KindSession, 1)
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+		ev, ok := w.Events.Recv(p)
+		if !ok || ev.Type != Added || ev.Object.Meta().Name != "keep" {
+			t.Fatalf("relist fallback: got %+v ok=%v", ev, ok)
+		}
+		w.Stop()
+	})
+}
+
+func TestUpdateStatusAsyncDropsConflicts(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		stored, _ := s.Create(p, &GPUServer{ObjectMeta: ObjectMeta{Name: "gs"}})
+		stale := stored.DeepCopy().(*GPUServer)
+		cur := stored.DeepCopy().(*GPUServer)
+		cur.Status.Active = 1
+		if _, err := s.UpdateStatus(p, cur); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		stale.Status.Active = 42
+		if err := s.UpdateStatusAsync(p, stale); err != nil {
+			t.Fatalf("async conflict should be dropped, got %v", err)
+		}
+		got, _ := s.Get(p, KindGPUServer, "gs")
+		if got.(*GPUServer).Status.Active != 1 {
+			t.Fatalf("stale async write landed: %+v", got.(*GPUServer).Status)
+		}
+		// Non-conflict errors still surface.
+		if err := s.UpdateStatusAsync(p, &GPUServer{ObjectMeta: ObjectMeta{Name: "nope"}}); !IsNotFound(err) {
+			t.Fatalf("async on missing: got %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestPullEventsLongPoll(t *testing.T) {
+	e := sim.NewEngine(3)
+	s := New(e, nil)
+	e.Run("poller", func(p *sim.Proc) {
+		p.Spawn("writer", func(p *sim.Proc) {
+			p.Sleep(50 * time.Millisecond)
+			_, _ = s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "late"}})
+		})
+		evs, nextRV, err := s.PullEvents(p, KindSession, 0, 16, time.Second)
+		if err != nil {
+			t.Errorf("pull: %v", err)
+			return
+		}
+		if len(evs) != 1 || evs[0].Object.Meta().Name != "late" {
+			t.Errorf("long poll missed the write: %+v", evs)
+		}
+		if nextRV != s.RV() {
+			t.Errorf("nextRV %d != %d", nextRV, s.RV())
+		}
+		// A second poll from nextRV times out empty.
+		evs, _, err = s.PullEvents(p, KindSession, nextRV, 16, 10*time.Millisecond)
+		if err != nil || len(evs) != 0 {
+			t.Errorf("empty poll: evs=%v err=%v", evs, err)
+		}
+	})
+}
+
+func TestStoreMetrics(t *testing.T) {
+	e := sim.NewEngine(1)
+	reg := metrics.NewRegistry()
+	s := New(e, reg)
+	e.Run("test", func(p *sim.Proc) {
+		stored, _ := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s"}})
+		stale := stored.DeepCopy().(*Session)
+		cur := stored.DeepCopy().(*Session)
+		cur.Status.Phase = PhaseDone
+		_, _ = s.UpdateStatus(p, cur)
+		_, _ = s.UpdateStatus(p, stale) // conflict
+		w, _ := s.Watch(p, KindSession, 0)
+		_, _ = s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s2"}})
+		w.Stop()
+	})
+	if got := reg.Get("store_writes_total"); got != 3 {
+		t.Errorf("writes = %d, want 3", got)
+	}
+	if got := reg.Get("store_conflicts_total"); got != 1 {
+		t.Errorf("conflicts = %d, want 1", got)
+	}
+	if reg.Get("store_watch_events_total") == 0 {
+		t.Error("watch events not counted")
+	}
+	if got := reg.Get("store_objects"); got != 2 {
+		t.Errorf("objects gauge = %d, want 2", got)
+	}
+	if got := reg.Get("store_watchers"); got != 0 {
+		t.Errorf("watchers gauge = %d, want 0 after Stop", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	trace := func() string {
+		e := sim.NewEngine(7)
+		s := New(e, nil)
+		var out string
+		e.Run("test", func(p *sim.Proc) {
+			w, _ := s.Watch(p, KindSession, 0)
+			for i := 0; i < 5; i++ {
+				name := fmt.Sprintf("s%d", i)
+				obj, _ := s.Create(p, &Session{ObjectMeta: ObjectMeta{Name: name}})
+				c := obj.DeepCopy().(*Session)
+				c.Status.Phase = PhaseDone
+				_, _ = s.UpdateStatus(p, c)
+			}
+			for i := 0; i < 10; i++ {
+				ev, _ := w.Events.Recv(p)
+				out += fmt.Sprintf("%s:%s@%d;", ev.Type, ev.Object.Meta().Name, ev.RV)
+			}
+			w.Stop()
+		})
+		return out
+	}
+	if a, b := trace(), trace(); a != b {
+		t.Fatalf("nondeterministic event stream:\n%s\n%s", a, b)
+	}
+}
+
+func TestFuseBlowsBetweenWrites(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Store) {
+		f := NewFuse(s)
+		blown := 0
+		f.Blown = func() { blown++ }
+		obj, err := f.Create(p, &Session{ObjectMeta: ObjectMeta{Name: "s"}})
+		if err != nil {
+			t.Fatalf("pre-arm create: %v", err)
+		}
+		f.Arm(1)
+		c := obj.DeepCopy().(*Session)
+		c.Status.Phase = PhasePlaced
+		placed, err := f.UpdateStatus(p, c) // write 1: allowed
+		if err != nil {
+			t.Fatalf("armed write 1: %v", err)
+		}
+		c2 := placed.DeepCopy().(*Session)
+		c2.Status.Phase = PhaseRunning
+		if _, err := f.UpdateStatus(p, c2); !IsHalted(err) { // write 2: crash
+			t.Fatalf("armed write 2: got %v, want ErrHalted", err)
+		}
+		if !f.IsBlown() || blown != 1 {
+			t.Fatalf("fuse state: blown=%v cb=%d", f.IsBlown(), blown)
+		}
+		// Everything, including reads, now fails.
+		if _, err := f.Get(p, KindSession, "s"); !IsHalted(err) {
+			t.Fatalf("read after blow: got %v", err)
+		}
+		// The store itself is untouched: write 1 landed, write 2 did not.
+		got, err := s.Get(p, KindSession, "s")
+		if err != nil || got.(*Session).Status.Phase != PhasePlaced {
+			t.Fatalf("store state after crash: %+v err=%v", got, err)
+		}
+	})
+}
