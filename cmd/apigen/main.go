@@ -165,6 +165,12 @@ var spec = []Call{
 	// --- model cache (DGSF extension; internal/modelcache) ---
 	{Name: "ModelAttach", Doc: "asks the API server for a cached copy of the session function's model working set; Tier reports where it was found (0 miss, 1 host-staged, 2 GPU-resident) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Tier", "int"}}, Class: "remote", Establishes: true},
 	{Name: "ModelPersist", Doc: "marks a session allocation as the function's model working set, a candidate for retention in the model cache when the session ends; without a cache it behaves like cudaFree", Req: []Field{{"Ptr", "devptr"}}, Class: "remote"},
+
+	// --- GPU-side data plane (DGSF extension; internal/dataplane) ---
+	{Name: "MemExport", Doc: "detaches a session allocation and publishes it on the GPU server's data plane under a fabric-wide export ID; ownership moves out of the session (like ModelPersist, it is a state-removing call) and the tensor stays device-resident awaiting a consumer", Req: []Field{{"Ptr", "devptr"}, {"Tag", "str"}}, Resp: []Field{{"Export", "u64"}, {"Size", "i64"}}, Class: "remote"},
+	{Name: "MemImport", Doc: "maps an export published by another API server on the same GPU server into the session: a zero-copy VMM remap when producer and consumer share a device, a D2D clone across devices of one machine; fails for exports on other GPU servers (use PeerCopy)", Req: []Field{{"Export", "u64"}}, Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}}, Class: "remote", Establishes: true},
+	{Name: "PeerCopy", Doc: "pulls an export from another GPU server over the bandwidth-modeled data-plane fabric into a fresh session allocation, consuming the export; degrades to MemImport semantics when the export turns out to be local", Req: []Field{{"Export", "u64"}}, Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}}, Class: "remote", Establishes: true},
+	{Name: "ModelBroadcast", Doc: "one-to-many model fan-out: the first caller per GPU server pays a single host-staged read and becomes the broadcast source, later callers clone it device-to-device; Src reports the path (0 miss, 1 host seed, 2 device clone) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Src", "int"}}, Class: "remote", Establishes: true},
 }
 
 // descriptorSpecies expands into Create/Set/Destroy triples, mirroring the

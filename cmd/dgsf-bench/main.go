@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults, fleet)")
+	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults, fleet, pipeline)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.Int("runs", 3, "runs to average for table2/table5")
 	csvDir := flag.String("csv", "", "directory to write figure time-series as CSV (fig7, fig8)")
@@ -65,11 +65,12 @@ func main() {
 	run("cache", func() { cache(*seed) })
 	run("faults", func() { faultsExp(*seed) })
 	run("fleet", func() { fleetExp(*seed) })
+	run("pipeline", func() { pipelineExp(*seed) })
 
 	if *exp != "all" {
 		switch *exp {
 		case "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6", "fig7", "table5", "fig8",
-			"sched", "sweep", "rtt", "scale", "cache", "faults", "fleet":
+			"sched", "sweep", "rtt", "scale", "cache", "faults", "fleet", "pipeline":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -352,6 +353,31 @@ func fleetExp(seed int64) {
 	fmt.Println("   machine failures and a placement-controller kill mid-reconcile)")
 }
 
+func pipelineExp(seed int64) {
+	header("Extension: GPU-side data plane (chained handoff, peer copy, model fan-out)")
+	r := experiments.RunPipeline(seed)
+	fmt.Printf("same-server chain:  handoff=%-8s bounce=%-8s saved=%s\n",
+		s(r.SameHandoff), s(r.SameBounce), s(r.SameBounce-r.SameHandoff))
+	for _, c := range r.Cross {
+		fmt.Printf("cross-server chain: rtt=%-6v peer=%-8s bounce=%-8s saved=%s (peer-copies=%d)\n",
+			c.RTT, s(c.Peer), s(c.Bounce), s(c.Bounce-c.Peer), c.PeerCopies)
+	}
+	fmt.Printf("%d-way fan-out:      broadcast=%-8s baseline=%-8s saved=%s\n",
+		r.FanOut, s(r.BroadcastE2E), s(r.BaselineE2E), s(r.BaselineE2E-r.BroadcastE2E))
+	fmt.Println("data-plane counters (same-server run):")
+	fmt.Print(indent(r.MetricsTable, "  "))
+
+	handoffBeats := r.SameHandoff < r.SameBounce
+	peerBeats := len(r.Cross) > 0
+	for _, c := range r.Cross {
+		peerBeats = peerBeats && c.Peer < c.Bounce && c.PeerCopies > 0
+	}
+	fmt.Printf("pipeline_summary handoff_beats_bounce=%v peer_beats_bounce=%v broadcast_loads=%d broadcast_clones=%d bypass_hits=%d fallbacks=%d\n",
+		handoffBeats, peerBeats, r.BroadcastLoads, r.BroadcastClones, r.BypassHits, r.Fallbacks)
+	fmt.Println("  (the GPU-side handoff must strictly beat the objstore bounce at every")
+	fmt.Println("   placement and RTT, and an N-way fan-out must stage the model once)")
+}
+
 // indent prefixes every line of s.
 func indent(text, prefix string) string {
 	var b strings.Builder
@@ -380,6 +406,12 @@ func faultsExp(seed int64) {
 			r.Killed, r.FailedGS, r.Dropped, r.Corrupted,
 			s(r.ProviderE2E), pct(r.ProviderE2E, base.ProviderE2E),
 			s(r.E2ESum), pct(r.E2ESum, base.E2ESum))
+	}
+	for _, r := range rows {
+		if r.GPUChains+r.Fallbacks > 0 {
+			fmt.Printf("  %s: chains over the data plane — gpu-handoff=%d host-bounce-fallback=%d\n",
+				r.Scenario, r.GPUChains, r.Fallbacks)
+		}
 	}
 	fmt.Println("  (recov = invocations that redialed and replayed their session at least once;")
 	fmt.Println("   deltas are read against the no-fault baseline with the same recovery machinery on)")

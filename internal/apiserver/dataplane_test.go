@@ -1,0 +1,360 @@
+package apiserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dgsf/internal/cuda"
+	"dgsf/internal/dataplane"
+	"dgsf/internal/gpu"
+	"dgsf/internal/guest"
+	"dgsf/internal/metrics"
+	"dgsf/internal/modelcache"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+)
+
+// planeRig wires one GPU server's worth of data plane: n fast devices under
+// one runtime, and one API server + guest per entry in homes (the server's
+// home device). All servers share the same plane, like siblings on a machine.
+type planeRig struct {
+	devs   []*gpu.Device
+	srvs   []*Server
+	guests []*guest.Lib
+}
+
+func newPlaneRig(e *sim.Engine, p *sim.Proc, n int, homes []int, pl *dataplane.Plane, cache *modelcache.Manager) *planeRig {
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		c := gpu.V100Config(i)
+		c.CopyLat, c.KernelLat = 0, 0
+		devs[i] = gpu.New(e, c)
+	}
+	r := &planeRig{devs: devs}
+	rt := cuda.NewRuntime(e, devs, cuda.Costs{})
+	for i, home := range homes {
+		cfg := fastCfg()
+		cfg.ID = i
+		cfg.HomeDev = home
+		cfg.Plane = pl
+		cfg.Cache = cache
+		srv := NewServer(e, rt, cfg)
+		p.SpawnDaemon("apiserver", srv.Run)
+		conn := remoting.Dial(e, &remoting.Listener{Incoming: srv.Inbox}, remoting.NetProfile{RTT: 50 * time.Microsecond})
+		r.srvs = append(r.srvs, srv)
+		r.guests = append(r.guests, guest.New(conn, guest.OptAll))
+	}
+	return r
+}
+
+func TestMemExportImportSameDevice(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		reg := metrics.NewRegistry()
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), reg)
+		pl := fab.NewPlane("gpu-a")
+		r := newPlaneRig(e, p, 1, []int{0, 0}, pl, nil)
+		prod, cons := r.guests[0], r.guests[1]
+		const size = int64(32 << 20)
+
+		if err := prod.Hello(p, "producer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := prod.Malloc(p, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prod.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 77, Size: size}, size); err != nil {
+			t.Fatal(err)
+		}
+		export, xsize, err := prod.MemExport(p, ptr, "boxes")
+		if err != nil || export == 0 || xsize != size {
+			t.Fatalf("MemExport = (%d, %d, %v)", export, xsize, err)
+		}
+		// Ownership left the session: the pointer is dead for the producer.
+		if _, err := prod.MemcpyD2H(p, ptr, size); err == nil {
+			t.Fatal("exported pointer must be invalid for the producer")
+		}
+
+		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		iptr, isize, err := cons.MemImport(p, export)
+		if err != nil || isize != size {
+			t.Fatalf("MemImport = (%d, %d, %v)", iptr, isize, err)
+		}
+		buf, err := cons.MemcpyD2H(p, iptr, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gpu.Mix(gpu.Mix(77, uint64(size)), uint64(size))
+		if buf.FP != want {
+			t.Fatalf("imported content fingerprint = %d, want %d", buf.FP, want)
+		}
+
+		// The export stays in the namespace while the mapping lives, and
+		// leaves (memory freed) when the consumer drops it.
+		if _, ok := fab.Lookup(export); !ok {
+			t.Fatal("export must stay live while mapped")
+		}
+		if err := cons.Free(p, iptr); err != nil {
+			t.Fatal(err)
+		}
+		cons.FlushBatch(p)
+		if _, ok := fab.Lookup(export); ok {
+			t.Fatal("export must leave the namespace after the last mapping drops")
+		}
+		if used := r.devs[0].UsedBytes(); used != 0 {
+			t.Fatalf("device memory leaked: %d", used)
+		}
+		if reg.Get(dataplane.CtrBypassHits) != 1 || reg.Get(dataplane.CtrImports) != 1 {
+			t.Fatalf("counters: %s", reg.String())
+		}
+	})
+}
+
+func TestMemImportCrossDeviceClones(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		reg := metrics.NewRegistry()
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), reg)
+		pl := fab.NewPlane("gpu-a")
+		r := newPlaneRig(e, p, 2, []int{0, 1}, pl, nil)
+		prod, cons := r.guests[0], r.guests[1]
+		const size = int64(16 << 20)
+
+		if err := prod.Hello(p, "producer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := prod.Malloc(p, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prod.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 5, Size: size}, size); err != nil {
+			t.Fatal(err)
+		}
+		export, _, err := prod.MemExport(p, ptr, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		iptr, isize, err := cons.MemImport(p, export)
+		if err != nil || isize != size {
+			t.Fatalf("cross-device MemImport = (%d, %d, %v)", iptr, isize, err)
+		}
+		// The clone consumed the export: source memory freed, namespace clean.
+		if _, ok := fab.Lookup(export); ok {
+			t.Fatal("consumed export must leave the namespace")
+		}
+		if used := r.devs[0].UsedBytes(); used != 0 {
+			t.Fatalf("source device memory leaked: %d", used)
+		}
+		buf, err := cons.MemcpyD2H(p, iptr, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gpu.Mix(gpu.Mix(5, uint64(size)), uint64(size))
+		if buf.FP != want {
+			t.Fatalf("cloned content fingerprint = %d, want %d", buf.FP, want)
+		}
+		if reg.Get(dataplane.CtrBypassHits) != 1 {
+			t.Fatalf("cross-device import must still count as a bypass: %s", reg.String())
+		}
+	})
+}
+
+func TestPeerCopyAcrossServers(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		reg := metrics.NewRegistry()
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), reg)
+		plA, plB := fab.NewPlane("gpu-a"), fab.NewPlane("gpu-b")
+		ra := newPlaneRig(e, p, 1, []int{0}, plA, nil)
+		rb := newPlaneRig(e, p, 1, []int{0}, plB, nil)
+		prod, cons := ra.guests[0], rb.guests[0]
+		const size = int64(8 << 20)
+
+		if err := prod.Hello(p, "producer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := prod.Malloc(p, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prod.MemcpyH2D(p, ptr, gpu.HostBuffer{FP: 9, Size: size}, size); err != nil {
+			t.Fatal(err)
+		}
+		export, _, err := prod.MemExport(p, ptr, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		// A remote export cannot be imported in place.
+		if _, _, err := cons.MemImport(p, export); !errors.Is(err, cuda.ErrInvalidDevice) {
+			t.Fatalf("remote MemImport = %v, want ErrInvalidDevice", err)
+		}
+		iptr, isize, err := cons.PeerCopy(p, export)
+		if err != nil || isize != size {
+			t.Fatalf("PeerCopy = (%d, %d, %v)", iptr, isize, err)
+		}
+		buf, err := cons.MemcpyD2H(p, iptr, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gpu.Mix(gpu.Mix(9, uint64(size)), uint64(size))
+		if buf.FP != want {
+			t.Fatalf("peer-copied fingerprint = %d, want %d", buf.FP, want)
+		}
+		if _, ok := fab.Lookup(export); ok {
+			t.Fatal("peer copy must consume the export")
+		}
+		if used := ra.devs[0].UsedBytes(); used != 0 {
+			t.Fatalf("producer-side memory leaked: %d", used)
+		}
+		if reg.Get(dataplane.CtrPeerCopies) != 1 || reg.Get(dataplane.CtrPeerBytes) != size {
+			t.Fatalf("peer counters: %s", reg.String())
+		}
+		if reg.Get(dataplane.CtrBypassHits) != 0 {
+			t.Fatal("a fabric transfer is not a same-server bypass")
+		}
+	})
+}
+
+func TestImportFromFailedPlane(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), nil)
+		plA, plB := fab.NewPlane("gpu-a"), fab.NewPlane("gpu-b")
+		ra := newPlaneRig(e, p, 1, []int{0, 0}, plA, nil)
+		rb := newPlaneRig(e, p, 1, []int{0}, plB, nil)
+		prod, sib, cons := ra.guests[0], ra.guests[1], rb.guests[0]
+
+		if err := prod.Hello(p, "producer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := prod.Malloc(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		export, _, err := prod.MemExport(p, ptr, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		plA.Fail()
+
+		if err := sib.Hello(p, "sibling", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sib.MemImport(p, export); !errors.Is(err, cuda.ErrDevicesUnavailable) {
+			t.Fatalf("import from failed plane = %v, want ErrDevicesUnavailable", err)
+		}
+		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cons.PeerCopy(p, export); !errors.Is(err, cuda.ErrDevicesUnavailable) {
+			t.Fatalf("peer copy from failed plane = %v, want ErrDevicesUnavailable", err)
+		}
+	})
+}
+
+func TestMemExportRefusesImportedPointer(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), nil)
+		pl := fab.NewPlane("gpu-a")
+		r := newPlaneRig(e, p, 1, []int{0, 0}, pl, nil)
+		prod, cons := r.guests[0], r.guests[1]
+
+		if err := prod.Hello(p, "producer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, err := prod.Malloc(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		export, _, err := prod.MemExport(p, ptr, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		iptr, _, err := cons.MemImport(p, export)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-exporting a zero-copy mapping would fork ownership.
+		if _, _, err := cons.MemExport(p, iptr, "fork"); !errors.Is(err, cuda.ErrInvalidValue) {
+			t.Fatalf("re-export of imported pointer = %v, want ErrInvalidValue", err)
+		}
+	})
+}
+
+func TestModelBroadcastSeedCloneReseed(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("root", func(p *sim.Proc) {
+		reg := metrics.NewRegistry()
+		fab := dataplane.NewFabric(dataplane.DefaultConfig(), reg)
+		pl := fab.NewPlane("gpu-a")
+		cache := modelcache.NewManager(modelcache.Config{Enable: true})
+		const modelBytes = int64(64 << 20)
+		key := modelcache.StateKey("fn")
+		cache.Host().Put(key, modelBytes)
+
+		r := newPlaneRig(e, p, 1, []int{0, 0}, pl, cache)
+		a, b := r.guests[0], r.guests[1]
+
+		// First session seeds from the host tier, second clones on-device.
+		if err := a.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		_, size, src, err := a.ModelBroadcast(p)
+		if err != nil || src != dataplane.SrcHostSeed || size != modelBytes {
+			t.Fatalf("first broadcast = (size=%d, src=%d, %v)", size, src, err)
+		}
+		if err := b.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		_, size, src, err = b.ModelBroadcast(p)
+		if err != nil || src != dataplane.SrcClone || size != modelBytes {
+			t.Fatalf("second broadcast = (size=%d, src=%d, %v)", size, src, err)
+		}
+
+		// The seeder leaving drops the source; the next asker re-seeds.
+		if err := a.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Hello(p, "fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		_, _, src, err = a.ModelBroadcast(p)
+		if err != nil || src != dataplane.SrcHostSeed {
+			t.Fatalf("post-drop broadcast = (src=%d, %v), want a fresh host seed", src, err)
+		}
+
+		if pl.HostLoads(key.Name) != 2 {
+			t.Fatalf("host loads = %d, want 2", pl.HostLoads(key.Name))
+		}
+		if reg.Get(dataplane.CtrBroadcastLoads) != 2 || reg.Get(dataplane.CtrBroadcastClones) != 1 {
+			t.Fatalf("broadcast counters: %s", reg.String())
+		}
+
+		// A function with nothing staged gets a miss, not an error.
+		if err := b.Bye(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Hello(p, "unknown-fn", 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		ptr, _, src, err := b.ModelBroadcast(p)
+		if err != nil || ptr != 0 || src != dataplane.SrcMiss {
+			t.Fatalf("unstaged broadcast = (ptr=%d, src=%d, %v), want a miss", ptr, src, err)
+		}
+	})
+}

@@ -27,6 +27,14 @@ func (s *Server) Migrate(p *sim.Proc, target int) (time.Duration, error) {
 	if target == s.curDev {
 		return 0, nil
 	}
+	// Live data-plane attachments pin the server to its device: a zero-copy
+	// imported mapping shares physical memory owned by the fabric, and a
+	// broadcast source is cloned from by sibling servers. Moving would free
+	// or strand that shared memory, so refuse until the session drops them
+	// (real CUDA similarly refuses to unmap memory with open IPC handles).
+	if sess := s.sess; sess != nil && (len(sess.imported) > 0 || sess.bcastPtr != 0) {
+		return 0, cuda.ErrAlreadyMapped
+	}
 	start := p.Now()
 	oldCtx, err := s.rt.Context(p, s.curDev)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"dgsf/internal/cuda"
 	"dgsf/internal/cudalibs"
+	"dgsf/internal/dataplane"
 	"dgsf/internal/gpu"
 	"dgsf/internal/modelcache"
 	"dgsf/internal/remoting"
@@ -53,6 +54,11 @@ type Config struct {
 	// server may keep a function's model working set mapped after Bye and
 	// hand it to the function's next invocation (internal/modelcache).
 	Cache *modelcache.Manager
+
+	// Plane, when non-nil, is the GPU server's data plane: tensor
+	// export/import between the machine's API servers, peer copies across
+	// machines, and model broadcast (internal/dataplane).
+	Plane *dataplane.Plane
 }
 
 // Stats is a snapshot of server activity for the monitor.
@@ -137,6 +143,15 @@ type session struct {
 	nextHost   uint64
 
 	persistPtr cuda.DevPtr // allocation to offer to the model cache at Bye
+
+	// Data-plane state. imported maps a session va to the fabric export
+	// whose physical memory it shares zero-copy: such pointers are released
+	// by detaching the mapping, never by freeing the shared backing.
+	// bcastPtr/bcastKey root the model-broadcast source this session seeds,
+	// deregistered when the pointer is freed or the session ends.
+	imported map[cuda.DevPtr]uint64
+	bcastPtr cuda.DevPtr
+	bcastKey string
 }
 
 var _ gen.API = (*Server)(nil)
@@ -276,7 +291,7 @@ func (s *Server) scavenge(p *sim.Proc) {
 	if sess != nil {
 		if ctx, err := s.rt.Context(p, s.curDev); err == nil {
 			for _, ptr := range sortedKeys(sess.allocs) {
-				_ = ctx.Free(p, ptr)
+				s.releaseSessionPtr(p, ctx, sess, ptr)
 			}
 		}
 		for _, virt := range sortedKeys(sess.streams) {
@@ -515,6 +530,7 @@ func (s *Server) Hello(p *sim.Proc, fnID string, memLimit int64) error {
 		blass:      make(map[cudalibs.BLASHandle]cudalibs.BLASHandle),
 		descs:      make(map[cudalibs.Descriptor]bool),
 		hostAllocs: make(map[uint64]int64),
+		imported:   make(map[cuda.DevPtr]uint64),
 	}
 	return nil
 }
@@ -543,7 +559,7 @@ func (s *Server) Bye(p *sim.Proc) error {
 		}
 	}
 	for _, ptr := range sortedKeys(sess.allocs) {
-		_ = ctx.Free(p, ptr)
+		s.releaseSessionPtr(p, ctx, sess, ptr)
 	}
 	for _, virt := range sortedKeys(sess.streams) {
 		perDev := sess.streams[virt]
@@ -685,6 +701,11 @@ func (s *Server) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
 		return cuda.ErrNotInitialized
 	}
 	if _, ok := sess.allocs[ptr]; !ok {
+		return cuda.ErrInvalidValue
+	}
+	if _, shared := sess.imported[ptr]; shared {
+		// A zero-copy import shares fabric-owned memory; the session cannot
+		// promise it to the cache beyond its own lifetime.
 		return cuda.ErrInvalidValue
 	}
 	if s.cfg.Cache == nil {
@@ -837,7 +858,9 @@ func (s *Server) Malloc(p *sim.Proc, size int64) (cuda.DevPtr, error) {
 	return ptr, nil
 }
 
-// Free releases a function allocation.
+// Free releases a function allocation. Pointers attached through the data
+// plane (zero-copy imports, broadcast sources) carry extra bookkeeping, so
+// the release goes through the shared helper.
 func (s *Server) Free(p *sim.Proc, ptr cuda.DevPtr) error {
 	sess := s.sess
 	if sess == nil {
@@ -851,9 +874,7 @@ func (s *Server) Free(p *sim.Proc, ptr cuda.DevPtr) error {
 	if err != nil {
 		return err
 	}
-	if err := ctx.Free(p, ptr); err != nil {
-		return err
-	}
+	s.releaseSessionPtr(p, ctx, sess, ptr)
 	delete(sess.allocs, ptr)
 	sess.used -= size
 	return nil

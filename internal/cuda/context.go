@@ -274,6 +274,69 @@ func (c *Context) AdoptPhys(a *gpu.PhysAlloc) PhysHandle {
 	return h
 }
 
+// DetachPhys unmaps ptr and removes its backing physical allocation from the
+// context without freeing device memory: ownership of the allocation passes
+// to the caller. This is the export half of the GPU-side data plane — the
+// tensor stays resident on the device while it waits for a consumer.
+func (c *Context) DetachPhys(p *sim.Proc, ptr DevPtr) (*gpu.PhysAlloc, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	i := c.findReservation(uint64(ptr))
+	if i < 0 || c.reserved[i].Addr != uint64(ptr) {
+		return nil, ErrInvalidValue
+	}
+	h := c.reserved[i].Phys
+	if h == 0 {
+		return nil, ErrNotMapped
+	}
+	a, ok := c.phys[h]
+	if !ok {
+		return nil, ErrInvalidResourceHandle
+	}
+	if err := c.MemUnmap(p, ptr); err != nil {
+		return nil, err
+	}
+	delete(c.phys, h)
+	if err := c.MemAddressFree(p, ptr); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AdoptMapped maps an existing physical allocation — typically detached from
+// another context on the same device — into this context's address space
+// (reserve + adopt + map). This is the import half of the data plane's
+// zero-copy handoff: no bytes move, only page tables.
+func (c *Context) AdoptMapped(p *sim.Proc, a *gpu.PhysAlloc) (DevPtr, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	if a.Device() != c.dev {
+		return 0, ErrInvalidDevice
+	}
+	ptr, err := c.MemAddressReserve(p, a.Size())
+	if err != nil {
+		return 0, err
+	}
+	h := c.AdoptPhys(a)
+	if err := c.MemMap(p, ptr, h); err != nil {
+		delete(c.phys, h)
+		_ = c.MemAddressFree(p, ptr)
+		return 0, err
+	}
+	return ptr, nil
+}
+
+// Backing resolves a device pointer to its physical allocation. The data
+// plane uses it for peer copies and broadcast clones.
+func (c *Context) Backing(ptr DevPtr) (*gpu.PhysAlloc, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	return c.resolve(ptr)
+}
+
 // UsedBytes returns device memory charged to this context's allocations,
 // excluding the fixed context footprint.
 func (c *Context) UsedBytes() int64 {

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"dgsf/internal/dataplane"
 	"dgsf/internal/faas"
 	"dgsf/internal/faults"
 	"dgsf/internal/gpuserver"
@@ -38,14 +40,21 @@ type FaultsResult struct {
 
 	ProviderE2E time.Duration
 	E2ESum      time.Duration
+
+	// Pipeline-scenario extras (zero elsewhere): chains that completed via
+	// the GPU-side handoff and chains that fell back to the host bounce
+	// after the injected failure.
+	GPUChains int
+	Fallbacks int
 }
 
 // faultScenario pairs a name with an injection plan builder; the plan may
 // depend on the number of hosted API servers.
 type faultScenario struct {
-	name    string
-	servers int // GPU servers in the deployment
-	plan    faults.Plan
+	name     string
+	servers  int // GPU servers in the deployment
+	plan     faults.Plan
+	pipeline bool // run chained pipelines over the data plane instead of the mix
 }
 
 // faultsScenarios returns the scenario ladder: a no-fault control, then one
@@ -74,6 +83,21 @@ func faultsScenarios() []faultScenario {
 				// it mid-run kills active sessions: their leases are revoked
 				// and the guests must fail over to the surviving server.
 				{At: 20 * time.Second, Kind: faults.FailGPUServer, Server: 0},
+			}},
+		},
+		{
+			name:     "pipeline-crash",
+			servers:  2,
+			pipeline: true,
+			plan: faults.Plan{Events: []faults.Event{
+				// PickFixed routes chains to server 0. 12.3s is inside the
+				// second chain's handoff window on every CI seed: its
+				// producer has exported the tensor on server 0 and finished,
+				// and its consumer is still downloading. Failing the machine
+				// there strands a live export — the consumer's import must
+				// fail promptly (not hang) and the chain must complete via
+				// the host-bounce fallback on the surviving server.
+				{At: 12300 * time.Millisecond, Kind: faults.FailGPUServer, Server: 0},
 			}},
 		},
 		{
@@ -106,6 +130,9 @@ func RunFaults(seed int64) []FaultsResult {
 }
 
 func runFaultScenario(seed int64, sc faultScenario) FaultsResult {
+	if sc.pipeline {
+		return runPipelineFaultScenario(seed, sc)
+	}
 	res := FaultsResult{Scenario: sc.name}
 	e := sim.NewEngine(seed)
 	// Zero hangs under injection is an acceptance criterion, not a hope: a
@@ -159,6 +186,80 @@ func runFaultScenario(seed int64, sc faultScenario) FaultsResult {
 		}
 		res.ProviderE2E = backend.ProviderEndToEnd()
 		res.E2ESum = backend.E2ESum()
+		res.Killed = inj.Killed
+		res.FailedGS = inj.Failed
+		res.Dropped = inj.Dropped
+		res.Stalled = inj.Stalled
+		res.Corrupted = inj.Corrupted
+	})
+	return res
+}
+
+// runPipelineFaultScenario drives chained detect→identify pipelines over the
+// GPU-side data plane while a GPU server fails mid-chain. The acceptance bar
+// is zero failed chains and zero hangs: a chain whose handoff dies with the
+// machine falls back to the bounce path (or recovers onto the survivor) and
+// still completes.
+func runPipelineFaultScenario(seed int64, sc faultScenario) FaultsResult {
+	res := FaultsResult{Scenario: sc.name}
+	e := sim.NewEngine(seed)
+	e.SetTimeLimit(2 * time.Hour)
+	fab := dataplane.NewFabric(dataplane.DefaultConfig(), nil)
+	e.Run("faults-pipeline", func(p *sim.Proc) {
+		var servers []*gpuserver.GPUServer
+		for i := 0; i < sc.servers; i++ {
+			gcfg := gpuserver.DefaultConfig()
+			gcfg.GPUs = 1
+			gcfg.ServersPerGPU = 2
+			gcfg.HeartbeatPeriod = 50 * time.Millisecond
+			gcfg.HeartbeatMisses = 3
+			gcfg.QueueDeadline = 5 * time.Minute
+			gcfg.Plane = fab.NewPlane(fmt.Sprintf("gpu-%d", i))
+			gs := gpuserver.New(e, gcfg)
+			gs.Start(p)
+			servers = append(servers, gs)
+		}
+
+		inj := faults.NewInjector(e, sc.plan, servers)
+		inj.Arm(p)
+
+		backend := faas.NewMultiBackend(e, servers, faas.PickFixed, faas.OpenFaaSEnv())
+		backend.DialHook = inj.WrapConn
+		rc := guestRecoveryDefaults()
+		backend.Recovery = &rc
+
+		h := &dataplane.Handoff{}
+		spec := faas.ChainSpec{
+			Producer: workloads.DetectStage(h),
+			Consumer: workloads.IdentifyStage(h),
+			Handoff:  h,
+			Fabric:   fab,
+		}
+		const chains = 6
+		start := p.Now()
+		for i := 0; i < chains; i++ {
+			r := backend.InvokeChain(p, spec)
+			res.Invocations++
+			if r.Err != nil {
+				res.Failed++
+			} else if r.FellBack {
+				res.Fallbacks++
+			} else {
+				res.GPUChains++
+			}
+			recov := 0
+			for _, inv := range []*faas.Invocation{r.Producer, r.Consumer} {
+				if inv != nil {
+					recov += inv.Recoveries
+				}
+			}
+			if recov > 0 {
+				res.Recovered++
+			}
+			res.Recoveries += recov
+			res.E2ESum += r.E2E()
+		}
+		res.ProviderE2E = p.Now() - start
 		res.Killed = inj.Killed
 		res.FailedGS = inj.Failed
 		res.Dropped = inj.Dropped

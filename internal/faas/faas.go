@@ -88,7 +88,16 @@ type Invocation struct {
 	QueueDelay   time.Duration
 	ModelCached  bool // model bytes served from the GPU server's host cache
 	Recoveries   int  // guest session recoveries during the GPU phase
+	Server       int  // index of the GPU server that ran it (-1: never placed)
 	Err          error
+
+	// pref is a placement preference, stored as server index + 1 so the
+	// zero value means "no preference". Chained invocations use it to land
+	// a consumer on (or off) its producer's GPU server.
+	pref int
+	// inputTensor names the TensorHandle resource holding this invocation's
+	// input (fleet path); the placement controller binds the session near it.
+	inputTensor string
 }
 
 // E2E returns the invocation's end-to-end latency (launch to completion).
@@ -248,14 +257,38 @@ func (b *Backend) Env() Env { return b.env }
 
 // Submit launches one invocation asynchronously and returns its record.
 func (b *Backend) Submit(p *sim.Proc, fn *Function) *Invocation {
-	b.nextSeq++
-	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now()}
-	b.invocations = append(b.invocations, inv)
+	inv := b.newInvocation(p, fn)
 	b.inflight.Add(1)
 	p.Spawn(fmt.Sprintf("fn-%s-%d", fn.Name, inv.Seq), func(p *sim.Proc) {
 		defer b.inflight.Done()
 		b.execute(p, inv)
 	})
+	return inv
+}
+
+// Invoke runs one invocation synchronously on the calling proc and returns
+// its completed record. Chained pipelines use it: the consumer must not be
+// dispatched until the producer's tensor handoff exists.
+func (b *Backend) Invoke(p *sim.Proc, fn *Function) *Invocation {
+	return b.InvokeOn(p, fn, -1)
+}
+
+// InvokeOn is Invoke with a placement preference: the invocation lands on
+// GPU server index server when it is healthy, falling back to the normal
+// selection policy otherwise. Pass -1 for no preference.
+func (b *Backend) InvokeOn(p *sim.Proc, fn *Function, server int) *Invocation {
+	inv := b.newInvocation(p, fn)
+	if server >= 0 && server < len(b.servers) {
+		inv.pref = server + 1
+	}
+	b.execute(p, inv)
+	return inv
+}
+
+func (b *Backend) newInvocation(p *sim.Proc, fn *Function) *Invocation {
+	b.nextSeq++
+	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now(), Server: -1}
+	b.invocations = append(b.invocations, inv)
 	return inv
 }
 
@@ -265,9 +298,14 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	cacheAware := fn.ModelDLBytes > 0 && fn.ModelDLBytes <= fn.DownloadBytes && b.cacheAware()
 
 	// With a model cache the server choice determines which host cache can
-	// serve the model bytes, so routing happens before the download.
+	// serve the model bytes, so routing happens before the download. An
+	// explicit placement preference (chained invocations consuming a tensor
+	// produced on a particular server) overrides both routing paths.
 	si := -1
-	if cacheAware {
+	if pi := inv.pref - 1; pi >= 0 && b.servers[pi].Healthy() {
+		si = pi
+		b.outstanding[si]++
+	} else if cacheAware {
 		si = b.selectServerFor(fn)
 		b.outstanding[si]++
 	}
@@ -319,6 +357,7 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 		// No GPU server can (currently) satisfy this request: impossible
 		// memory requirement, every API server dead, or deadline shedding.
 		b.outstanding[si]--
+		inv.Server = si
 		inv.Err = fmt.Errorf("%w: %v", ErrNoCapacity, aerr)
 		inv.Done = p.Now()
 		return
@@ -367,6 +406,7 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	_ = gs.Release(lease)
 	inv.Recoveries = lib.Stats().Recoveries
 	b.outstanding[si]--
+	inv.Server = si
 	inv.Err = err
 	inv.Done = p.Now()
 	if err == nil {

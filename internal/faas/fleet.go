@@ -135,8 +135,17 @@ func (b *FleetBackend) Run(p *sim.Proc) error {
 // placement controller — possibly in another failure domain — picks the
 // machine; the executor runs the data plane once placed.
 func (b *FleetBackend) Submit(p *sim.Proc, fn *Function) *Invocation {
+	return b.SubmitChained(p, fn, "")
+}
+
+// SubmitChained submits a session that consumes the named TensorHandle: the
+// placement controller binds it to the server holding the tensor (when that
+// server is healthy and fits), turning the handoff into a same-server
+// zero-copy import. After the session completes, the handle is marked
+// Consumed so later placements stop chasing it.
+func (b *FleetBackend) SubmitChained(p *sim.Proc, fn *Function, inputTensor string) *Invocation {
 	b.nextSeq++
-	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now()}
+	inv := &Invocation{Fn: fn, Seq: b.nextSeq, SubmittedAt: p.Now(), Server: -1, inputTensor: inputTensor}
 	b.invocations = append(b.invocations, inv)
 	name := fmt.Sprintf("%s-%d", fn.Name, inv.Seq)
 	b.waiters[name] = sim.NewQueue[*store.Session](b.e)
@@ -159,6 +168,7 @@ func (b *FleetBackend) executeSession(p *sim.Proc, inv *Invocation, name string)
 	sess.ObjectMeta.Name = name
 	sess.Spec.FnID = fn.Name
 	sess.Spec.MemBytes = fn.GPUMem
+	sess.Spec.InputTensor = inv.inputTensor
 	if fn.ModelDLBytes > 0 {
 		sess.Spec.ModelObject = fn.Name + "/model"
 		b.objects.Put(sess.Spec.ModelObject, fn.ModelDLBytes)
@@ -199,6 +209,9 @@ func (b *FleetBackend) executeSession(p *sim.Proc, inv *Invocation, name string)
 				continue
 			}
 			b.finishSession(p, name)
+			if inv.inputTensor != "" {
+				b.consumeTensorHandle(p, inv.inputTensor, name)
+			}
 			inv.Done = p.Now()
 			b.sessionsDone.Inc()
 			b.recordExec(fn.Name, inv.Done-inv.Granted)
@@ -328,6 +341,66 @@ func (b *FleetBackend) finalizeFailed(p *sim.Proc, name string) {
 	}
 }
 
+// consumeTensorHandle marks the session's input handle Consumed, so later
+// Pending sessions stop binding to a server for data that is already gone.
+// Best-effort: a vanished handle (reclaimed, or its server failed and the
+// record was marked Lost) is not an error — the session itself completed.
+func (b *FleetBackend) consumeTensorHandle(p *sim.Proc, handle, by string) {
+	for {
+		cur, err := b.st.Get(p, store.KindTensorHandle, handle)
+		if err != nil {
+			return
+		}
+		th := cur.(*store.TensorHandle)
+		if th.Status.Phase != "" && th.Status.Phase != store.TensorLive {
+			return
+		}
+		up := th.DeepCopy().(*store.TensorHandle)
+		up.Status.Phase = store.TensorConsumed
+		up.Status.ConsumedBy = by
+		if _, err := b.st.UpdateStatus(p, up); err == nil || !store.IsConflict(err) {
+			return
+		}
+	}
+}
+
+// RecordTensorHandle publishes the control-plane record of a data-plane
+// export: which GPU server holds the tensor, its fabric export ID and size,
+// and the producer that made it. A consumer submitted with
+// SubmitChained(name) is then bound next to it. Idempotent per name: a
+// repeat publish (producer retry) refreshes the spec and revives the phase.
+func RecordTensorHandle(p *sim.Proc, st store.Interface, name string, spec store.TensorHandleSpec) error {
+	th := &store.TensorHandle{}
+	th.ObjectMeta.Name = name
+	th.Spec = spec
+	th.Status.Phase = store.TensorLive
+	_, err := st.Create(p, th)
+	if err == nil || !store.IsExists(err) {
+		return err
+	}
+	for {
+		cur, err := st.Get(p, store.KindTensorHandle, name)
+		if err != nil {
+			return err
+		}
+		up := cur.DeepCopy().(*store.TensorHandle)
+		up.Spec = spec
+		fresh, err := st.Update(p, up)
+		if err != nil {
+			if store.IsConflict(err) {
+				continue
+			}
+			return err
+		}
+		up = fresh.DeepCopy().(*store.TensorHandle)
+		up.Status.Phase = store.TensorLive
+		up.Status.ConsumedBy = ""
+		if _, err := st.UpdateStatus(p, up); err == nil || !store.IsConflict(err) {
+			return err
+		}
+	}
+}
+
 // recordExec folds an observed execution time into the per-function EWMA.
 func (b *FleetBackend) recordExec(name string, d time.Duration) {
 	if prev, ok := b.history[name]; ok {
@@ -436,11 +509,24 @@ func reconcilePlacement(p *sim.Proc, st store.Interface, key controller.Key, max
 	return nil
 }
 
-// pickServer chooses the least-loaded healthy machine that fits the
-// session's memory demand, using only stored state. Load is derived from the
+// pickServer chooses the machine for a session using only stored state. A
+// session consuming a data-plane tensor (Spec.InputTensor) is bound to the
+// server holding it whenever that server is healthy and fits — landing the
+// consumer next to its input turns the handoff into a same-server zero-copy
+// import instead of a fabric peer copy. Otherwise the least-loaded healthy
+// machine that fits the memory demand wins; load is derived from the
 // authoritative session list (bound, non-terminal sessions per server), so a
 // lost reservation hint cannot skew routing.
 func pickServer(p *sim.Proc, st store.Interface, sess *store.Session) (*store.GPUServer, error) {
+	if sess.Spec.InputTensor != "" {
+		if gs, err := tensorAffinityServer(p, st, sess); err != nil {
+			return nil, err
+		} else if gs != nil {
+			return gs, nil
+		}
+		// Tensor gone, consumed, or its server unusable: fall through to the
+		// normal scan — the consumer will bounce or peer-copy instead.
+	}
 	servers, _, err := st.List(p, store.KindGPUServer)
 	if err != nil {
 		return nil, err
@@ -471,6 +557,38 @@ func pickServer(p *sim.Proc, st store.Interface, sess *store.Session) (*store.GP
 		}
 	}
 	return best, nil
+}
+
+// tensorAffinityServer resolves the session's InputTensor to the GPU server
+// holding the live export, if that server can take the session. Returns nil
+// (no error) when the handle or server is unusable.
+func tensorAffinityServer(p *sim.Proc, st store.Interface, sess *store.Session) (*store.GPUServer, error) {
+	r, err := st.Get(p, store.KindTensorHandle, sess.Spec.InputTensor)
+	if err != nil {
+		if store.IsNotFound(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	th := r.(*store.TensorHandle)
+	if th.Status.Phase != "" && th.Status.Phase != store.TensorLive {
+		return nil, nil
+	}
+	sr, err := st.Get(p, store.KindGPUServer, th.Spec.Server)
+	if err != nil {
+		if store.IsNotFound(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	gs := sr.(*store.GPUServer)
+	if !gs.Status.Healthy || gs.Spec.Unschedulable || gs.Status.Capacity == 0 {
+		return nil, nil
+	}
+	if sess.Spec.MemBytes > gs.Spec.MemBytesPerGPU {
+		return nil, nil
+	}
+	return gs, nil
 }
 
 // --- reclaim controller ---

@@ -255,6 +255,28 @@ func CopyD2D(p *sim.Proc, dst, src *PhysAlloc) {
 	dst.fp = src.fp
 }
 
+// FabricCopy models a cross-GPU-server transfer over the data-plane fabric:
+// the transfer is paced by the fabric bandwidth bps after a fixed link
+// latency, occupies both devices' copy engines for its span (GPUDirect DMA on
+// each end), and copies content like CopyD2D. The devices belong to different
+// machines, so neither NVLink peer bandwidth nor a shared engine applies.
+func FabricCopy(p *sim.Proc, dst, src *PhysAlloc, bps float64, lat time.Duration) {
+	size := src.size
+	if dst.size < size {
+		size = dst.size
+	}
+	if lat > 0 {
+		p.Sleep(lat)
+	}
+	if size > 0 && bps > 0 {
+		nominal := time.Duration(float64(size) / bps * float64(time.Second))
+		dst.dev.copyEng.enter(p)
+		src.dev.copyEng.Exec(p, nominal)
+		dst.dev.copyEng.leave(p)
+	}
+	dst.fp = src.fp
+}
+
 // copyTime charges the device's copy engine for a size-byte transfer.
 func (d *Device) copyTime(p *sim.Proc, size int64, bps float64) {
 	if d.Cfg.CopyLat > 0 {

@@ -21,6 +21,7 @@ import (
 	"dgsf/internal/apiserver"
 	"dgsf/internal/cuda"
 	"dgsf/internal/cudalibs"
+	"dgsf/internal/dataplane"
 	"dgsf/internal/gpu"
 	"dgsf/internal/modelcache"
 	"dgsf/internal/remoting"
@@ -103,6 +104,14 @@ type Config struct {
 	// default: with Cache.Enable false the GPU server behaves exactly as it
 	// did before the subsystem existed.
 	Cache modelcache.Config
+
+	// Plane, when non-nil, is this machine's view of the GPU-side data
+	// plane (internal/dataplane): create a cluster Fabric, then hand each
+	// GPU server a Fabric.NewPlane. Every API server on the machine shares
+	// it, which is what makes same-server tensor handoff zero-copy. Nil
+	// disables the data plane; the new remoted calls then fail cleanly and
+	// chains bounce through the host as before.
+	Plane *dataplane.Plane
 
 	// Failure detection (fault-tolerance layer). HeartbeatPeriod > 0 makes
 	// the monitor probe every API server through its FIFO inbox; a probe
@@ -301,6 +310,7 @@ func (gs *GPUServer) Start(p *sim.Proc) {
 				CUDACosts:   gs.cfg.CUDACosts,
 				LibCosts:    gs.cfg.LibCosts,
 				Cache:       gs.cache,
+				Plane:       gs.cfg.Plane,
 			})
 			gs.servers = append(gs.servers, srv)
 			id++
@@ -409,6 +419,13 @@ func (gs *GPUServer) Healthy() bool { return !gs.failed && gs.Capacity() > 0 }
 // there is no recovery for the machine itself, only around it.
 func (gs *GPUServer) Fail() {
 	gs.failed = true // flip eagerly so routing reacts before the monitor drains
+	if gs.cfg.Plane != nil {
+		// The machine's device memory is gone: exports published here become
+		// unreachable and broadcast sources vanish, so data-plane consumers
+		// get prompt errors (and fall back to the bounce path) instead of
+		// copying from a dead GPU.
+		gs.cfg.Plane.Fail()
+	}
 	gs.requests.Send(monitorMsg{failAll: true})
 }
 

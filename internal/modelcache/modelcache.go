@@ -247,6 +247,13 @@ type Stats struct {
 	DeviceEvictions int // pins swapped out to the host tier
 	SwapOutBytes    int64
 
+	// Model-broadcast fan-out (internal/dataplane): how many ModelBroadcast
+	// calls seeded a fresh copy from the host tier versus cloned the live
+	// source device-to-device. Seeds are the only host-link traversals an
+	// N-way fan-out pays.
+	BroadcastSeeds  int
+	BroadcastClones int
+
 	Host CacheStats // host-tier counters
 }
 
@@ -399,6 +406,17 @@ func (m *Manager) NoteAttach(tier int) {
 		m.stats.HostHits++
 	default:
 		m.stats.Misses++
+	}
+}
+
+// NoteBroadcast records a ModelBroadcast decision: seed is true for the
+// single host-staged read that creates a GPU server's broadcast source,
+// false for a device-to-device clone served from it.
+func (m *Manager) NoteBroadcast(seed bool) {
+	if seed {
+		m.stats.BroadcastSeeds++
+	} else {
+		m.stats.BroadcastClones++
 	}
 }
 

@@ -92,6 +92,40 @@ func (b *Backend) ModelPersist(p *sim.Proc, ptr cuda.DevPtr) error {
 	return b.Free(p, ptr)
 }
 
+// MemExport fails natively: without API servers there is no data plane to
+// publish a tensor on, so chained native runs always bounce through the host.
+func (b *Backend) MemExport(p *sim.Proc, ptr cuda.DevPtr, tag string) (uint64, int64, error) {
+	if _, err := b.ensure(p); err != nil {
+		return 0, 0, err
+	}
+	return 0, 0, cuda.ErrInvalidValue
+}
+
+// MemImport fails natively (no data plane).
+func (b *Backend) MemImport(p *sim.Proc, export uint64) (cuda.DevPtr, int64, error) {
+	if _, err := b.ensure(p); err != nil {
+		return 0, 0, err
+	}
+	return 0, 0, cuda.ErrInvalidValue
+}
+
+// PeerCopy fails natively (no data plane).
+func (b *Backend) PeerCopy(p *sim.Proc, export uint64) (cuda.DevPtr, int64, error) {
+	if _, err := b.ensure(p); err != nil {
+		return 0, 0, err
+	}
+	return 0, 0, cuda.ErrInvalidValue
+}
+
+// ModelBroadcast always misses natively, like ModelAttach: callers fall back
+// to loading the model themselves.
+func (b *Backend) ModelBroadcast(p *sim.Proc) (cuda.DevPtr, int64, int, error) {
+	if _, err := b.ensure(p); err != nil {
+		return 0, 0, 0, err
+	}
+	return 0, 0, 0, nil
+}
+
 // GetDeviceCount reports the machine's real device count.
 func (b *Backend) GetDeviceCount(p *sim.Proc) (int, error) {
 	if _, err := b.ensure(p); err != nil {

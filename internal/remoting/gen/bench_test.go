@@ -58,3 +58,51 @@ func BenchmarkClientMalloc(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkClientMemExport measures the data-plane export stub: a string tag
+// on the request, two scalars back.
+func BenchmarkClientMemExport(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(func(e *wire.Encoder) {
+		(&gen.MemExportResp{Export: 7, Size: 48 << 20}).Encode(e)
+	})}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		export, size, err := c.MemExport(nil, 0x10_0000, "detect-out")
+		if err != nil || export == 0 || size == 0 {
+			b.Fatal("bad call")
+		}
+	}
+}
+
+// BenchmarkClientMemImport measures the data-plane import stub, the per-chain
+// hot call on the consumer side.
+func BenchmarkClientMemImport(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(func(e *wire.Encoder) {
+		(&gen.MemImportResp{Ptr: cuda.DevPtr(0x10_0000), Size: 48 << 20}).Encode(e)
+	})}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, size, err := c.MemImport(nil, 7)
+		if err != nil || ptr == 0 || size == 0 {
+			b.Fatal("bad call")
+		}
+	}
+}
+
+// BenchmarkClientModelBroadcast measures the fan-out stub: argument-free
+// request, three scalars back.
+func BenchmarkClientModelBroadcast(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(func(e *wire.Encoder) {
+		(&gen.ModelBroadcastResp{Ptr: cuda.DevPtr(0x10_0000), Size: 104 << 20, Src: 2}).Encode(e)
+	})}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, size, _, err := c.ModelBroadcast(nil)
+		if err != nil || ptr == 0 || size == 0 {
+			b.Fatal("bad call")
+		}
+	}
+}

@@ -168,6 +168,12 @@ type SessionSpec struct {
 	// ModelObject is the host-cache object name whose residency makes a
 	// server a locality match ("" if the function has no model).
 	ModelObject string
+	// InputTensor names a TensorHandle resource this session consumes ("" if
+	// none). The placement controller binds the session to the server
+	// holding the tensor when it is healthy and fits, so chained
+	// invocations land next to their inputs and the data plane's
+	// same-server zero-copy import applies.
+	InputTensor string
 }
 
 // SessionStatus tracks the invocation through the control plane.
@@ -201,6 +207,7 @@ func (s *Session) EncodeSpec(e *wire.Encoder) {
 	e.Str(s.Spec.FnID)
 	e.I64(s.Spec.MemBytes)
 	e.Str(s.Spec.ModelObject)
+	e.Str(s.Spec.InputTensor)
 }
 
 // DecodeSpec implements Resource.
@@ -208,6 +215,7 @@ func (s *Session) DecodeSpec(d *wire.Decoder) {
 	s.Spec.FnID = d.Str()
 	s.Spec.MemBytes = d.I64()
 	s.Spec.ModelObject = d.Str()
+	s.Spec.InputTensor = d.Str()
 }
 
 // EncodeStatus implements Resource.
@@ -288,6 +296,77 @@ func (m *StagedModel) EncodeStatus(e *wire.Encoder) { e.U64(m.Status.Seq) }
 // DecodeStatus implements Resource.
 func (m *StagedModel) DecodeStatus(d *wire.Decoder) { m.Status.Seq = d.U64() }
 
+// TensorHandle phases.
+const (
+	TensorLive     = "Live"     // exported, awaiting consumers
+	TensorConsumed = "Consumed" // a consumer took the data
+	TensorLost     = "Lost"     // the holding GPU server failed
+)
+
+// TensorHandleSpec is the control-plane record of one data-plane export: a
+// device-resident intermediate tensor a producer published for its consumer.
+type TensorHandleSpec struct {
+	Producer string // producing function ID
+	Server   string // GPUServer resource name holding the tensor
+	Export   uint64 // fabric export ID (dataplane)
+	Bytes    int64
+	Tag      string // producer-chosen label (e.g. "detect/boxes")
+}
+
+// TensorHandleStatus tracks the handle's lifecycle.
+type TensorHandleStatus struct {
+	Phase      string
+	ConsumedBy string // session name that took the data, once consumed
+}
+
+// TensorHandle is the control-plane record of one exported tensor. Its whole
+// purpose is placement: a Pending session naming it as InputTensor is bound
+// to Spec.Server so the handoff is a same-server zero-copy import.
+type TensorHandle struct {
+	ObjectMeta
+	Spec   TensorHandleSpec
+	Status TensorHandleStatus
+}
+
+// Kind implements Resource.
+func (t *TensorHandle) Kind() Kind { return KindTensorHandle }
+
+// Meta implements Resource.
+func (t *TensorHandle) Meta() *ObjectMeta { return &t.ObjectMeta }
+
+// DeepCopy implements Resource.
+func (t *TensorHandle) DeepCopy() Resource { c := *t; return &c }
+
+// EncodeSpec implements Resource.
+func (t *TensorHandle) EncodeSpec(e *wire.Encoder) {
+	e.Str(t.Spec.Producer)
+	e.Str(t.Spec.Server)
+	e.U64(t.Spec.Export)
+	e.I64(t.Spec.Bytes)
+	e.Str(t.Spec.Tag)
+}
+
+// DecodeSpec implements Resource.
+func (t *TensorHandle) DecodeSpec(d *wire.Decoder) {
+	t.Spec.Producer = d.Str()
+	t.Spec.Server = d.Str()
+	t.Spec.Export = d.U64()
+	t.Spec.Bytes = d.I64()
+	t.Spec.Tag = d.Str()
+}
+
+// EncodeStatus implements Resource.
+func (t *TensorHandle) EncodeStatus(e *wire.Encoder) {
+	e.Str(t.Status.Phase)
+	e.Str(t.Status.ConsumedBy)
+}
+
+// DecodeStatus implements Resource.
+func (t *TensorHandle) DecodeStatus(d *wire.Decoder) {
+	t.Status.Phase = d.Str()
+	t.Status.ConsumedBy = d.Str()
+}
+
 // NewOfKind returns a zero resource of the named kind, for decoding wire
 // objects back into typed form.
 func NewOfKind(kind Kind) (Resource, error) {
@@ -300,6 +379,8 @@ func NewOfKind(kind Kind) (Resource, error) {
 		return &Session{}, nil
 	case KindStagedModel:
 		return &StagedModel{}, nil
+	case KindTensorHandle:
+		return &TensorHandle{}, nil
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, kind)
 }

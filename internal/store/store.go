@@ -52,15 +52,16 @@ type Kind string
 
 // The control plane's resource kinds.
 const (
-	KindGPUServer   Kind = "GPUServer"
-	KindAPIServer   Kind = "APIServer"
-	KindSession     Kind = "Session"
-	KindStagedModel Kind = "StagedModel"
+	KindGPUServer    Kind = "GPUServer"
+	KindAPIServer    Kind = "APIServer"
+	KindSession      Kind = "Session"
+	KindStagedModel  Kind = "StagedModel"
+	KindTensorHandle Kind = "TensorHandle"
 )
 
 // Kinds lists every keyspace in deterministic order.
 func Kinds() []Kind {
-	return []Kind{KindAPIServer, KindGPUServer, KindSession, KindStagedModel}
+	return []Kind{KindAPIServer, KindGPUServer, KindSession, KindStagedModel, KindTensorHandle}
 }
 
 // ObjectMeta is the common metadata of every stored resource.
