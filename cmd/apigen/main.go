@@ -74,6 +74,12 @@ var kinds = map[string]struct {
 	"strs":    {GoType: "[]string", Enc: "e.Strs(%s)", Dec: "d.Strs()", DecShared: "d.StrsShared()"},
 	"vec3":    {GoType: "[3]int", Enc: "e.Vec3(%s)", Dec: "d.Vec3()"},
 	"hostbuf": {GoType: "gpu.HostBuffer", Enc: "e.HostBuf(%s)", Dec: "d.HostBuf()"},
+	// bulk is a trailing raw byte slice eligible for the protocol-v2 vectored
+	// zero-copy lane: on a v2 connection the generated stub passes it borrowed
+	// alongside the metadata (one writev, no coalescing copy); on v1 it is
+	// inlined as an ordinary length-prefixed field (capped at wire's 1 MiB
+	// slice bound). validate() enforces its placement rules.
+	"bulk":    {GoType: "[]byte", Enc: "e.BytesField(%s)", Dec: "d.BytesField()", DecShared: "d.BytesShared()"},
 	"prop":    {GoType: "cuda.DeviceProp", Enc: "e.Prop(%s)", Dec: "d.Prop()"},
 	"attrs":   {GoType: "cuda.PtrAttributes", Enc: "e.Attrs(%s)", Dec: "d.Attrs()"},
 	"launch":  {GoType: "cuda.LaunchParams", Enc: "e.Launch(%s)", Dec: "d.Launch()", DecShared: "d.LaunchShared()"},
@@ -97,6 +103,16 @@ func hasShared(fields []Field) bool {
 		}
 	}
 	return false
+}
+
+// bulkField returns the trailing bulk field of a message, if any.
+func bulkField(fields []Field) *Field {
+	for i := range fields {
+		if fields[i].Kind == "bulk" {
+			return &fields[i]
+		}
+	}
+	return nil
 }
 
 // spec is the remoted API surface: the CUDA runtime calls DGSF interposes,
@@ -171,6 +187,10 @@ var spec = []Call{
 	{Name: "MemImport", Doc: "maps an export published by another API server on the same GPU server into the session: a zero-copy VMM remap when producer and consumer share a device, a D2D clone across devices of one machine; fails for exports on other GPU servers (use PeerCopy)", Req: []Field{{"Export", "u64"}}, Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}}, Class: "remote", Establishes: true},
 	{Name: "PeerCopy", Doc: "pulls an export from another GPU server over the bandwidth-modeled data-plane fabric into a fresh session allocation, consuming the export; degrades to MemImport semantics when the export turns out to be local", Req: []Field{{"Export", "u64"}}, Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}}, Class: "remote", Establishes: true},
 	{Name: "ModelBroadcast", Doc: "one-to-many model fan-out: the first caller per GPU server pays a single host-staged read and becomes the broadcast source, later callers clone it device-to-device; Src reports the path (0 miss, 1 host seed, 2 device clone) and Ptr/Size are zero on a miss", Resp: []Field{{"Ptr", "devptr"}, {"Size", "i64"}, {"Src", "int"}}, Class: "remote", Establishes: true},
+
+	// --- vectored bulk transfers (wire protocol v2) ---
+	{Name: "MemWrite", Doc: "writes caller-provided bytes into device memory: the vectored twin of MemcpyH2D — on a protocol-v2 connection the bytes travel borrowed as the frame's bulk region (single writev, zero copies), on v1 they are inlined (capped at 1 MiB)", Req: []Field{{"Dst", "devptr"}, {"Data", "bulk"}}, Class: "remote", Establishes: true},
+	{Name: "MemRead", Doc: "reads device memory back to the caller: the vectored twin of MemcpyD2H — on a protocol-v2 connection the bytes return as a bulk region scatter-read into a caller-owned buffer, on v1 they are inlined (capped at 1 MiB)", Req: []Field{{"Src", "devptr"}, {"Size", "i64"}}, Resp: []Field{{"Data", "bulk"}}, Class: "remote"},
 }
 
 // descriptorSpecies expands into Create/Set/Destroy triples, mirroring the
@@ -326,6 +346,55 @@ func validate(calls []Call) error {
 				return fmt.Errorf("call %s: two %q request fields cannot share one decoder's scratch", c.Name, f.Kind)
 			}
 		}
+		// Bulk fields ride the v2 vectored lane: exactly one per call, on one
+		// side only, trailing (the wire bulk region follows the metadata), and
+		// restricted to synchronous remote calls — the server-side bulk buffer
+		// is reused per connection, which is only safe when the guest blocks
+		// on the reply before sending the next frame.
+		if err := validateBulk(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateBulk(c Call) error {
+	reqB, respB := bulkField(c.Req), bulkField(c.Resp)
+	if reqB == nil && respB == nil {
+		return nil
+	}
+	if reqB != nil && respB != nil {
+		return fmt.Errorf("call %s: bulk allowed on one side only", c.Name)
+	}
+	for _, side := range []struct {
+		name   string
+		fields []Field
+	}{{"request", c.Req}, {"response", c.Resp}} {
+		n := 0
+		for i, f := range side.fields {
+			if f.Kind != "bulk" {
+				continue
+			}
+			n++
+			if i != len(side.fields)-1 {
+				return fmt.Errorf("call %s: bulk %s field %s must be last", c.Name, side.name, f.Name)
+			}
+		}
+		if n > 1 {
+			return fmt.Errorf("call %s: at most one bulk %s field", c.Name, side.name)
+		}
+	}
+	if c.Class != "remote" {
+		return fmt.Errorf("call %s: bulk fields require class remote, got %q", c.Name, c.Class)
+	}
+	if c.Async {
+		return fmt.Errorf("call %s: bulk calls may not be Async (the per-connection bulk buffer needs sync reuse)", c.Name)
+	}
+	if reqB != nil && c.ReqData != "" {
+		return fmt.Errorf("call %s: ReqData would double-count the request bulk bytes", c.Name)
+	}
+	if respB != nil && c.RspData != "" {
+		return fmt.Errorf("call %s: RspData would double-count the response bulk bytes", c.Name)
 	}
 	return nil
 }
@@ -452,20 +521,34 @@ func genAPI(calls []Call) ([]byte, error) {
 	p("")
 	p("// Dispatch decodes one call from payload and executes it against the")
 	p("// backend, returning the encoded response and the logical payload bytes")
-	p("// that flow back with it (for bandwidth accounting).")
+	p("// that flow back with it (for bandwidth accounting). Calls whose bulk")
+	p("// bytes arrived out-of-band need DispatchBulk.")
 	p("func Dispatch(p *sim.Proc, b API, payload []byte) (resp []byte, respData int64) {")
+	p("\tresp, respData, _ = DispatchBulk(p, b, payload, nil, false)")
+	p("\treturn resp, respData")
+	p("}")
+	p("")
+	p("// DispatchBulk is Dispatch for transports with the protocol-v2 vectored")
+	p("// bulk lane. reqBulk is the request frame's bulk region (nil when the")
+	p("// call inlined its bytes, which is how the decode variant is chosen);")
+	p("// it is borrowed — the backend must copy what it retains. wantBulk")
+	p("// reports whether the reply frame may carry a bulk region: when a")
+	p("// bulk-response call asked for a vectored reply, respBulk returns the")
+	p("// bytes and the encoded response holds only status + metadata. respBulk")
+	p("// must stay immutable until the reply frame is written.")
+	p("func DispatchBulk(p *sim.Proc, b API, payload, reqBulk []byte, wantBulk bool) (resp []byte, respData int64, respBulk []byte) {")
 	p("\tdec := wire.GetDecoder(payload)")
 	p("\tdefer wire.PutDecoder(dec)")
 	p("\tid := dec.U16()")
 	p("\tif dec.Err() != nil {")
-	p("\t\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("\t\treturn errResp(cuda.ErrInvalidValue), 0, nil")
 	p("\t}")
 	p("\tswitch id {")
 	for _, c := range calls {
 		emitDispatchCase(p, c)
 	}
 	p("\t}")
-	p("\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("\treturn errResp(cuda.ErrInvalidValue), 0, nil")
 	p("}")
 
 	src, err := format.Source(b.Bytes())
@@ -594,6 +677,9 @@ func emitCall(p func(string, ...any), c Call) {
 		p("}")
 		p("")
 	}
+	if b := bulkField(c.Req); b != nil {
+		emitMeta(p, c.Name+"Req", "request", b.Name, c.Req)
+	}
 
 	// Response struct.
 	p("// %sResp is the response message of %s.", c.Name, c.Name)
@@ -623,6 +709,9 @@ func emitCall(p func(string, ...any), c Call) {
 	}
 	p("}")
 	p("")
+	if b := bulkField(c.Resp); b != nil {
+		emitMeta(p, c.Name+"Resp", "response", b.Name, c.Resp)
+	}
 
 	// Append helper.
 	p("// Append%sCall appends an encoded %s call (ID + request) to e,", c.Name, c.Name)
@@ -633,17 +722,164 @@ func emitCall(p func(string, ...any), c Call) {
 		lits = append(lits, fmt.Sprintf("%s: %s", f.Name, lower(f.Name)))
 	}
 	p("\te.U16(Call%s)", c.Name)
+	if bulkField(c.Resp) != nil {
+		p("\t// The vec-response flag: false here — Append encodes the inline")
+		p("\t// form, whose reply carries its bytes inside the payload.")
+		p("\te.Bool(false)")
+	}
 	p("\t(&%sReq{%s}).Encode(e)", c.Name, strings.Join(lits, ", "))
 	p("}")
 	p("")
 
-	// Client method.
+	emitClientMethods(p, c)
+}
+
+// emitClientMethods writes the Client method(s) for one call: the plain
+// API-conformant method, a vectored fast path when the call carries a bulk
+// field, and a *Into variant (caller-owned destination buffer) for calls
+// whose response carries the bulk.
+func emitClientMethods(p func(string, ...any), c Call) {
+	reqB, respB := bulkField(c.Req), bulkField(c.Resp)
+
+	if respB != nil {
+		// Interface method delegates to the Into variant.
+		p("// %s %s.", c.Name, c.Doc)
+		var args []string
+		for _, f := range c.Req {
+			args = append(args, lower(f.Name))
+		}
+		callArgs := ""
+		if len(args) > 0 {
+			callArgs = ", " + strings.Join(args, ", ")
+		}
+		p("func (c *Client) %s(p *sim.Proc%s) %s {", c.Name, params(c), results(c))
+		p("\treturn c.%sInto(p%s, nil)", c.Name, callArgs)
+		p("}")
+		p("")
+		p("// %sInto is %s with a caller-owned destination buffer: on a", c.Name, c.Name)
+		p("// protocol-v2 connection the reply's bulk region is scatter-read into")
+		p("// dst when it fits, making a pre-sized read allocation-free. The")
+		p("// returned %s may alias dst.", lower(respB.Name))
+		p("func (c *Client) %sInto(p *sim.Proc%s, dst []byte) %s {", c.Name, params(c), results(c))
+	} else {
+		p("// %s %s.", c.Name, c.Doc)
+		p("func (c *Client) %s(p *sim.Proc%s) %s {", c.Name, params(c), results(c))
+	}
+
+	// Vectored fast path for bulk calls on v2-negotiated connections.
+	if reqB != nil || respB != nil {
+		cond := "ok && vc.ProtoVersion() >= remoting.ProtoV2"
+		if reqB != nil {
+			cond = fmt.Sprintf("ok && len(%s) > 0 && vc.ProtoVersion() >= remoting.ProtoV2", lower(reqB.Name))
+		}
+		p("\tif vc, ok := c.T.(remoting.VecCaller); %s {", cond)
+		p("\t\treturn c.%svec(p%s)", lower(c.Name), vecCallArgs(c, respB != nil))
+		p("\t}")
+	}
+
+	emitClientInlineBody(p, c, respB)
+	p("}")
+	p("")
+
+	if reqB != nil || respB != nil {
+		emitClientVecMethod(p, c, reqB, respB)
+	}
+}
+
+// vecCallArgs renders the argument list forwarded to the private vec method.
+func vecCallArgs(c Call, withDst bool) string {
+	var b strings.Builder
+	for _, f := range c.Req {
+		fmt.Fprintf(&b, ", %s", lower(f.Name))
+	}
+	if withDst {
+		b.WriteString(", dst")
+	}
+	return b.String()
+}
+
+// emitClientVecMethod writes the private vectored implementation of a bulk
+// call: metadata encoded normally, bulk borrowed through RoundtripVec.
+func emitClientVecMethod(p func(string, ...any), c Call, reqB, respB *Field) {
+	dstParam := ""
+	if respB != nil {
+		dstParam = ", dst []byte"
+	}
+	p("// %svec is the protocol-v2 vectored path of %s.", lower(c.Name), c.Name)
+	p("func (c *Client) %svec(p *sim.Proc%s%s) %s {", lower(c.Name), params(c), dstParam, results(c))
+	p("\tvc := c.T.(remoting.VecCaller)")
+	p("\tenc := wire.GetEncoder()")
+	p("\tenc.U16(Call%s)", c.Name)
+	if respB != nil {
+		p("\t// Ask for a vectored reply: the response bytes come back as the")
+		p("\t// frame's bulk region instead of an inline field.")
+		p("\tenc.Bool(true)")
+	}
+	var metaLits []string
+	for _, f := range c.Req {
+		if f.Kind == "bulk" {
+			continue
+		}
+		metaLits = append(metaLits, fmt.Sprintf("%s: %s", f.Name, lower(f.Name)))
+	}
+	if reqB != nil {
+		p("\t(&%sReq{%s}).EncodeMeta(enc)", c.Name, strings.Join(metaLits, ", "))
+		p("\trespB, _, rerr := vc.RoundtripVec(p, enc.Bytes(), %s, nil)", lower(reqB.Name))
+	} else {
+		p("\t(&%sReq{%s}).Encode(enc)", c.Name, strings.Join(metaLits, ", "))
+		p("\trespB, respBulk, rerr := vc.RoundtripVec(p, enc.Bytes(), nil, dst)")
+	}
+	p("\tif rerr != nil {")
+	p("\t\t// The transport may still hold the request; drop the encoder.")
+	p("\t\terr = rerr")
+	p("\t\treturn")
+	p("\t}")
+	p("\t// A returned RoundtripVec has fully consumed the request payload.")
+	p("\twire.PutEncoder(enc)")
+	p("\tdec := wire.GetDecoder(respB)")
+	p("\tdefer wire.PutDecoder(dec)")
+	p("\tif statusCode := int(dec.I32()); statusCode != 0 {")
+	p("\t\terr = cuda.FromCode(statusCode)")
+	p("\t\treturn")
+	p("\t}")
+	nonBulkResp := 0
+	for _, f := range c.Resp {
+		if f.Kind != "bulk" {
+			nonBulkResp++
+		}
+	}
+	if nonBulkResp > 0 {
+		p("\tvar resp %sResp", c.Name)
+		p("\tresp.DecodeMeta(dec)")
+		p("\tif err = dec.Err(); err != nil {")
+		p("\t\treturn")
+		p("\t}")
+		for _, f := range c.Resp {
+			if f.Kind == "bulk" {
+				continue
+			}
+			p("\t%s = resp.%s", lower(f.Name), f.Name)
+		}
+	} else {
+		p("\tif err = dec.Err(); err != nil {")
+		p("\t\treturn")
+		p("\t}")
+	}
+	if respB != nil {
+		p("\t%s = respBulk", lower(respB.Name))
+	}
+	p("\treturn")
+	p("}")
+	p("")
+}
+
+// emitClientInlineBody writes the classic request/response body shared by
+// plain calls and the v1 fallback of bulk calls.
+func emitClientInlineBody(p func(string, ...any), c Call, respB *Field) {
 	reqData := "0"
 	if c.ReqData != "" {
 		reqData = lower(c.ReqData)
 	}
-	p("// %s %s.", c.Name, c.Doc)
-	p("func (c *Client) %s(p *sim.Proc%s) %s {", c.Name, params(c), results(c))
 	p("\tenc := wire.GetEncoder()")
 	var args []string
 	for _, f := range c.Req {
@@ -681,21 +917,37 @@ func emitCall(p func(string, ...any), c Call) {
 		p("\terr = dec.Err()")
 	}
 	p("\treturn")
-	p("}")
-	p("")
 }
 
 // emitDispatchCase writes the server-side switch case for one call.
 func emitDispatchCase(p func(string, ...any), c Call) {
+	reqB := bulkField(c.Req)
+	respB := bulkField(c.Resp)
 	p("\tcase Call%s:", c.Name)
+	if respB != nil {
+		p("\t\t// The vec-response flag travels on the wire right after the call")
+		p("\t\t// ID: true when the client ran the vectored path and wants the")
+		p("\t\t// bulk %s returned out-of-band, false for the inline encoding.", respB.Name)
+		p("\t\tvecResp := dec.Bool()")
+	}
 	p("\t\tvar req %sReq", c.Name)
-	if hasShared(c.Req) {
+	switch {
+	case reqB != nil:
+		p("\t\tif reqBulk != nil {")
+		p("\t\t\t// Vectored request: the bulk %s arrived out-of-band; the", reqB.Name)
+		p("\t\t\t// payload holds only the metadata fields.")
+		p("\t\t\treq.DecodeMeta(dec)")
+		p("\t\t\treq.%s = reqBulk", reqB.Name)
+		p("\t\t} else {")
+		p("\t\t\treq.DecodeShared(dec)")
+		p("\t\t}")
+	case hasShared(c.Req):
 		p("\t\treq.DecodeShared(dec)")
-	} else {
+	default:
 		p("\t\treq.Decode(dec)")
 	}
 	p("\t\tif dec.Err() != nil {")
-	p("\t\t\treturn errResp(cuda.ErrInvalidValue), 0")
+	p("\t\t\treturn errResp(cuda.ErrInvalidValue), 0, nil")
 	p("\t\t}")
 	var args []string
 	for _, f := range c.Req {
@@ -716,6 +968,19 @@ func emitDispatchCase(p func(string, ...any), c Call) {
 	}
 	p("\t\tvar enc wire.Encoder")
 	p("\t\tenc.I32(int32(cuda.Code(err)))")
+	if respB != nil {
+		var metaLits []string
+		for _, f := range c.Resp {
+			if f.Kind == "bulk" {
+				continue
+			}
+			metaLits = append(metaLits, fmt.Sprintf("%s: %s", f.Name, lower(f.Name)))
+		}
+		p("\t\tif err == nil && vecResp && wantBulk {")
+		p("\t\t\t(&%sResp{%s}).EncodeMeta(&enc)", c.Name, strings.Join(metaLits, ", "))
+		p("\t\t\treturn enc.Bytes(), 0, %s", lower(respB.Name))
+		p("\t\t}")
+	}
 	if len(c.Resp) > 0 {
 		var lits []string
 		for _, f := range c.Resp {
@@ -730,8 +995,42 @@ func emitDispatchCase(p func(string, ...any), c Call) {
 		p("\t\tif err == nil {")
 		p("\t\t\trespBytes = int64(req.%s)", c.RspData)
 		p("\t\t}")
-		p("\t\treturn enc.Bytes(), respBytes")
+		p("\t\treturn enc.Bytes(), respBytes, nil")
 	} else {
-		p("\t\treturn enc.Bytes(), 0")
+		p("\t\treturn enc.Bytes(), 0, nil")
 	}
+}
+
+// emitMeta writes EncodeMeta/DecodeMeta for a message carrying a bulk
+// field: the same encoding as Encode/Decode minus the bulk field, whose
+// bytes travel as the frame's vectored bulk region on protocol v2.
+func emitMeta(p func(string, ...any), typ, side, bulkName string, fields []Field) {
+	var metas []Field
+	for _, f := range fields {
+		if f.Kind != "bulk" {
+			metas = append(metas, f)
+		}
+	}
+	p("// EncodeMeta serializes the %s without the bulk field %s,", side, bulkName)
+	p("// whose bytes travel as the frame's vectored bulk region on protocol v2.")
+	p("func (m *%s) EncodeMeta(e *wire.Encoder) {", typ)
+	for _, f := range metas {
+		p("\t"+kinds[f.Kind].Enc, "m."+f.Name)
+	}
+	if len(metas) == 0 {
+		p("\t_ = e")
+	}
+	p("}")
+	p("")
+	p("// DecodeMeta deserializes the %s's metadata fields; the bulk", side)
+	p("// field %s is delivered out-of-band and must be attached by the caller.", bulkName)
+	p("func (m *%s) DecodeMeta(d *wire.Decoder) {", typ)
+	for _, f := range metas {
+		p("\tm.%s = %s", f.Name, kinds[f.Kind].Dec)
+	}
+	if len(metas) == 0 {
+		p("\t_ = d")
+	}
+	p("}")
+	p("")
 }

@@ -11,6 +11,16 @@
 // -merge preserves the "baseline" section of an existing report, so the
 // pre-optimization numbers stay recorded next to every fresh run;
 // -baseline instead stores the parsed input as the baseline section itself.
+//
+// -gate FILE turns benchjson into CI's perf-regression gate: the parsed
+// input is compared against FILE's "current" section and the command exits
+// nonzero when any benchmark's allocs/op rose or its ns/op regressed more
+// than -tolerance (default 20%). Benchmarks present on only one side are
+// reported but never fail the gate, so adding a benchmark is not a
+// regression:
+//
+//	go test -bench . -benchmem ./internal/remoting/... | tee bench.txt
+//	go run ./cmd/benchjson -gate BENCH_remoting.json bench.txt
 package main
 
 import (
@@ -46,6 +56,8 @@ func main() {
 	merge := flag.String("merge", "", "existing report whose baseline section is preserved")
 	asBaseline := flag.Bool("baseline", false, "store parsed results as the baseline section")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	gateFile := flag.String("gate", "", "committed report to gate against: fail on alloc or >tolerance ns/op regressions vs its current section")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression in -gate mode")
 	flag.Parse()
 
 	var parsed []Bench
@@ -63,6 +75,13 @@ func main() {
 	}
 	if len(parsed) == 0 {
 		log.Fatal("benchjson: no benchmark lines in input")
+	}
+
+	if *gateFile != "" {
+		if !gate(os.Stdout, *gateFile, parsed, *tolerance) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var rep Report
@@ -98,6 +117,63 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(parsed), *out)
+}
+
+// gate compares fresh results against the committed report's current section
+// and prints a per-benchmark comparison table. It returns false — failing CI
+// — when any benchmark present on both sides allocated more per op than the
+// committed number, or regressed its ns/op by more than tolerance. Noise on
+// timings below a microsecond is forgiven: such benchmarks gate on allocs
+// only, since a shared CI runner cannot time them reliably.
+func gate(w io.Writer, file string, fresh []Bench, tolerance float64) bool {
+	b, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatalf("benchjson: -gate: %v", err)
+	}
+	var committed Report
+	if err := json.Unmarshal(b, &committed); err != nil {
+		log.Fatalf("benchjson: %s: %v", file, err)
+	}
+	base := make(map[string]Bench, len(committed.Current))
+	for _, c := range committed.Current {
+		base[c.Pkg+" "+c.Name] = c
+	}
+	const minGatedNs = 1000.0
+	pass := true
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %s\n", "benchmark", "committed", "fresh", "Δns/op", "verdict")
+	for _, f := range fresh {
+		c, ok := base[f.Pkg+" "+f.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.1f %8s %s\n", f.Name, "—", f.NsOp, "—", "new (not gated)")
+			continue
+		}
+		delete(base, f.Pkg+" "+f.Name)
+		ratio := 0.0
+		if c.NsOp > 0 {
+			ratio = f.NsOp/c.NsOp - 1
+		}
+		verdict := "ok"
+		switch {
+		case f.AllocsOp > c.AllocsOp:
+			verdict = fmt.Sprintf("FAIL: allocs/op %d -> %d", c.AllocsOp, f.AllocsOp)
+			pass = false
+		case c.NsOp >= minGatedNs && ratio > tolerance:
+			verdict = fmt.Sprintf("FAIL: ns/op regressed %.0f%% (> %.0f%%)", ratio*100, tolerance*100)
+			pass = false
+		case c.NsOp < minGatedNs:
+			verdict = "ok (sub-µs: allocs only)"
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.0f%% %s\n", f.Name, c.NsOp, f.NsOp, ratio*100, verdict)
+	}
+	for key := range base {
+		fmt.Fprintf(w, "%-40s missing from fresh run (not gated)\n", key)
+	}
+	if pass {
+		fmt.Fprintln(w, "benchjson: gate passed")
+	} else {
+		fmt.Fprintln(w, "benchjson: gate FAILED")
+	}
+	return pass
 }
 
 // parse extracts benchmark result lines from `go test -bench` output,

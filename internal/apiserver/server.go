@@ -59,6 +59,11 @@ type Config struct {
 	// export/import between the machine's API servers, peer copies across
 	// machines, and model broadcast (internal/dataplane).
 	Plane *dataplane.Plane
+
+	// ProtoMax caps the wire-protocol version this server negotiates in
+	// the hello exchange. Zero means remoting.MaxProtoVersion; set 1 to
+	// model a not-yet-upgraded server during a rolling upgrade.
+	ProtoMax int
 }
 
 // Stats is a snapshot of server activity for the monitor.
@@ -141,6 +146,11 @@ type session struct {
 
 	hostAllocs map[uint64]int64
 	nextHost   uint64
+
+	// written holds the bytes last uploaded to each base pointer via
+	// MemWrite (copied from the borrowed bulk region), so MemRead can
+	// return real contents.
+	written map[cuda.DevPtr][]byte
 
 	persistPtr cuda.DevPtr // allocation to offer to the model cache at Bye
 
@@ -253,13 +263,15 @@ func (s *Server) Run(p *sim.Proc) {
 			s.handleCtrl(p, req)
 			continue
 		}
-		resp, data := s.handle(p, req.Payload)
+		resp, data, bulk := s.handle(p, req)
 		if resp == nil || req.ReplyTo == nil {
 			continue // one-way submission: no acknowledgement
 		}
 		// TrySend: the guest's connection may have been severed (fault
 		// injection) while the call executed, closing the reply queue.
-		req.ReplyTo.TrySend(remoting.Response{Payload: resp, RespData: data})
+		// Proto echoes the request so a TCP bridge frames the reply in
+		// the version the guest negotiated.
+		req.ReplyTo.TrySend(remoting.Response{Payload: resp, RespData: data, Bulk: bulk, Proto: req.Proto})
 	}
 }
 
@@ -397,26 +409,45 @@ func (s *Server) handleCtrl(p *sim.Proc, req remoting.Request) {
 }
 
 // handle executes one wire message (a single call, a batch, an async
-// one-way submission, or a fence). A nil response means "send no reply".
-func (s *Server) handle(p *sim.Proc, payload []byte) ([]byte, int64) {
+// one-way submission, a fence, or a protocol hello). A nil response means
+// "send no reply". The third return is the reply's bulk region, non-nil
+// only for vectored bulk-response calls on a protocol-v2 connection.
+func (s *Server) handle(p *sim.Proc, req remoting.Request) ([]byte, int64, []byte) {
+	payload := req.Payload
 	d := wire.NewDecoder(payload)
 	switch id := d.U16(); id {
 	case remoting.CallBatch:
-		return s.handleBatch(p, d), 0
+		return s.handleBatch(p, d), 0, nil
 	case remoting.CallAsync:
 		s.handleAsync(p, payload[2:])
-		return nil, 0
+		return nil, 0, nil
 	case remoting.CallFence:
 		s.stats.FencesHandled++
 		var e wire.Encoder
 		e.I32(s.asyncErr)
 		s.asyncErr = 0
-		return e.Bytes(), 0
+		return e.Bytes(), 0, nil
+	case remoting.CallProtoHello:
+		// Version negotiation, answered out of band of the call table —
+		// not an API call, so it stays out of callCounts. A malformed
+		// hello falls through to Dispatch's unknown-call error, which is
+		// exactly what a pre-hello (v1) server would answer.
+		if reply, _, ok := remoting.HandleHello(payload, s.protoMax()); ok {
+			return reply, 0, nil
+		}
 	default:
 		s.callCounts[id]++
 	}
 	s.stats.CallsHandled++
-	return gen.Dispatch(p, s, payload)
+	return gen.DispatchBulk(p, s, payload, req.Bulk, req.Proto >= remoting.ProtoV2)
+}
+
+// protoMax resolves the configured protocol-version cap.
+func (s *Server) protoMax() int {
+	if s.cfg.ProtoMax > 0 {
+		return s.cfg.ProtoMax
+	}
+	return remoting.MaxProtoVersion
 }
 
 // handleAsync executes a one-way submission: the wrapped message runs like
@@ -439,7 +470,7 @@ func (s *Server) handleAsync(p *sim.Proc, inner []byte) {
 		}
 		return
 	}
-	resp, _ := s.handle(p, inner)
+	resp, _, _ := s.handle(p, remoting.Request{Payload: inner})
 	rd := wire.NewDecoder(resp)
 	if code := rd.I32(); code != 0 && s.asyncErr == 0 && rd.Err() == nil {
 		s.asyncErr = code
@@ -905,6 +936,51 @@ func (s *Server) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostBu
 		return gpu.HostBuffer{}, err
 	}
 	return ctx.MemcpyD2H(p, src, size)
+}
+
+// MemWrite is the vectored twin of MemcpyH2D: the payload bytes arrive with
+// the call (borrowed, on v2 as the frame's bulk region), so the server both
+// charges the PCIe upload and retains a copy in the session's byte store for
+// read-back through MemRead.
+func (s *Server) MemWrite(p *sim.Proc, dst cuda.DevPtr, data []byte) error {
+	sess := s.sess
+	if sess == nil {
+		return cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return err
+	}
+	size := int64(len(data))
+	if err := ctx.MemcpyH2D(p, dst, gpu.HostBuffer{Size: size}, size); err != nil {
+		return err
+	}
+	if sess.written == nil {
+		sess.written = make(map[cuda.DevPtr][]byte)
+	}
+	// Copy: data is borrowed from the transport's frame buffer.
+	sess.written[dst] = append([]byte(nil), data...)
+	return nil
+}
+
+// MemRead is the vectored twin of MemcpyD2H: it charges the PCIe download
+// and returns the bytes last written to src via MemWrite, zero-filled past
+// them. On a protocol-v2 connection the reply travels as a bulk region.
+func (s *Server) MemRead(p *sim.Proc, src cuda.DevPtr, size int64) ([]byte, error) {
+	sess := s.sess
+	if sess == nil {
+		return nil, cuda.ErrNotInitialized
+	}
+	ctx, err := s.ctx(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ctx.MemcpyD2H(p, src, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, sess.written[src])
+	return out, nil
 }
 
 // MemcpyD2D mirrors cudaMemcpy(DeviceToDevice).

@@ -78,6 +78,7 @@ func RunFleet(seed int64, nServers, nInvocations int) FleetResult {
 	reg := metrics.NewRegistry()
 	st := store.New(e, reg)
 	var inj *faults.Injector
+	wireStart := remoting.SnapshotWireStats()
 
 	e.Run("fleet", func(p *sim.Proc) {
 		// Machines: cheap data plane (the experiment measures the control
@@ -203,6 +204,9 @@ func RunFleet(seed int64, nServers, nInvocations int) FleetResult {
 		}
 	})
 	res.FailedGS = inj.Failed
+	// The wire-stat delta over the run reports the remoting_* counters
+	// (bytes on the wire, v1/v2 frame mix, hello outcomes) in the summary.
+	remoting.PublishWireStats(reg, remoting.SnapshotWireStats().Sub(wireStart))
 	res.MetricsTable = reg.String()
 	return res
 }

@@ -8,6 +8,7 @@ import (
 	"dgsf/internal/faas"
 	"dgsf/internal/gpuserver"
 	"dgsf/internal/metrics"
+	"dgsf/internal/remoting"
 	"dgsf/internal/sim"
 	"dgsf/internal/workloads"
 )
@@ -67,8 +68,12 @@ type PipelineResult struct {
 func RunPipeline(seed int64) PipelineResult {
 	var res PipelineResult
 
-	// Part A: same-server handoff vs bounce.
+	// Part A: same-server handoff vs bounce. The wire-stat delta around the
+	// measured chain surfaces the remoting_* counters (bytes, frame versions,
+	// hello outcomes) in the summary next to the data-plane counters.
+	wireStart := remoting.SnapshotWireStats()
 	handoff, reg := runPipelineChain(seed, pipelineChainOpts{})
+	remoting.PublishWireStats(reg, remoting.SnapshotWireStats().Sub(wireStart))
 	bounce, _ := runPipelineChain(seed, pipelineChainOpts{forceBounce: true})
 	res.SameHandoff, res.SameBounce = handoff, bounce
 	res.Exports = reg.Get(dataplane.CtrExports)

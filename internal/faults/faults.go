@@ -62,8 +62,16 @@ type Plan struct {
 	StallFor  time.Duration
 
 	// CorruptRate is the probability a dialed connection corrupts the
-	// framing of its first outbound message.
+	// framing of its first outbound message. On a v2-capable connection
+	// the first outbound message is the negotiation hello itself, so this
+	// also exercises the corrupted-hello path.
 	CorruptRate float64
+
+	// DowngradeRate is the probability a dialed connection is forced down
+	// to wire-protocol v1 before its hello runs — modeling the stale peer
+	// or version-stripping middlebox a rolling upgrade must interoperate
+	// with. Downgraded connections never use the vectored bulk lane.
+	DowngradeRate float64
 
 	// ControllerKills schedules fleet-controller crashes: at each At, the
 	// next store fuse bound via BindControllerFuse is armed so the
@@ -95,6 +103,7 @@ type Injector struct {
 	Dropped    int // connections scheduled to break
 	Stalled    int // connections stalled
 	Corrupted  int // connections set to corrupt a frame
+	Downgraded int // connections forced to wire-protocol v1
 	CtrlKilled int // fleet-controller crashes armed
 }
 
@@ -190,6 +199,12 @@ func (in *Injector) WrapConn(p *sim.Proc, conn remoting.AsyncCaller) remoting.As
 			}
 			f.Break()
 		})
+	}
+	if in.plan.DowngradeRate > 0 && rng.Float64() < in.plan.DowngradeRate {
+		if d, ok := conn.(remoting.Downgrader); ok {
+			d.ForceVersion(remoting.ProtoV1)
+			in.Downgraded++
+		}
 	}
 	return conn
 }

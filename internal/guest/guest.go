@@ -753,6 +753,43 @@ func (l *Lib) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostBuffe
 	return buf, err
 }
 
+// MemWrite uploads caller-provided bytes to device memory: the vectored twin
+// of MemcpyH2D. On a protocol-v2 connection the generated client passes data
+// borrowed through the writev bulk lane; on v1 it is inlined. Journaled like
+// MemcpyH2D so recovered sessions re-establish device contents — the journal
+// retains its own copy, because the caller keeps ownership of data.
+func (l *Lib) MemWrite(p *sim.Proc, dst cuda.DevPtr, data []byte) error {
+	l.remote(p)
+	err := l.reliably(p, func(p *sim.Proc) error { return l.cl.MemWrite(p, l.xp(dst), data) })
+	if err == nil && l.rec != nil {
+		kept := append([]byte(nil), data...)
+		l.journalPutPtr(h2dKey(dst, int64(len(kept))), dst, func(p *sim.Proc) error {
+			return l.cl.MemWrite(p, l.xp(dst), kept)
+		})
+	}
+	return err
+}
+
+// MemRead downloads device memory back to the caller: the vectored twin of
+// MemcpyD2H.
+func (l *Lib) MemRead(p *sim.Proc, src cuda.DevPtr, size int64) ([]byte, error) {
+	return l.MemReadInto(p, src, size, nil)
+}
+
+// MemReadInto is MemRead with a caller-owned destination buffer: on a
+// protocol-v2 connection a pre-sized dst makes the download allocation-free.
+// The returned slice may alias dst.
+func (l *Lib) MemReadInto(p *sim.Proc, src cuda.DevPtr, size int64, dst []byte) ([]byte, error) {
+	l.remote(p)
+	var out []byte
+	err := l.reliably(p, func(p *sim.Proc) error {
+		var err error
+		out, err = l.cl.MemReadInto(p, l.xp(src), size, dst)
+		return err
+	})
+	return out, err
+}
+
 // MemcpyD2D mirrors cudaMemcpy(DeviceToDevice). Not journaled: the copied
 // contents are derived device state.
 func (l *Lib) MemcpyD2D(p *sim.Proc, dst, src cuda.DevPtr, size int64) error {

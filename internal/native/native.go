@@ -26,6 +26,8 @@ type Backend struct {
 	nextHost   uint64
 	cfgDepth   int
 	lastError  int
+
+	written map[cuda.DevPtr][]byte
 }
 
 var _ gen.API = (*Backend)(nil)
@@ -231,6 +233,40 @@ func (b *Backend) MemcpyD2H(p *sim.Proc, src cuda.DevPtr, size int64) (gpu.HostB
 		return gpu.HostBuffer{}, err
 	}
 	return ctx.MemcpyD2H(p, src, size)
+}
+
+// MemWrite is the vectored twin of MemcpyH2D: the payload bytes arrive with
+// the call, so beyond charging the PCIe copy the backend retains them for
+// read-back through MemRead.
+func (b *Backend) MemWrite(p *sim.Proc, dst cuda.DevPtr, data []byte) error {
+	ctx, err := b.ensure(p)
+	if err != nil {
+		return err
+	}
+	size := int64(len(data))
+	if err := ctx.MemcpyH2D(p, dst, gpu.HostBuffer{Size: size}, size); err != nil {
+		return err
+	}
+	if b.written == nil {
+		b.written = make(map[cuda.DevPtr][]byte)
+	}
+	b.written[dst] = append([]byte(nil), data...)
+	return nil
+}
+
+// MemRead is the vectored twin of MemcpyD2H: it charges the PCIe copy and
+// returns the bytes last written to src via MemWrite (zero-filled past them).
+func (b *Backend) MemRead(p *sim.Proc, src cuda.DevPtr, size int64) ([]byte, error) {
+	ctx, err := b.ensure(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ctx.MemcpyD2H(p, src, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, b.written[src])
+	return out, nil
 }
 
 // MemcpyD2D mirrors cudaMemcpy(DeviceToDevice).

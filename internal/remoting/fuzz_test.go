@@ -56,6 +56,118 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzReadFrameV2 drives the v2 frame reader with arbitrary streams. Same
+// invariants as FuzzReadFrame, plus the v2 header checks: bad magic, bad
+// version, bulk bytes without the bulk flag, hostile meta/bulk lengths.
+func FuzzReadFrameV2(f *testing.F) {
+	var noBulk, small, big bytes.Buffer
+	if err := WriteFrameVec(&noBulk, []byte("meta only"), nil, 3); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrameVec(&small, []byte("m"), bytes.Repeat([]byte{1}, 100), 0); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrameVec(&big, []byte("m"), bytes.Repeat([]byte{2}, vecCoalesceMax+100), -1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(noBulk.Bytes())
+	f.Add(small.Bytes())
+	f.Add(big.Bytes())                       // vectored-path frame
+	f.Add(big.Bytes()[:frameHeaderLenV2+1])  // truncated after the header
+	f.Add(big.Bytes()[:5])                   // mid-header truncation
+	f.Add([]byte{})                          // empty stream
+	f.Add([]byte{FrameMagic, 9, 0, 0})       // future version
+	f.Add([]byte{0x00, byte(ProtoV2), 0, 0}) // bad magic
+	noFlag := append([]byte(nil), small.Bytes()...)
+	noFlag[2], noFlag[3] = 0, 0 // strip flagBulk while bulkLen stays set
+	f.Add(noFlag)
+	hostile := make([]byte, frameHeaderLenV2)
+	hostile[0], hostile[1] = FrameMagic, byte(ProtoV2)
+	binary.LittleEndian.PutUint32(hostile[4:8], 0xFFFF_FFFF)
+	binary.LittleEndian.PutUint32(hostile[8:12], 0xFFFF_FFFF)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		payload, bulk, _, err := ReadFrameInto(bytes.NewReader(in), nil, nil)
+		if err != nil {
+			if !IsConnFault(err) {
+				t.Fatalf("ReadFrameInto error is not a typed conn fault: %v", err)
+			}
+			return
+		}
+		if len(in) < frameHeaderLenV2 {
+			t.Fatalf("ReadFrameInto succeeded on a %d-byte stream", len(in))
+		}
+		metaLen := binary.LittleEndian.Uint32(in[4:8])
+		bulkLen := binary.LittleEndian.Uint32(in[8:12])
+		if uint32(len(payload)) != metaLen || uint32(len(bulk)) != bulkLen {
+			t.Fatalf("lengths %d/%d disagree with header %d/%d", len(payload), len(bulk), metaLen, bulkLen)
+		}
+		body := in[frameHeaderLenV2:]
+		if !bytes.Equal(payload, body[:len(payload)]) {
+			t.Fatal("metadata does not match wire bytes")
+		}
+		if !bytes.Equal(bulk, body[len(payload):len(payload)+len(bulk)]) {
+			t.Fatal("bulk does not match wire bytes")
+		}
+	})
+}
+
+// FuzzFrameRoundtripV2 checks WriteFrameVec|ReadFrameInto is the identity on
+// metadata, bulk and data, across the coalesced and vectored write paths and
+// both scatter destinations (pre-sized and absent).
+func FuzzFrameRoundtripV2(f *testing.F) {
+	f.Add([]byte("meta"), []byte("bulk"), int64(7), true)
+	f.Add([]byte{}, []byte{}, int64(0), false)
+	f.Add([]byte("m"), bytes.Repeat([]byte{0x5A}, vecCoalesceMax+17), int64(-1), true) // vectored path
+	f.Fuzz(func(t *testing.T, meta, bulk []byte, data int64, presize bool) {
+		var buf bytes.Buffer
+		if err := WriteFrameVec(&buf, meta, bulk, data); err != nil {
+			t.Fatal(err)
+		}
+		var dst []byte
+		if presize {
+			dst = make([]byte, len(bulk))
+		}
+		gotMeta, gotBulk, gotData, err := ReadFrameInto(&buf, nil, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotData != data || !bytes.Equal(gotMeta, meta) || !bytes.Equal(gotBulk, bulk) {
+			t.Fatalf("roundtrip mismatch: %d meta/%d bulk/%d data, want %d/%d/%d",
+				len(gotMeta), len(gotBulk), gotData, len(meta), len(bulk), data)
+		}
+	})
+}
+
+// FuzzHello drives the negotiation codec: HandleHello must never panic or
+// produce a reply its own parser rejects, and parseHelloReply must never
+// panic or return an out-of-range version.
+func FuzzHello(f *testing.F) {
+	f.Add(helloRequest(MaxProtoVersion), MaxProtoVersion)
+	f.Add(helloRequest(1), 1)
+	f.Add(helloRequest(200), MaxProtoVersion)
+	f.Add([]byte{}, MaxProtoVersion)
+	f.Add([]byte{0xFC, 0xFF, 0x00, 0x02}, MaxProtoVersion) // hello ID, bad magic
+	f.Fuzz(func(t *testing.T, payload []byte, serverMax int) {
+		reply, version, ok := HandleHello(payload, serverMax)
+		if ok {
+			if version < ProtoV1 || version > serverMax {
+				t.Fatalf("negotiated version %d outside [1, %d]", version, serverMax)
+			}
+			v, pok := parseHelloReply(reply)
+			if version <= MaxProtoVersion && (!pok || v != version) {
+				t.Fatalf("reply round trip = %d %v, want %d", v, pok, version)
+			}
+		}
+		// The same bytes through the reply parser: must not panic, and an
+		// accepted reply always carries an in-range version.
+		if v, pok := parseHelloReply(payload); pok && (v < ProtoV1 || v > MaxProtoVersion) {
+			t.Fatalf("parseHelloReply accepted out-of-range version %d", v)
+		}
+	})
+}
+
 // FuzzFrameRoundtrip checks WriteFrame|ReadFrame is the identity on
 // payload and data for arbitrary inputs.
 func FuzzFrameRoundtrip(f *testing.F) {

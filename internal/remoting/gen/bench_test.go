@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dgsf/internal/cuda"
+	"dgsf/internal/remoting"
 	"dgsf/internal/remoting/gen"
 	"dgsf/internal/remoting/wire"
 	"dgsf/internal/sim"
@@ -19,6 +20,33 @@ func (f *fixedResp) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, e
 	return f.resp, nil
 }
 func (f *fixedResp) Close() {}
+
+// fixedVecResp is fixedResp on a negotiated v2 connection: it additionally
+// satisfies remoting.VecCaller, modeling the transport's ownership handoff
+// (request bulk borrowed, reply bulk scatter-copied into respDst) with zero
+// transport cost, so the benchmarks isolate the stub's own overhead.
+type fixedVecResp struct {
+	resp []byte
+	bulk []byte
+}
+
+func (f *fixedVecResp) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	return f.resp, nil
+}
+func (f *fixedVecResp) Close()            {}
+func (f *fixedVecResp) ProtoVersion() int { return remoting.ProtoV2 }
+func (f *fixedVecResp) RoundtripVec(p *sim.Proc, req, reqBulk, respDst []byte) ([]byte, []byte, error) {
+	var bulk []byte
+	if f.bulk != nil {
+		if cap(respDst) >= len(f.bulk) {
+			bulk = respDst[:len(f.bulk)]
+		} else {
+			bulk = make([]byte, len(f.bulk))
+		}
+		copy(bulk, f.bulk)
+	}
+	return f.resp, bulk, nil
+}
 
 func okResp(body func(e *wire.Encoder)) []byte {
 	var e wire.Encoder
@@ -86,6 +114,73 @@ func BenchmarkClientMemImport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ptr, size, err := c.MemImport(nil, 7)
 		if err != nil || ptr == 0 || size == 0 {
+			b.Fatal("bad call")
+		}
+	}
+}
+
+// BenchmarkClientMemWrite_1MiB is the v1 inline path of the host-to-device
+// write: the bulk is copied into the encoded payload. The baseline the
+// vectored lane is gated against.
+func BenchmarkClientMemWrite_1MiB(b *testing.B) {
+	c := &gen.Client{T: &fixedResp{resp: okResp(nil)}}
+	data := make([]byte, 1<<20)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MemWrite(nil, 0x10_0000, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientMemWriteVec_1MiB is the protocol-v2 vectored path: the bulk
+// is borrowed by the transport, never copied by the stub.
+func BenchmarkClientMemWriteVec_1MiB(b *testing.B) {
+	c := &gen.Client{T: &fixedVecResp{resp: okResp(nil)}}
+	data := make([]byte, 1<<20)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MemWrite(nil, 0x10_0000, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientMemRead_1MiB is the v1 inline path of the device-to-host
+// read: the bulk rides inline and is decoded (copied) out of the reply.
+func BenchmarkClientMemRead_1MiB(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	c := &gen.Client{T: &fixedResp{resp: okResp(func(e *wire.Encoder) {
+		(&gen.MemReadResp{Data: payload}).Encode(e)
+	})}}
+	dst := make([]byte, len(payload))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.MemReadInto(nil, 0x10_0000, int64(len(payload)), dst)
+		if err != nil || len(data) != len(payload) {
+			b.Fatal("bad call")
+		}
+	}
+}
+
+// BenchmarkClientMemReadVec_1MiB is the protocol-v2 scatter read into a
+// pre-sized caller buffer: one copy off the wire, no allocation.
+func BenchmarkClientMemReadVec_1MiB(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	c := &gen.Client{T: &fixedVecResp{resp: okResp(nil), bulk: payload}}
+	dst := make([]byte, len(payload))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.MemReadInto(nil, 0x10_0000, int64(len(payload)), dst)
+		if err != nil || len(data) != len(payload) {
 			b.Fatal("bad call")
 		}
 	}

@@ -1,0 +1,388 @@
+package remoting
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dgsf/internal/metrics"
+)
+
+// Wire protocol versions. Version 1 is the original framing (length + data
+// header, payload coalesced); version 2 adds a magic/version byte to the
+// header and a separately-framed bulk region written as one vectored writev,
+// so large payloads travel with zero user-space copies.
+//
+// A connection starts at v1. A v2-capable dialer sends one hello round trip
+// (a valid v1 frame carrying CallProtoHello) before anything else; a
+// v2-capable peer answers with the highest mutually supported version and
+// both sides switch, while a v1 peer rejects the unknown call ID and the
+// dialer falls back to v1 — which is what lets a mixed-version fleet roll
+// upgrades without a flag day.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+
+	// MaxProtoVersion is the highest protocol version this build speaks.
+	MaxProtoVersion = ProtoV2
+)
+
+// FrameMagic is the first byte of every v2 frame header. v1 frames start
+// with a little-endian payload length bounded by maxFrameLen (64 MiB), whose
+// fourth byte is always 0x00 — so 0xD6 in byte 0 alone does not disambiguate,
+// but the version byte that follows does, and the magic gives corruption a
+// high chance of being caught at the frame boundary.
+const FrameMagic byte = 0xD6
+
+// CallProtoHello is the reserved call ID of the version-negotiation hello.
+// It rides a normal v1 frame as the first round trip of a v2-capable
+// connection; v1 servers answer it like any unknown call (an error status),
+// which is the downgrade signal.
+const CallProtoHello uint16 = 0xFFFC
+
+// frameHeaderLenV2 is the fixed v2 frame header size:
+//
+//	byte    magic (FrameMagic)
+//	byte    version (ProtoV2)
+//	uint16  flags (flagBulk)
+//	uint32  metadata length
+//	uint32  bulk length
+//	int64   logical data bytes accompanying the frame
+const frameHeaderLenV2 = 20
+
+// flagBulk marks a frame carrying a bulk region after the metadata.
+const flagBulk uint16 = 1 << 0
+
+// helloLen / helloReplyLen are the fixed hello message sizes.
+const (
+	helloLen      = 4 // u16 CallProtoHello | magic | max version
+	helloReplyLen = 6 // i32 status | magic | negotiated version
+)
+
+// helloRequest encodes the negotiation hello: a payload that, framed as v1,
+// is the first thing a v2-capable dialer sends.
+func helloRequest(maxVer int) []byte {
+	b := make([]byte, helloLen)
+	binary.LittleEndian.PutUint16(b[0:2], CallProtoHello)
+	b[2] = FrameMagic
+	b[3] = byte(maxVer)
+	return b
+}
+
+// HandleHello answers a negotiation hello on behalf of a server that speaks
+// up to serverMax. It returns ok=false when payload is not a well-formed
+// hello or the server is v1-only — the caller then treats the payload as an
+// ordinary (unknown) call, which yields the error status a v2 dialer reads
+// as "fall back to v1".
+func HandleHello(payload []byte, serverMax int) (reply []byte, version int, ok bool) {
+	if serverMax < ProtoV2 {
+		return nil, 0, false
+	}
+	if len(payload) != helloLen ||
+		binary.LittleEndian.Uint16(payload[0:2]) != CallProtoHello ||
+		payload[2] != FrameMagic {
+		return nil, 0, false
+	}
+	version = int(payload[3])
+	if version > serverMax {
+		version = serverMax
+	}
+	if version < ProtoV1 {
+		return nil, 0, false
+	}
+	reply = make([]byte, helloReplyLen)
+	// status 0 (little-endian int32) then magic + version.
+	reply[4] = FrameMagic
+	reply[5] = byte(version)
+	return reply, version, true
+}
+
+// parseHelloReply decodes the peer's answer to a hello. ok=false means the
+// peer either refused the call (a v1 server's error status) or answered
+// something unintelligible; in both cases the safe move is v1.
+func parseHelloReply(resp []byte) (version int, ok bool) {
+	if len(resp) < 4 || binary.LittleEndian.Uint32(resp[0:4]) != 0 {
+		return 0, false
+	}
+	if len(resp) != helloReplyLen || resp[4] != FrameMagic {
+		return 0, false
+	}
+	version = int(resp[5])
+	if version < ProtoV1 || version > MaxProtoVersion {
+		return 0, false
+	}
+	return version, true
+}
+
+// --- v2 framing ---
+
+// appendFrameV2 builds a v2 frame header + metadata on top of buf. The bulk
+// region is not appended — it travels as the second vector of a writev (or is
+// absent).
+func appendFrameV2(buf, payload []byte, bulkLen int, data int64) []byte {
+	var flags uint16
+	if bulkLen > 0 {
+		flags |= flagBulk
+	}
+	buf = append(buf, FrameMagic, byte(ProtoV2))
+	buf = binary.LittleEndian.AppendUint16(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bulkLen))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(data))
+	return append(buf, payload...)
+}
+
+// vecCoalesceMax is the bulk size below which WriteFrameVec coalesces the
+// bulk into the (pooled) header buffer instead of paying a second vector:
+// for small payloads one contiguous write beats scatter bookkeeping.
+const vecCoalesceMax = 4 << 10
+
+// frameVec is the pooled scratch for a two-vector writev. bufs keeps the
+// full-capacity slice header so the backing array survives WriteTo (which
+// consumes its argument by re-slicing); work is the consumable copy. Both
+// live in one heap object so taking their addresses allocates nothing.
+type frameVec struct {
+	bufs net.Buffers
+	work net.Buffers
+}
+
+var vecPool = sync.Pool{New: func() any { return &frameVec{bufs: make(net.Buffers, 0, 2)} }}
+
+// writeVec writes hdr then bulk as a single vectored write (writev on TCP
+// connections; sequential writes elsewhere) without copying either.
+func writeVec(w io.Writer, hdr, bulk []byte) error {
+	v := vecPool.Get().(*frameVec)
+	v.bufs = append(v.bufs[:0], hdr, bulk)
+	v.work = v.bufs
+	_, err := v.work.WriteTo(w)
+	v.bufs[0], v.bufs[1] = nil, nil
+	v.work = nil
+	vecPool.Put(v)
+	return err
+}
+
+// WriteFrameVec writes one v2 frame: header + metadata coalesced from a
+// pooled buffer, bulk borrowed as the second vector of a single writev — no
+// copy of the bulk bytes, no allocation proportional to their size. The bulk
+// slice is owned by the caller again as soon as WriteFrameVec returns. A nil
+// or small bulk degenerates to one coalesced write.
+func WriteFrameVec(w io.Writer, payload, bulk []byte, data int64) error {
+	n := frameHeaderLenV2 + len(payload)
+	coalesce := len(bulk) <= vecCoalesceMax && n+len(bulk) <= maxPooledFrame
+	var bp *[]byte
+	if coalesce {
+		bp = getFrameBuf(n + len(bulk))
+	} else {
+		bp = getFrameBuf(n)
+	}
+	buf := appendFrameV2((*bp)[:0], payload, len(bulk), data)
+	var err error
+	if coalesce {
+		buf = append(buf, bulk...)
+		_, err = w.Write(buf)
+	} else {
+		err = writeVec(w, buf, bulk)
+	}
+	putFrameBuf(bp, buf)
+	if err == nil {
+		wireTx(ProtoV2, int64(frameHeaderLenV2+len(payload)+len(bulk)))
+	}
+	return err
+}
+
+// ReadFrameInto reads one v2 frame. The metadata payload is read into buf
+// when it fits (the ReadFrameReuse contract: the result may alias buf, the
+// caller owns both); the bulk region is scatter-read directly into dst when
+// it fits, so a caller that pre-sizes dst receives large payloads with a
+// single copy off the socket and zero allocations. When dst is too small a
+// fresh buffer is grown progressively, exactly like an oversized v1 payload.
+// bulk is nil when the frame carries no bulk region.
+func ReadFrameInto(r io.Reader, buf, dst []byte) (payload, bulk []byte, data int64, err error) {
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	hdr := (*bp)[:frameHeaderLenV2]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, 0, wrapReadErr(err)
+	}
+	if hdr[0] != FrameMagic {
+		return nil, nil, 0, fmt.Errorf("%w: bad frame magic 0x%02x", ErrFrameCorrupt, hdr[0])
+	}
+	if hdr[1] != byte(ProtoV2) {
+		return nil, nil, 0, fmt.Errorf("%w: unsupported frame version %d", ErrFrameCorrupt, hdr[1])
+	}
+	flags := binary.LittleEndian.Uint16(hdr[2:4])
+	metaLen := binary.LittleEndian.Uint32(hdr[4:8])
+	bulkLen := binary.LittleEndian.Uint32(hdr[8:12])
+	data = int64(binary.LittleEndian.Uint64(hdr[12:20]))
+	if metaLen > maxFrameLen || bulkLen > maxFrameLen || metaLen+bulkLen > maxFrameLen {
+		return nil, nil, 0, fmt.Errorf("%w: frame of %d+%d bytes exceeds %d-byte limit", ErrFrameCorrupt, metaLen, bulkLen, maxFrameLen)
+	}
+	if bulkLen > 0 && flags&flagBulk == 0 {
+		return nil, nil, 0, fmt.Errorf("%w: bulk bytes without bulk flag", ErrFrameCorrupt)
+	}
+	payload, err = readPayload(r, buf, int(metaLen))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if bulkLen > 0 {
+		if int(bulkLen) <= cap(dst) {
+			bulk = dst[:bulkLen]
+			if _, err := io.ReadFull(r, bulk); err != nil {
+				return nil, nil, 0, wrapReadErr(err)
+			}
+		} else {
+			bulk, err = readPayload(r, nil, int(bulkLen))
+			if err != nil {
+				return nil, nil, 0, err
+			}
+		}
+	}
+	wireRx(ProtoV2, int64(frameHeaderLenV2)+int64(metaLen)+int64(bulkLen))
+	return payload, bulk, data, nil
+}
+
+// --- size-classed frame pools ---
+
+// largeClassSizes are the capacity classes for frame buffers above
+// maxPooledFrame: without them every >64 KiB v1 frame allocated afresh (the
+// pool-miss bug this fixes). Each class carries headroom for the frame
+// header so a power-of-two payload does not spill into the next class.
+var largeClassSizes = [...]int{
+	(256 << 10) + frameHeaderLenV2 + 64,
+	(1 << 20) + frameHeaderLenV2 + 64,
+	(4 << 20) + frameHeaderLenV2 + 64,
+	(16 << 20) + frameHeaderLenV2 + 64,
+}
+
+var largeFramePools [len(largeClassSizes)]sync.Pool
+
+// getFrameBuf returns a pooled buffer with at least n bytes of capacity:
+// the small frame pool up to maxPooledFrame, a size-classed large pool up to
+// 16 MiB, a fresh allocation beyond (bounded by maxFrameLen).
+func getFrameBuf(n int) *[]byte {
+	if n <= maxPooledFrame {
+		return framePool.Get().(*[]byte)
+	}
+	for i, size := range largeClassSizes {
+		if n <= size {
+			if v := largeFramePools[i].Get(); v != nil {
+				return v.(*[]byte)
+			}
+			b := make([]byte, 0, size)
+			return &b
+		}
+	}
+	b := make([]byte, 0, n)
+	return &b
+}
+
+// putFrameBuf returns a frame buffer to the pool matching its capacity. buf
+// is the (possibly grown) slice built on *bp; the grown backing array is
+// what gets pooled.
+func putFrameBuf(bp *[]byte, buf []byte) {
+	c := cap(buf)
+	if c <= maxPooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
+		return
+	}
+	for i, size := range largeClassSizes {
+		if c <= size {
+			*bp = buf[:0]
+			largeFramePools[i].Put(bp)
+			return
+		}
+	}
+	// Beyond the largest class: drop it, a 64 MiB buffer must not be pinned.
+}
+
+// --- wire statistics ---
+
+// WireStats is a snapshot of protocol-level counters, aggregated over every
+// transport in the process (TCP and simulated alike). Counters are atomics
+// because the TCP transport runs on real goroutines.
+type WireStats struct {
+	BytesTx  int64 // wire bytes written (headers + metadata + bulk + modeled payload)
+	BytesRx  int64 // wire bytes read
+	FramesV1 int64 // frames sent under protocol v1
+	FramesV2 int64 // frames sent under protocol v2
+	HellosV2 int64 // negotiations that landed on v2
+	HellosV1 int64 // negotiations that fell back to v1 (v1 peer)
+}
+
+// Sub returns the element-wise difference s - o, for delta reporting across
+// an experiment run.
+func (s WireStats) Sub(o WireStats) WireStats {
+	return WireStats{
+		BytesTx:  s.BytesTx - o.BytesTx,
+		BytesRx:  s.BytesRx - o.BytesRx,
+		FramesV1: s.FramesV1 - o.FramesV1,
+		FramesV2: s.FramesV2 - o.FramesV2,
+		HellosV2: s.HellosV2 - o.HellosV2,
+		HellosV1: s.HellosV1 - o.HellosV1,
+	}
+}
+
+var wireStats struct {
+	bytesTx, bytesRx   atomic.Int64
+	framesV1, framesV2 atomic.Int64
+	hellosV2, hellosV1 atomic.Int64
+}
+
+func wireTx(ver int, n int64) {
+	wireStats.bytesTx.Add(n)
+	if ver >= ProtoV2 {
+		wireStats.framesV2.Add(1)
+	} else {
+		wireStats.framesV1.Add(1)
+	}
+}
+
+func wireRx(ver int, n int64) {
+	wireStats.bytesRx.Add(n)
+}
+
+func wireHello(ver int) {
+	if ver >= ProtoV2 {
+		wireStats.hellosV2.Add(1)
+	} else {
+		wireStats.hellosV1.Add(1)
+	}
+}
+
+// SnapshotWireStats returns the process-wide wire counters. Experiments
+// snapshot at start and Sub at the end to isolate their own traffic.
+func SnapshotWireStats() WireStats {
+	return WireStats{
+		BytesTx:  wireStats.bytesTx.Load(),
+		BytesRx:  wireStats.bytesRx.Load(),
+		FramesV1: wireStats.framesV1.Load(),
+		FramesV2: wireStats.framesV2.Load(),
+		HellosV2: wireStats.hellosV2.Load(),
+		HellosV1: wireStats.hellosV1.Load(),
+	}
+}
+
+// PublishWireStats sets the remoting_* counters in reg from a stats delta,
+// so experiment summaries and bench reports carry the wire traffic next to
+// their domain counters.
+func PublishWireStats(reg *metrics.Registry, w WireStats) {
+	set := func(name string, v int64) {
+		if v < 0 {
+			v = 0
+		}
+		c := reg.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	set("remoting_bytes_tx", w.BytesTx)
+	set("remoting_bytes_rx", w.BytesRx)
+	set("remoting_frames_v1", w.FramesV1)
+	set("remoting_frames_v2", w.FramesV2)
+	set("remoting_hellos_v2", w.HellosV2)
+	set("remoting_hellos_v1", w.HellosV1)
+}

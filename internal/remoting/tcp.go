@@ -17,13 +17,18 @@ import (
 // guest↔API-server remoting across processes; experiments use the simulated
 // transport.
 //
-// Frame layout (little-endian):
+// Protocol v1 frame layout (little-endian):
 //
 //	uint32  payload length
 //	int64   logical data bytes accompanying the payload
 //	[]byte  payload
 //
-// frameHeaderLen is the fixed frame header size.
+// Protocol v2 (see protocol.go) prefixes a magic/version/flags header and
+// splits the payload into metadata + an optional bulk region written as one
+// vectored writev. Connections negotiate the version with a hello round trip
+// at dial time; see DialTCPVersion / ServeConnVersion.
+//
+// frameHeaderLen is the fixed v1 frame header size.
 const frameHeaderLen = 12
 
 // maxFrameLen bounds incoming frames (a corrupted length prefix must not
@@ -47,14 +52,16 @@ func appendFrame(buf, payload []byte, data int64) []byte {
 
 // WriteFrame writes one framed message with a single Write call, so each
 // frame is one syscall (and, with TCP_NODELAY, at most one segment when it
-// fits).
+// fits). Frame buffers of every size are pooled: small ones in framePool,
+// larger ones in the size-classed large pools, so large v1 frames no longer
+// allocate per call.
 func WriteFrame(w io.Writer, payload []byte, data int64) error {
-	bp := framePool.Get().(*[]byte)
+	bp := getFrameBuf(frameHeaderLen + len(payload))
 	buf := appendFrame((*bp)[:0], payload, data)
 	_, err := w.Write(buf)
-	if cap(buf) <= maxPooledFrame {
-		*bp = buf[:0]
-		framePool.Put(bp)
+	putFrameBuf(bp, buf)
+	if err == nil {
+		wireTx(ProtoV1, int64(frameHeaderLen+len(payload)))
 	}
 	return err
 }
@@ -90,6 +97,7 @@ func ReadFrameReuse(r io.Reader, buf []byte) (payload []byte, data int64, err er
 	if err != nil {
 		return nil, 0, err
 	}
+	wireRx(ProtoV1, int64(frameHeaderLen)+int64(n))
 	return payload, data, nil
 }
 
@@ -166,13 +174,25 @@ func setNoDelay(conn net.Conn) {
 // pipelined lane.
 const tcpWindow = 64
 
-// tcpCaller implements AsyncCaller over a TCP connection. Synchronous calls
-// are strictly request/response; Submit hands pre-framed one-way messages to
-// a writer goroutine, which preserves FIFO order between the two kinds.
+// outFrame is one message queued to the writer goroutine: a pooled buffer
+// holding the (already framed) header + payload, plus an optional borrowed
+// bulk region written as the second vector of a writev. bulk is only ever
+// non-nil for synchronous vec calls, whose caller blocks until the reply —
+// which cannot arrive before the writer has finished with the slice.
+type outFrame struct {
+	bp   *[]byte
+	bulk []byte
+}
+
+// tcpCaller implements AsyncCaller (and VecCaller) over a TCP connection.
+// Synchronous calls are strictly request/response; Submit hands pre-framed
+// one-way messages to a writer goroutine, which preserves FIFO order between
+// the two kinds.
 type tcpCaller struct {
 	mu     sync.Mutex // serializes synchronous round trips
 	conn   net.Conn
-	sendCh chan *[]byte // pre-framed buffers owned by the writer
+	ver    int // negotiated protocol version, fixed at dial time
+	sendCh chan outFrame
 
 	// readBuf is the reply buffer reused across round trips (guarded by
 	// mu). Returned payloads alias it, per the Caller contract: a reply is
@@ -184,47 +204,107 @@ type tcpCaller struct {
 	writeDone chan struct{}
 }
 
-// DialTCP connects a guest library to a TCP API server endpoint.
+// DialTCP connects a guest library to a TCP API server endpoint, negotiating
+// the highest mutually supported protocol version before the first call.
 func DialTCP(addr string) (AsyncCaller, error) {
+	return DialTCPVersion(addr, MaxProtoVersion)
+}
+
+// DialTCPVersion is DialTCP with an explicit protocol ceiling. maxVer
+// ProtoV1 skips the hello entirely and behaves exactly like an old build;
+// otherwise one hello round trip runs on the raw connection before the
+// writer goroutine starts, so by the time the caller sees the connection the
+// version is settled. A v1 server rejects the hello's unknown call ID, which
+// reads as "fall back to v1".
+func DialTCPVersion(addr string, maxVer int) (AsyncCaller, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	setNoDelay(conn)
+	ver := ProtoV1
+	if maxVer >= ProtoV2 {
+		if err := WriteFrame(conn, helloRequest(maxVer), 0); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		resp, _, err := ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("protocol hello: %w", err)
+		}
+		if v, ok := parseHelloReply(resp); ok && v <= maxVer {
+			ver = v
+		}
+		wireHello(ver)
+	}
 	c := &tcpCaller{
 		conn:      conn,
-		sendCh:    make(chan *[]byte, tcpWindow),
+		ver:       ver,
+		sendCh:    make(chan outFrame, tcpWindow),
 		writeDone: make(chan struct{}),
 	}
 	go c.writer()
 	return c, nil
 }
 
-// writer drains the send queue onto the socket, one Write per frame. On a
-// write error it records the error, tears the connection down and keeps
-// draining so senders never block forever.
+// ProtoVersion implements VecCaller.
+func (c *tcpCaller) ProtoVersion() int { return c.ver }
+
+// writer drains the send queue onto the socket, one Write (or writev, for
+// frames with a bulk vector) per frame. On a write error it records the
+// error, tears the connection down and keeps draining so senders never block
+// forever.
 func (c *tcpCaller) writer() {
 	defer close(c.writeDone)
-	for bp := range c.sendCh {
+	for f := range c.sendCh {
 		if c.writeErr == nil {
-			if _, err := c.conn.Write(*bp); err != nil {
+			var err error
+			if f.bulk != nil {
+				err = writeVec(c.conn, *f.bp, f.bulk)
+			} else {
+				_, err = c.conn.Write(*f.bp)
+			}
+			if err != nil {
 				c.writeErr = err
 				_ = c.conn.Close()
+			} else {
+				wireTx(c.ver, int64(len(*f.bp)+len(f.bulk)))
 			}
 		}
-		if cap(*bp) <= maxPooledFrame {
-			*bp = (*bp)[:0]
-			framePool.Put(bp)
-		}
+		putFrameBuf(f.bp, *f.bp)
 	}
 }
 
-// enqueue frames a message and hands it to the writer goroutine, blocking
-// when the in-flight window is full.
+// enqueue frames a message for the negotiated version and hands it to the
+// writer goroutine, blocking when the in-flight window is full.
 func (c *tcpCaller) enqueue(payload []byte, data int64) {
-	bp := framePool.Get().(*[]byte)
+	if c.ver >= ProtoV2 {
+		bp := getFrameBuf(frameHeaderLenV2 + len(payload))
+		*bp = appendFrameV2((*bp)[:0], payload, 0, data)
+		c.sendCh <- outFrame{bp: bp}
+		return
+	}
+	bp := getFrameBuf(frameHeaderLen + len(payload))
 	*bp = appendFrame((*bp)[:0], payload, data)
-	c.sendCh <- bp
+	c.sendCh <- outFrame{bp: bp}
+}
+
+// enqueueVec frames a v2 bulk message: metadata coalesced into a pooled
+// buffer, the bulk slice borrowed and attached as the writev's second vector
+// (small bulks are coalesced too — one contiguous write beats scatter
+// bookkeeping below vecCoalesceMax).
+func (c *tcpCaller) enqueueVec(payload, bulk []byte) {
+	n := frameHeaderLenV2 + len(payload)
+	if len(bulk) <= vecCoalesceMax && n+len(bulk) <= maxPooledFrame {
+		bp := getFrameBuf(n + len(bulk))
+		*bp = append(appendFrameV2((*bp)[:0], payload, len(bulk), 0), bulk...)
+		c.sendCh <- outFrame{bp: bp}
+		return
+	}
+	bp := getFrameBuf(n)
+	*bp = appendFrameV2((*bp)[:0], payload, len(bulk), 0)
+	c.sendCh <- outFrame{bp: bp, bulk: bulk}
 }
 
 // Roundtrip sends one framed call and reads the framed reply. The sim
@@ -247,7 +327,33 @@ func (c *tcpCaller) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d t
 		_ = c.conn.SetReadDeadline(time.Now().Add(d))
 		defer c.conn.SetReadDeadline(time.Time{})
 	}
-	payload, _, err := ReadFrameReuse(c.conn, c.readBuf)
+	payload, _, err := c.readReply(nil)
+	return payload, err
+}
+
+// RoundtripVec implements VecCaller over TCP: the bulk slice is borrowed into
+// the writer's writev (never copied), and the reply's bulk region is
+// scatter-read straight into respDst. The caller owns reqBulk again when this
+// returns — the reply cannot have arrived before the writer finished sending
+// the bulk.
+func (c *tcpCaller) RoundtripVec(p *sim.Proc, req, reqBulk, respDst []byte) ([]byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ver < ProtoV2 {
+		return nil, nil, fmt.Errorf("remoting: RoundtripVec requires protocol v2 (connection negotiated v%d)", c.ver)
+	}
+	c.enqueueVec(req, reqBulk)
+	return c.readReply(respDst)
+}
+
+// readReply reads one reply frame for the negotiated version, reusing the
+// connection's reply buffer and typing errors. Callers hold mu.
+func (c *tcpCaller) readReply(respDst []byte) (payload, bulk []byte, err error) {
+	if c.ver >= ProtoV2 {
+		payload, bulk, _, err = ReadFrameInto(c.conn, c.readBuf, respDst)
+	} else {
+		payload, _, err = ReadFrameReuse(c.conn, c.readBuf)
+	}
 	// Keep a grown buffer for the next reply, but never pin a huge one.
 	if cap(payload) > cap(c.readBuf) && cap(payload) <= maxPooledFrame {
 		c.readBuf = payload[:0]
@@ -260,7 +366,7 @@ func (c *tcpCaller) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d t
 			_ = c.conn.Close()
 		}
 	}
-	return payload, err
+	return payload, bulk, err
 }
 
 // Submit queues one one-way framed message without waiting for any
@@ -289,8 +395,16 @@ func (c *tcpCaller) Close() {
 // on an open-mode engine: a reader goroutine turns frames into Requests, and
 // a simulated writer process streams Responses back to the socket. It
 // returns immediately with a channel that closes when the connection drops;
-// the bridge lives until then.
+// the bridge lives until then. The bridge answers protocol hellos itself
+// (speaking up to MaxProtoVersion) and reframes per the negotiated version.
 func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan struct{} {
+	return ServeConnVersion(e, conn, inbox, MaxProtoVersion)
+}
+
+// ServeConnVersion is ServeConn with an explicit protocol ceiling: maxVer
+// ProtoV1 makes the bridge behave exactly like an old build (a dialer's hello
+// is forwarded as an unknown call and rejected, which downgrades the client).
+func ServeConnVersion(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request], maxVer int) <-chan struct{} {
 	setNoDelay(conn)
 	done := make(chan struct{})
 	replies := sim.NewQueue[Response](e)
@@ -301,7 +415,16 @@ func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan s
 				_ = conn.Close()
 				return
 			}
-			if err := WriteFrame(conn, r.Payload, r.RespData); err != nil {
+			// Frame per the version stamped on the response: the hello reply
+			// is pinned to v1 (both sides still speak v1 at that instant),
+			// everything after a v2 negotiation goes vectored.
+			var err error
+			if r.Proto >= ProtoV2 {
+				err = WriteFrameVec(conn, r.Payload, r.Bulk, r.RespData)
+			} else {
+				err = WriteFrame(conn, r.Payload, r.RespData)
+			}
+			if err != nil {
 				_ = conn.Close()
 				return
 			}
@@ -310,14 +433,41 @@ func ServeConn(e *sim.Engine, conn net.Conn, inbox *sim.Queue[Request]) <-chan s
 	go func() {
 		defer close(done)
 		defer replies.Close()
+		ver := ProtoV1
+		first := true
+		// bulkBuf is reused across bulk frames: only synchronous calls carry
+		// bulk (apigen enforces it), so the guest cannot send the next frame
+		// before the handler is done with the previous bulk region.
+		var bulkBuf []byte
 		for {
-			payload, data, err := ReadFrame(conn)
+			var payload, bulk []byte
+			var data int64
+			var err error
+			if ver >= ProtoV2 {
+				payload, bulk, data, err = ReadFrameInto(conn, nil, bulkBuf)
+				if cap(bulk) > cap(bulkBuf) {
+					bulkBuf = bulk[:0]
+				}
+			} else {
+				payload, data, err = ReadFrame(conn)
+			}
 			if err != nil {
 				return
 			}
+			if first {
+				first = false
+				if reply, v, ok := HandleHello(payload, maxVer); ok {
+					if !replies.TrySend(Response{Payload: reply, Proto: ProtoV1}) {
+						return
+					}
+					ver = v
+					wireHello(ver)
+					continue
+				}
+			}
 			// The hosted API server may have crashed (closed its inbox);
 			// drop the bridge rather than panic.
-			if !inbox.TrySend(Request{Payload: payload, ReqData: data, ReplyTo: replies}) {
+			if !inbox.TrySend(Request{Payload: payload, ReqData: data, Bulk: bulk, Proto: ver, ReplyTo: replies}) {
 				return
 			}
 		}

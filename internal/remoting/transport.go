@@ -37,6 +37,9 @@ const CallAsync uint16 = 0xFFFE
 // (0 if none), which the fence clears.
 const CallFence uint16 = 0xFFFD
 
+// (CallProtoHello, 0xFFFC, is reserved in protocol.go for the wire-protocol
+// version negotiation hello.)
+
 // NetProfile models the network between a function's execution environment
 // and the GPU server.
 type NetProfile struct {
@@ -123,6 +126,35 @@ type AsyncCaller interface {
 	Submit(p *sim.Proc, req []byte, reqData int64) error
 }
 
+// VecCaller is a Caller with the protocol-v2 vectored bulk lane. Generated
+// stubs for calls carrying a trailing bulk []byte use it when the connection
+// negotiated v2; on v1 connections (or transports without it) they fall back
+// to inlining the bulk into the encoded payload.
+//
+// Ownership: reqBulk is borrowed by the transport only for the duration of
+// the call — it is sent without copying and belongs to the caller again when
+// RoundtripVec returns. A reply bulk region is scatter-read into respDst
+// when it fits (respBulk then aliases respDst); otherwise a fresh buffer is
+// returned. resp follows the usual Caller reply contract.
+type VecCaller interface {
+	Caller
+	// ProtoVersion reports the protocol version negotiated so far: ProtoV1
+	// until a hello completes (the simulated transport negotiates lazily on
+	// the first call, so a fresh connection reports v1 until then).
+	ProtoVersion() int
+	RoundtripVec(p *sim.Proc, req, reqBulk, respDst []byte) (resp, respBulk []byte, err error)
+}
+
+// Downgrader is implemented by transports whose maximum protocol version can
+// be forced down before use. The faults framework uses it to model a peer
+// stuck on an old build during a rolling upgrade.
+type Downgrader interface {
+	// ForceVersion caps the connection's protocol at v (normally ProtoV1,
+	// suppressing the hello entirely). It must be called before the first
+	// round trip.
+	ForceVersion(v int)
+}
+
 // Request is one in-flight call as seen by an API server. Control messages
 // from the GPU server's monitor (e.g. migration requests) ride the same FIFO
 // with Ctrl set and Payload nil, which is what confines them to API call
@@ -133,6 +165,17 @@ type Request struct {
 	ReplyTo *sim.Queue[Response]
 	Profile NetProfile // so the server charges response transfer symmetrically
 	Ctrl    any        // non-nil for monitor control messages
+
+	// Bulk is the request's vectored bulk region (protocol v2): the raw
+	// bytes of a trailing bulk argument, delivered outside the encoded
+	// payload. It is owned by the transport until the reply is sent —
+	// handlers must copy what they retain. nil when the call carries no
+	// bulk (or inlined it on a v1 connection).
+	Bulk []byte
+	// Proto is the protocol version of the connection that delivered the
+	// request (0 is treated as v1). Servers echo it into the Response so
+	// reply framing matches what the guest reads.
+	Proto int
 }
 
 // Response carries an encoded reply plus the logical payload bytes flowing
@@ -140,6 +183,15 @@ type Request struct {
 type Response struct {
 	Payload  []byte
 	RespData int64
+
+	// Bulk is the reply's vectored bulk region (protocol v2). It must stay
+	// immutable until the reply frame is written; handlers return quiescent
+	// session storage or a copy.
+	Bulk []byte
+	// Proto selects the reply framing: servers copy Request.Proto. The
+	// negotiation hello reply is the one response pinned to v1 — both sides
+	// still speak v1 at that instant.
+	Proto int
 }
 
 // Listener is the server-side endpoint of the simulated transport.
@@ -157,8 +209,24 @@ type simConn struct {
 	e       *sim.Engine
 	l       *Listener
 	profile NetProfile
-	replies *sim.Queue[Response]
 	closed  bool
+
+	// inflight tracks the per-call reply queues of outstanding round
+	// trips, in call order. Each call carries its own queue as ReplyTo,
+	// so replies are matched to their callers even when several simulated
+	// processes share the connection (a store watch pump's long-poll
+	// overlapping CRUD, a lazily sent hello overlapping a first call).
+	// Break/Close fail every outstanding call by closing them all — a
+	// slice, not a map, so the wake order stays deterministic.
+	inflight []*sim.Queue[Response]
+
+	// Protocol version state. maxVer is what this side is willing to speak;
+	// ver is what the hello negotiated (v1 until it runs). The hello fires
+	// lazily on the first call — the one-RTT negotiation cost lands on
+	// connection establishment, not on the steady state.
+	maxVer    int
+	ver       int
+	helloDone bool
 
 	// Fault-injection state (Faultable). All mutation happens from
 	// simulated processes, serialized by the engine.
@@ -182,9 +250,56 @@ type pipeItem struct {
 }
 
 // Dial connects a guest to an API server's listener with the given network
-// profile.
+// profile, negotiating the highest mutually supported protocol version on
+// the first call.
 func Dial(e *sim.Engine, l *Listener, profile NetProfile) AsyncCaller {
-	return &simConn{e: e, l: l, profile: profile, replies: sim.NewQueue[Response](e)}
+	return DialVersion(e, l, profile, MaxProtoVersion)
+}
+
+// DialVersion is Dial with an explicit protocol ceiling, for mixed-version
+// interop tests and rolling-upgrade modeling (maxVer ProtoV1 suppresses the
+// hello entirely, behaving exactly like an old build).
+func DialVersion(e *sim.Engine, l *Listener, profile NetProfile, maxVer int) AsyncCaller {
+	if maxVer < ProtoV1 {
+		maxVer = ProtoV1
+	}
+	return &simConn{e: e, l: l, profile: profile, maxVer: maxVer, ver: ProtoV1}
+}
+
+// ForceVersion implements Downgrader: cap the connection at v before use.
+func (c *simConn) ForceVersion(v int) {
+	if v < ProtoV1 {
+		v = ProtoV1
+	}
+	if v < c.maxVer {
+		c.maxVer = v
+	}
+	if c.ver > c.maxVer {
+		c.ver = c.maxVer
+	}
+}
+
+// ProtoVersion implements VecCaller.
+func (c *simConn) ProtoVersion() int { return c.ver }
+
+// negotiate runs the one-RTT hello on the first call of a v2-capable
+// connection. An injected frame corruption (CorruptNext) lands on the hello
+// itself — exactly the corrupted-negotiation case — and surfaces as a typed
+// ErrFrameCorrupt with the connection broken, like any corrupt stream.
+func (c *simConn) negotiate(p *sim.Proc) error {
+	if c.helloDone || c.maxVer < ProtoV2 {
+		return nil
+	}
+	c.helloDone = true // the hello itself must not renegotiate
+	resp, err := c.roundtrip(p, helloRequest(c.maxVer), 0, -1)
+	if err != nil {
+		return err
+	}
+	if v, ok := parseHelloReply(resp); ok && v <= c.maxVer {
+		c.ver = v
+	}
+	wireHello(c.ver)
+	return nil
 }
 
 // ensurePipe lazily starts the delivery daemon that models the wire between
@@ -217,13 +332,15 @@ func (c *simConn) ensurePipe(p *sim.Proc) {
 }
 
 // send charges the sender-side occupancy (transfer time of message plus
-// logical payload) and puts the request on the wire, to arrive half an RTT
-// later. With no pipe running it degenerates to the original synchronous
-// path, whose sleep ends at the identical virtual instant. It reports
-// whether the message reached a live listener; a false return means the
-// peer is gone and the connection is now broken.
+// bulk plus logical payload) and puts the request on the wire, to arrive
+// half an RTT later. With no pipe running it degenerates to the original
+// synchronous path, whose sleep ends at the identical virtual instant. It
+// reports whether the message reached a live listener; a false return means
+// the peer is gone and the connection is now broken.
 func (c *simConn) send(p *sim.Proc, req Request) bool {
-	transfer := c.profile.transferTime(p.Rand(), int64(len(req.Payload))+req.ReqData)
+	req.Proto = c.ver
+	wireTx(c.ver, int64(len(req.Payload))+int64(len(req.Bulk))+req.ReqData)
+	transfer := c.profile.transferTime(p.Rand(), int64(len(req.Payload))+int64(len(req.Bulk))+req.ReqData)
 	if c.stall > 0 {
 		transfer += c.stall
 		c.stall = 0
@@ -266,6 +383,9 @@ func (c *simConn) checkSend(p *sim.Proc, n int64) error {
 // Roundtrip sends one encoded call and blocks until the reply arrives,
 // charging latency and bandwidth in virtual time.
 func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, error) {
+	if err := c.negotiate(p); err != nil {
+		return nil, err
+	}
 	return c.roundtrip(p, req, reqData, -1)
 }
 
@@ -273,7 +393,50 @@ func (c *simConn) Roundtrip(p *sim.Proc, req []byte, reqData int64) ([]byte, err
 // timeout the connection breaks: a late reply could otherwise be mismatched
 // to the next call.
 func (c *simConn) RoundtripTimeout(p *sim.Proc, req []byte, reqData int64, d time.Duration) ([]byte, error) {
+	if err := c.negotiate(p); err != nil {
+		return nil, err
+	}
 	return c.roundtrip(p, req, reqData, d)
+}
+
+// RoundtripVec implements VecCaller: the request's bulk bytes ride outside
+// the encoded payload (borrowed, never copied on the send side), and the
+// reply's bulk region is scatter-read into respDst when it fits — the same
+// ownership handoff the TCP transport performs with writev/ReadFrameInto.
+func (c *simConn) RoundtripVec(p *sim.Proc, req, reqBulk, respDst []byte) (resp, respBulk []byte, err error) {
+	if err := c.negotiate(p); err != nil {
+		return nil, nil, err
+	}
+	if err := c.checkSend(p, int64(len(req))+int64(len(reqBulk))); err != nil {
+		return nil, nil, err
+	}
+	replyQ := c.callQueue()
+	defer c.callDone(replyQ)
+	if !c.send(p, Request{Payload: req, Bulk: reqBulk, ReplyTo: replyQ, Profile: c.profile}) {
+		return nil, nil, ErrConnClosed
+	}
+	r, ok := replyQ.Recv(p)
+	if !ok {
+		c.Break()
+		return nil, nil, ErrConnClosed
+	}
+	wireRx(c.ver, int64(len(r.Payload))+int64(len(r.Bulk))+r.RespData)
+	recv := c.profile.RTT/2 + c.profile.transferTime(p.Rand(), int64(len(r.Payload))+int64(len(r.Bulk))+r.RespData)
+	if recv > 0 {
+		p.Sleep(recv)
+	}
+	if r.Bulk != nil {
+		// Model the scatter read: the bytes land in the caller's buffer. The
+		// server side may hand us storage it will reuse, so the copy is also
+		// what makes the sim's ownership semantics match TCP's.
+		if cap(respDst) >= len(r.Bulk) {
+			respBulk = respDst[:len(r.Bulk)]
+		} else {
+			respBulk = make([]byte, len(r.Bulk))
+		}
+		copy(respBulk, r.Bulk)
+	}
+	return r.Payload, respBulk, nil
 }
 
 func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline time.Duration) ([]byte, error) {
@@ -281,13 +444,15 @@ func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline tim
 	if err := c.checkSend(p, int64(len(req))+reqData); err != nil {
 		return nil, err
 	}
-	if !c.send(p, Request{Payload: req, ReqData: reqData, ReplyTo: c.replies, Profile: c.profile}) {
+	replyQ := c.callQueue()
+	defer c.callDone(replyQ)
+	if !c.send(p, Request{Payload: req, ReqData: reqData, ReplyTo: replyQ, Profile: c.profile}) {
 		return nil, ErrConnClosed
 	}
 	var resp Response
 	var ok bool
 	if deadline < 0 {
-		resp, ok = c.replies.Recv(p)
+		resp, ok = replyQ.Recv(p)
 	} else {
 		// The deadline covers the whole call, the way a socket timeout
 		// does: send-side time (including an injected stall) eats into the
@@ -297,7 +462,7 @@ func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline tim
 			remaining = 0
 		}
 		var timedOut bool
-		resp, ok, timedOut = c.replies.RecvTimeout(p, remaining)
+		resp, ok, timedOut = replyQ.RecvTimeout(p, remaining)
 		if timedOut {
 			c.Break()
 			return nil, fmt.Errorf("%w: no reply within %v", ErrCallTimeout, deadline)
@@ -310,6 +475,7 @@ func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline tim
 		c.Break()
 		return nil, ErrConnClosed
 	}
+	wireRx(c.ver, int64(len(resp.Payload))+resp.RespData)
 	// Inbound: the other half of the RTT plus the response transfer.
 	recv := c.profile.RTT/2 + c.profile.transferTime(p.Rand(), int64(len(resp.Payload))+resp.RespData)
 	if recv > 0 {
@@ -322,6 +488,9 @@ func (c *simConn) roundtrip(p *sim.Proc, req []byte, reqData int64, deadline tim
 // only its transfer occupancy, not the round trip, so compute and network
 // latency overlap. Ordering with later Roundtrips is FIFO.
 func (c *simConn) Submit(p *sim.Proc, req []byte, reqData int64) error {
+	if err := c.negotiate(p); err != nil {
+		return err
+	}
 	if err := c.checkSend(p, int64(len(req))+reqData); err != nil {
 		return err
 	}
@@ -332,11 +501,37 @@ func (c *simConn) Submit(p *sim.Proc, req []byte, reqData int64) error {
 	return nil
 }
 
+// callQueue opens the per-call reply queue of one round trip.
+func (c *simConn) callQueue() *sim.Queue[Response] {
+	q := sim.NewQueue[Response](c.e)
+	c.inflight = append(c.inflight, q)
+	return q
+}
+
+// callDone retires a round trip's reply queue.
+func (c *simConn) callDone(q *sim.Queue[Response]) {
+	for i, cand := range c.inflight {
+		if cand == q {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// failInflight closes every outstanding round trip's reply queue, failing
+// its blocked caller with ErrConnClosed.
+func (c *simConn) failInflight() {
+	for _, q := range c.inflight {
+		q.Close()
+	}
+	c.inflight = nil
+}
+
 // Close tears the connection down; a blocked Roundtrip fails.
 func (c *simConn) Close() {
 	if !c.closed {
 		c.closed = true
-		c.replies.Close()
+		c.failInflight()
 		if c.pipe != nil {
 			c.pipe.Close()
 		}
@@ -352,7 +547,7 @@ func (c *simConn) Break() {
 		return
 	}
 	c.broken = true
-	c.replies.Close()
+	c.failInflight()
 	if c.pipe != nil {
 		c.pipe.Close()
 		c.pipe = nil

@@ -27,7 +27,10 @@ func TestSimRoundtripLatency(t *testing.T) {
 				req.ReplyTo.Send(Response{Payload: req.Payload})
 			}
 		})
-		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+		// Dial v1 explicitly: the test asserts the exact steady-state cost of
+		// one round trip, and a v2-capable dial prepends a one-RTT hello
+		// (covered by TestSimNegotiationCostsOneRTT).
+		conn := DialVersion(e, l, NetProfile{RTT: 100 * time.Microsecond}, ProtoV1)
 		start := p.Now()
 		resp, err := conn.Roundtrip(p, []byte("ping"), 0)
 		if err != nil {
@@ -57,8 +60,9 @@ func TestSimRoundtripChargesBandwidth(t *testing.T) {
 				req.ReplyTo.Send(Response{Payload: []byte("ok")})
 			}
 		})
-		// 1 MB/s, no jitter: 1 MB of request payload = 1 s.
-		conn := Dial(e, l, NetProfile{Bps: 1e6})
+		// 1 MB/s, no jitter: 1 MB of request payload = 1 s. v1 dial keeps the
+		// hello's 6 transferred bytes out of the exact-time assertion.
+		conn := DialVersion(e, l, NetProfile{Bps: 1e6}, ProtoV1)
 		start := p.Now()
 		if _, err := conn.Roundtrip(p, []byte("x"), 1e6-1-2); err != nil {
 			t.Fatal(err)
@@ -163,7 +167,7 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 			if !ok {
 				return
 			}
-			req.ReplyTo.Send(Response{Payload: append([]byte("re:"), req.Payload...), RespData: req.ReqData})
+			req.ReplyTo.Send(Response{Payload: append([]byte("re:"), req.Payload...), RespData: req.ReqData, Proto: req.Proto})
 		}
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -219,7 +223,7 @@ func TestSimSubmitOverlapsRTT(t *testing.T) {
 				req.ReplyTo.Send(Response{Payload: []byte("ok")})
 			}
 		})
-		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+		conn := DialVersion(e, l, NetProfile{RTT: 100 * time.Microsecond}, ProtoV1)
 		start := p.Now()
 		for i := 0; i < 10; i++ {
 			if err := conn.Submit(p, []byte("one-way"), 0); err != nil {
@@ -307,7 +311,7 @@ func TestTCPSubmitPreservesOrder(t *testing.T) {
 				oneWay++
 				continue // no reply: the async contract
 			}
-			req.ReplyTo.Send(Response{Payload: []byte{byte(oneWay)}})
+			req.ReplyTo.Send(Response{Payload: []byte{byte(oneWay)}, Proto: req.Proto})
 		}
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -478,7 +482,10 @@ func TestFenceAfterConnFaultSurfacesTypedError(t *testing.T) {
 						req.ReplyTo.Send(Response{Payload: []byte("ok")})
 					}
 				})
-				conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond})
+				// v1 dial: with negotiation enabled the hello itself would
+				// absorb the injected fault (legitimately, but this test pins
+				// the classification surfaced through the async-lane fence).
+				conn := DialVersion(e, l, NetProfile{RTT: 100 * time.Microsecond}, ProtoV1)
 				for i := 0; i < 10; i++ {
 					if err := conn.Submit(p, []byte("one-way"), 0); err != nil {
 						t.Fatal(err)
@@ -530,7 +537,7 @@ func TestRoundtripTimeoutHappyPathUnaffected(t *testing.T) {
 				req.ReplyTo.Send(Response{Payload: req.Payload})
 			}
 		})
-		conn := Dial(e, l, NetProfile{RTT: 100 * time.Microsecond}).(DeadlineCaller)
+		conn := DialVersion(e, l, NetProfile{RTT: 100 * time.Microsecond}, ProtoV1).(DeadlineCaller)
 		start := p.Now()
 		resp, err := conn.RoundtripTimeout(p, []byte("ping"), 0, time.Second)
 		if err != nil || !bytes.Equal(resp, []byte("ping")) {

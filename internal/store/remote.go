@@ -117,12 +117,23 @@ func Serve(p *sim.Proc, s *Store, l *remoting.Listener) {
 		if req.Ctrl != nil || len(req.Payload) < 2 {
 			continue
 		}
-		if binary.LittleEndian.Uint16(req.Payload) == storegen.CallStoreWatchPull {
+		switch binary.LittleEndian.Uint16(req.Payload) {
+		case remoting.CallProtoHello:
+			// Version negotiation. A malformed hello falls through to
+			// Dispatch's unknown-call error, which the dialer reads as
+			// "v1 server" — the same answer a pre-hello store gave.
+			if reply, _, ok := remoting.HandleHello(req.Payload, remoting.MaxProtoVersion); ok {
+				if req.ReplyTo != nil {
+					req.ReplyTo.TrySend(remoting.Response{Payload: reply, Proto: remoting.ProtoV1})
+				}
+				continue
+			}
+		case storegen.CallStoreWatchPull:
 			r := req
 			p.Spawn("store-pull", func(p *sim.Proc) {
 				resp := storegen.Dispatch(p, api, r.Payload)
 				if r.ReplyTo != nil {
-					r.ReplyTo.TrySend(remoting.Response{Payload: resp})
+					r.ReplyTo.TrySend(remoting.Response{Payload: resp, Proto: r.Proto})
 				}
 			})
 			continue
@@ -131,7 +142,7 @@ func Serve(p *sim.Proc, s *Store, l *remoting.Listener) {
 		if req.ReplyTo != nil {
 			// The client may have died mid-call; drop the reply like a
 			// network would.
-			req.ReplyTo.TrySend(remoting.Response{Payload: resp})
+			req.ReplyTo.TrySend(remoting.Response{Payload: resp, Proto: req.Proto})
 		}
 	}
 }
