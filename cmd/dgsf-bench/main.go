@@ -24,10 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults, fleet, pipeline)")
+	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig4, table3, fig5, table4, fig6, fig7, table5, fig8, sched, sweep, rtt, scale, cache, faults, fleet, pipeline, chaos)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	runs := flag.Int("runs", 3, "runs to average for table2/table5")
 	csvDir := flag.String("csv", "", "directory to write figure time-series as CSV (fig7, fig8)")
+	schedules := flag.Int("schedules", 50, "randomized fault schedules per seed for -exp chaos")
+	reproDir := flag.String("repro", ".", "directory for shrunken chaos reproducer files")
 	flag.Parse()
 	csvOut = *csvDir
 	if csvOut != "" {
@@ -66,11 +68,12 @@ func main() {
 	run("faults", func() { faultsExp(*seed) })
 	run("fleet", func() { fleetExp(*seed) })
 	run("pipeline", func() { pipelineExp(*seed) })
+	run("chaos", func() { chaosExp(*seed, *schedules, *reproDir) })
 
 	if *exp != "all" {
 		switch *exp {
 		case "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6", "fig7", "table5", "fig8",
-			"sched", "sweep", "rtt", "scale", "cache", "faults", "fleet", "pipeline":
+			"sched", "sweep", "rtt", "scale", "cache", "faults", "fleet", "pipeline", "chaos":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -376,6 +379,25 @@ func pipelineExp(seed int64) {
 		handoffBeats, peerBeats, r.BroadcastLoads, r.BroadcastClones, r.BypassHits, r.Fallbacks)
 	fmt.Println("  (the GPU-side handoff must strictly beat the objstore bounce at every")
 	fmt.Println("   placement and RTT, and an N-way fan-out must stage the model once)")
+}
+
+func chaosExp(seed int64, schedules int, reproDir string) {
+	header("Extension: chaos search (randomized fault schedules + invariant oracle)")
+	r := experiments.RunChaos(seed, schedules, reproDir, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	fmt.Printf("seed=%d schedules=%d (fleet=%d pipeline=%d) invocations=%d recoveries=%d fallbacks=%d\n",
+		r.Seed, r.Schedules, r.Fleet, r.Pipeline, r.Invocations, r.Recoveries, r.Fallbacks)
+	for _, t := range r.Trials {
+		fmt.Printf("  FAIL trial=%d %s repro=%s\n", t.Trial, t.Schedule, t.Repro)
+		for _, v := range t.Result.Violations {
+			fmt.Printf("    [%s] %s\n", v.Check, v.Detail)
+		}
+	}
+	fmt.Println(r.Summary())
+	fmt.Println("  (violations=0 hangs=0 is the acceptance bar: every randomized fault")
+	fmt.Println("   schedule must leave the cluster's invariants intact; a failing schedule")
+	fmt.Println("   is auto-shrunk to a minimal reproducer JSON for replay)")
 }
 
 // indent prefixes every line of s.

@@ -79,13 +79,16 @@ func (s *Server) MemImport(p *sim.Proc, export uint64) (cuda.DevPtr, int64, erro
 	}
 	x, ok := pl.Fabric().Lookup(export)
 	if !ok {
-		return 0, 0, cuda.ErrInvalidValue
+		// Missing export: consumed by someone else, abandoned, or stranded
+		// and scavenged after its machine died. The typed sentinel crosses
+		// the wire so chain drivers can fall back on errors.Is alone.
+		return 0, 0, dataplane.ErrHandoffLost
 	}
 	if !x.LocalTo(pl) {
 		return 0, 0, cuda.ErrInvalidDevice
 	}
 	if x.SourceFailed() {
-		return 0, 0, cuda.ErrDevicesUnavailable
+		return 0, 0, dataplane.ErrHandoffLost
 	}
 	size := x.Size()
 	if sess.used+size > sess.memLimit {
@@ -139,13 +142,13 @@ func (s *Server) PeerCopy(p *sim.Proc, export uint64) (cuda.DevPtr, int64, error
 	}
 	x, ok := pl.Fabric().Lookup(export)
 	if !ok {
-		return 0, 0, cuda.ErrInvalidValue
+		return 0, 0, dataplane.ErrHandoffLost
 	}
 	if x.LocalTo(pl) {
 		return s.MemImport(p, export)
 	}
 	if x.SourceFailed() {
-		return 0, 0, cuda.ErrDevicesUnavailable
+		return 0, 0, dataplane.ErrHandoffLost
 	}
 	size := x.Size()
 	ptr, err := s.Malloc(p, size)
@@ -161,7 +164,13 @@ func (s *Server) PeerCopy(p *sim.Proc, export uint64) (cuda.DevPtr, int64, error
 		_ = s.Free(p, ptr)
 		return 0, 0, err
 	}
-	pl.Fabric().PeerTransfer(p, dst, x.Phys())
+	if err := pl.Fabric().PeerTransfer(p, dst, x.Phys()); err != nil {
+		// Mid-handoff fabric fault: the destination holds garbage and the
+		// export is untouched — release our half and let the consumer retry
+		// the pull or fall back to the bounce path.
+		_ = s.Free(p, ptr)
+		return 0, 0, err
+	}
 	pl.Fabric().NotePeerCopy(size)
 	pl.Fabric().Consume(x)
 	return ptr, size, nil

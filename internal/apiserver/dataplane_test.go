@@ -251,14 +251,14 @@ func TestImportFromFailedPlane(t *testing.T) {
 		if err := sib.Hello(p, "sibling", 1<<30); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := sib.MemImport(p, export); !errors.Is(err, cuda.ErrDevicesUnavailable) {
-			t.Fatalf("import from failed plane = %v, want ErrDevicesUnavailable", err)
+		if _, _, err := sib.MemImport(p, export); !errors.Is(err, dataplane.ErrHandoffLost) {
+			t.Fatalf("import from failed plane = %v, want ErrHandoffLost", err)
 		}
 		if err := cons.Hello(p, "consumer", 1<<30); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := cons.PeerCopy(p, export); !errors.Is(err, cuda.ErrDevicesUnavailable) {
-			t.Fatalf("peer copy from failed plane = %v, want ErrDevicesUnavailable", err)
+		if _, _, err := cons.PeerCopy(p, export); !errors.Is(err, dataplane.ErrHandoffLost) {
+			t.Fatalf("peer copy from failed plane = %v, want ErrHandoffLost", err)
 		}
 	})
 }

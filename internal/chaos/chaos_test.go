@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dgsf/internal/faults"
+)
+
+func TestTrialSeedDeterministic(t *testing.T) {
+	if TrialSeed(1, 0) != TrialSeed(1, 0) {
+		t.Fatal("TrialSeed is not a pure function")
+	}
+	if TrialSeed(1, 0) < 0 {
+		t.Fatal("TrialSeed must be non-negative")
+	}
+	seen := map[int64]bool{}
+	for trial := 0; trial < 64; trial++ {
+		s := TrialSeed(7, trial)
+		if seen[s] {
+			t.Fatalf("TrialSeed collision at trial %d", trial)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		a := Generate(3, trial)
+		b := Generate(3, trial)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: Generate is not deterministic:\n%+v\n%+v", trial, a, b)
+		}
+	}
+	// Trials must alternate workloads so campaigns exercise both harnesses.
+	if Generate(3, 0).Workload != WorkloadPipeline || Generate(3, 1).Workload != WorkloadFleet {
+		t.Fatal("trial parity does not alternate pipeline/fleet")
+	}
+}
+
+// TestRunScheduleDeterministic replays the same (seed, schedule) pair twice
+// and demands bit-identical results — the property every reproducer file
+// depends on.
+func TestRunScheduleDeterministic(t *testing.T) {
+	for _, trial := range []int{0, 1} {
+		s := Generate(1, trial)
+		a := RunSchedule(1, s)
+		b := RunSchedule(1, s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: RunSchedule is not deterministic:\n%+v\n%+v", s, a, b)
+		}
+	}
+}
+
+// TestCampaignCleanSmoke runs the first two trials of seed 1 — one pipeline,
+// one fleet — and expects the oracle to stay quiet, the same bar the full
+// CI campaign holds over 50 trials per seed.
+func TestCampaignCleanSmoke(t *testing.T) {
+	r := RunCampaign(1, 2, CampaignConfig{})
+	if r.Violations != 0 || r.Hangs != 0 {
+		t.Fatalf("clean campaign found violations: %s\ntrials: %+v", r.Summary(), r.Trials)
+	}
+	if r.Fleet != 1 || r.Pipeline != 1 {
+		t.Fatalf("expected one trial per workload, got fleet=%d pipeline=%d", r.Fleet, r.Pipeline)
+	}
+	if r.Invocations == 0 {
+		t.Fatal("campaign completed zero invocations")
+	}
+}
+
+// canarySchedule builds the shrinker self-test input: a pipeline schedule
+// with the seeded export leak armed, a fabric fault rate high enough to
+// guarantee fallbacks (which is what triggers the leak), and a pile of
+// irrelevant noise faults for ddmin to strip away.
+func canarySchedule() Schedule {
+	s := Schedule{
+		Workload:    WorkloadPipeline,
+		Servers:     3,
+		Invocations: 4,
+		CrossServer: true, // tensor must ride the fabric for the fault to bite
+		CanaryLeak:  true,
+	}
+	s.Plan.FabricFaultRate = 0.9
+	s.Plan.Events = append(s.Plan.Events, faults.Event{
+		At: 8 * time.Second, Kind: faults.KillAPIServer, Server: 4,
+	})
+	s.Plan.Brownouts = append(s.Plan.Brownouts,
+		faults.Brownout{At: 2 * time.Second, Dur: time.Second, Server: 1, Factor: 3},
+		faults.Brownout{At: 6 * time.Second, Dur: time.Second, Server: 2, Factor: 4},
+	)
+	s.Plan.CorruptRate = 0.05
+	s.Plan.DowngradeRate = 0.2
+	return s
+}
+
+// TestShrinkerCanary is the self-test demanded by the CI chaos job: seed a
+// known bug (an export leaked on every chain fallback), confirm the oracle
+// catches it, and confirm the shrinker strips the six-element noise plan
+// down to at most three elements while still reproducing the violation.
+func TestShrinkerCanary(t *testing.T) {
+	s := canarySchedule()
+	r := RunSchedule(11, s)
+	if len(r.Violations) == 0 {
+		t.Fatal("canary schedule did not trip the oracle")
+	}
+	found := false
+	for _, v := range r.Violations {
+		if v.Check == "export-leak" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("canary violations missing export-leak: %+v", r.Violations)
+	}
+
+	fails := func(c Schedule) bool { return len(RunSchedule(11, c).Violations) > 0 }
+	min, stats := Shrink(s, fails, 24)
+	if stats.From != 6 {
+		t.Fatalf("canary plan should atomize to 6 elements, got %d", stats.From)
+	}
+	if stats.Elements > 3 {
+		t.Fatalf("shrinker left %d elements (want <= 3) after %d runs: %+v",
+			stats.Elements, stats.Runs, min.Plan)
+	}
+	if !fails(min) {
+		t.Fatal("minimized schedule no longer reproduces the violation")
+	}
+	if !min.CanaryLeak {
+		t.Fatal("shrinking must not strip schedule fields outside the plan")
+	}
+}
+
+func TestShrinkEmptyPlanFastPath(t *testing.T) {
+	s := Generate(1, 1) // fleet schedule with a handful of elements
+	if len(atomize(s.Plan)) == 0 {
+		t.Skip("generated plan has no elements")
+	}
+	// A predicate that fails regardless of the plan (a pure workload bug)
+	// must shrink to the empty plan in a single run.
+	min, stats := Shrink(s, func(Schedule) bool { return true }, 24)
+	if stats.Elements != 0 {
+		t.Fatalf("always-failing predicate should shrink to 0 elements, got %d", stats.Elements)
+	}
+	if stats.Runs != 1 {
+		t.Fatalf("empty-plan fast path should cost exactly 1 run, got %d", stats.Runs)
+	}
+	if got := len(atomize(min.Plan)); got != 0 {
+		t.Fatalf("minimal plan still has %d elements", got)
+	}
+}
+
+func TestAtomizeRebuildRoundTrip(t *testing.T) {
+	s := Generate(9, 3)
+	els := atomize(s.Plan)
+	if !reflect.DeepEqual(rebuild(s.Plan, els), s.Plan) {
+		t.Fatal("rebuild(atomize(p)) != p")
+	}
+	if !reflect.DeepEqual(rebuild(s.Plan, nil), faults.Plan{}) {
+		t.Fatal("rebuild with no kept elements should be the zero plan")
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := Repro{
+		Seed:     3,
+		Trial:    14,
+		Schedule: canarySchedule(),
+		Violations: []Violation{
+			{Check: "export-leak", Detail: "1 exports still live at quiesce"},
+		},
+		Shrink: ShrinkStats{Runs: 9, From: 6, Elements: 1},
+	}
+	path, err := WriteRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "chaos-repro-seed3-trial14.json"); path != want {
+		t.Fatalf("repro path %q, want %q", path, want)
+	}
+	got, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("repro round trip mismatch:\n%+v\n%+v", got, r)
+	}
+}

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+
+	"dgsf/internal/dataplane"
+	"dgsf/internal/faas"
+	"dgsf/internal/metrics"
+	"dgsf/internal/remoting"
+	"dgsf/internal/sim"
+	"dgsf/internal/store"
+)
+
+// Violation is one invariant breach found by the oracle after a run.
+type Violation struct {
+	Check  string `json:"check"`
+	Detail string `json:"detail"`
+}
+
+// Result is the outcome of running one schedule: the oracle's verdict plus
+// enough accounting for campaign summaries.
+type Result struct {
+	Violations []Violation
+
+	Invocations int // submissions or chains completed
+	Failed      int // invocations that ended with an error
+	Recoveries  int // guest recovery episodes
+	Fallbacks   int // chains that fell back to the host bounce (pipeline)
+	GPUChains   int // chains that completed GPU-side (pipeline)
+	Hang        bool
+}
+
+// violate records one invariant breach.
+func (r *Result) violate(check, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// --- store oracle: RV monotonicity + watch completeness ---
+
+// observer is a watch opened at RV 0 before the cluster's first write, so
+// its stream is a pure log replay: every event that ever happens to the
+// kind, in write order, with strictly increasing ResourceVersions.
+type observer struct {
+	kind   store.Kind
+	w      *store.Watch
+	lastRV uint64
+	events int
+	fold   map[string]store.Event // name → last event seen
+}
+
+// observe opens an oracle watch on one kind. Must run before any write of
+// that kind lands, or the stream is not a full history.
+func observe(p *sim.Proc, st *store.Store, kind store.Kind) (*observer, error) {
+	w, err := st.Watch(p, kind, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &observer{kind: kind, w: w, fold: map[string]store.Event{}}, nil
+}
+
+// drain consumes everything buffered on the watch without yielding to the
+// scheduler, checking RV monotonicity as it goes. Because the store enqueues
+// events synchronously at write time, a non-blocking drain at quiesce sees
+// the complete history.
+func (o *observer) drain(res *Result) {
+	for {
+		ev, ok := o.w.Events.TryRecv()
+		if !ok {
+			return
+		}
+		o.events++
+		if ev.RV <= o.lastRV {
+			res.violate("store-rv-monotonic", "%s watch: event %d has RV %d after RV %d",
+				o.kind, o.events, ev.RV, o.lastRV)
+		}
+		o.lastRV = ev.RV
+		if ev.Object != nil {
+			o.fold[ev.Object.Meta().Name] = ev
+		}
+	}
+}
+
+// checkComplete compares the folded watch history with a List snapshot of
+// current state: every live object must be the last thing the watch saw for
+// its name, at the same ResourceVersion, and nothing the watch believes
+// live may be missing from the snapshot. drain must have run immediately
+// before the List, with no yield in between.
+func (o *observer) checkComplete(res *Result, rs []store.Resource) {
+	live := map[string]bool{}
+	for _, r := range rs {
+		m := r.Meta()
+		live[m.Name] = true
+		ev, ok := o.fold[m.Name]
+		if !ok {
+			res.violate("store-watch-complete", "%s %q at RV %d never appeared on the watch",
+				o.kind, m.Name, m.ResourceVersion)
+			continue
+		}
+		if ev.Type == store.Deleted {
+			res.violate("store-watch-complete", "%s %q is live at RV %d but the watch last saw it Deleted at RV %d",
+				o.kind, m.Name, m.ResourceVersion, ev.RV)
+			continue
+		}
+		if ev.RV != m.ResourceVersion {
+			res.violate("store-watch-complete", "%s %q is at RV %d but the watch last saw RV %d",
+				o.kind, m.Name, m.ResourceVersion, ev.RV)
+		}
+	}
+	for name, ev := range o.fold {
+		if ev.Type != store.Deleted && !live[name] {
+			res.violate("store-watch-complete", "%s %q last seen %s at RV %d but absent from the snapshot",
+				o.kind, name, ev.Type, ev.RV)
+		}
+	}
+}
+
+// checkStoreCounters ties the store's version counter to its metrics: every
+// RV bump is a write, so the store-wide RV and the write counter must agree.
+func checkStoreCounters(res *Result, st *store.Store, reg *metrics.Registry) {
+	writes := uint64(reg.Counter("store_writes_total").Value())
+	if rv := st.RV(); rv != writes {
+		res.violate("store-counter-conservation", "store RV %d != store_writes_total %d", rv, writes)
+	}
+}
+
+// --- data-plane oracle: export refcount balance ---
+
+// checkExportBalance verifies export accounting on the fabric: every export
+// ever created is either freed, stranded with a machine failure, or still
+// live — and at quiesce, with all chains complete and sessions closed,
+// nothing may still be live.
+func checkExportBalance(res *Result, fab *dataplane.Fabric) {
+	reg := fab.Metrics()
+	exports := reg.Counter(dataplane.CtrExports).Value()
+	frees := reg.Counter(dataplane.CtrExportFrees).Value()
+	stranded := reg.Counter(dataplane.CtrStranded).Value()
+	live := int64(fab.LiveExports())
+	if exports != frees+stranded+live {
+		res.violate("export-balance", "exports=%d != frees=%d + stranded=%d + live=%d",
+			exports, frees, stranded, live)
+	}
+	if live != 0 {
+		res.violate("export-leak", "%d exports still live at quiesce (exports=%d frees=%d stranded=%d)",
+			live, exports, frees, stranded)
+	}
+}
+
+// --- guest oracle: journal replay accounting ---
+
+// checkGuestAccounting verifies the recovery ledger of one invocation:
+// replays only happen inside recovery episodes, episodes only redial, and no
+// single redial can replay more entries than the journal ever recorded. The
+// bound is per redial, not per episode: a replay that itself hits a fault
+// mid-way redials and replays again within the same episode, so one episode
+// legitimately replays up to Journaled × (its redial count) entries.
+func checkGuestAccounting(res *Result, kind string, seq int, inv *faas.Invocation) {
+	if inv == nil {
+		return
+	}
+	if inv.Replayed > 0 && inv.Recoveries == 0 {
+		res.violate("guest-replay-accounting", "%s %d replayed %d journal entries without a recovery episode",
+			kind, seq, inv.Replayed)
+	}
+	if inv.Redials < inv.Recoveries {
+		res.violate("guest-replay-accounting", "%s %d entered %d recovery episodes but redialed only %d times",
+			kind, seq, inv.Recoveries, inv.Redials)
+	}
+	if inv.Recoveries > 0 && inv.Replayed > inv.Journaled*inv.Redials {
+		res.violate("guest-replay-accounting", "%s %d replayed %d entries > journaled %d × redials %d",
+			kind, seq, inv.Replayed, inv.Journaled, inv.Redials)
+	}
+}
+
+// --- wire oracle: transport byte conservation ---
+
+// checkWireDelta verifies the run's wire traffic is conserved: counters
+// only move forward, and bytes never move without frames. (rx may exceed tx
+// legitimately: the simulated transport charges a response's modeled data
+// bytes at the receiver only.)
+func checkWireDelta(res *Result, d remoting.WireStats) {
+	if d.BytesTx < 0 || d.BytesRx < 0 || d.FramesV1 < 0 || d.FramesV2 < 0 || d.HellosV1 < 0 || d.HellosV2 < 0 {
+		res.violate("wire-conservation", "wire counters moved backwards: %+v", d)
+	}
+	if d.BytesTx > 0 && d.FramesV1+d.FramesV2 == 0 {
+		res.violate("wire-conservation", "%d bytes written without a single frame", d.BytesTx)
+	}
+}

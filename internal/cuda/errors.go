@@ -1,6 +1,9 @@
 package cuda
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Error is a CUDA-style status code carried as a Go error. Codes mirror the
 // subset of cudaError_t / CUresult values the DGSF stack distinguishes.
@@ -46,8 +49,49 @@ func (e Error) Error() string {
 	return fmt.Sprintf("cudaError(%d)", int(e))
 }
 
+// Wire sentinels: project-typed errors (dataplane handoffs, capacity
+// shedding, transport faults) that must survive the generated stubs' status
+// encoding. The stubs put cuda.Code on the wire and rebuild with FromCode; a
+// registered sentinel gets a reserved code so errors.Is keeps working on the
+// client side of a remoted call. Codes live far above any CUDA status value.
+const wireSentinelBase = 9000
+
+type wireSentinel struct {
+	code int
+	err  error
+}
+
+var (
+	wireSentinels   []wireSentinel
+	wireSentinelMap = map[int]error{}
+)
+
+// RegisterWireSentinel reserves a wire status code for a typed sentinel
+// error. Packages register their sentinels from init; codes must be unique
+// and ≥ wireSentinelBase so they can never collide with CUDA statuses.
+func RegisterWireSentinel(code int, err error) {
+	if code < wireSentinelBase {
+		panic(fmt.Sprintf("cuda: wire sentinel code %d below reserved base %d", code, wireSentinelBase))
+	}
+	if prev, ok := wireSentinelMap[code]; ok && prev != err {
+		panic(fmt.Sprintf("cuda: wire sentinel code %d already taken by %v", code, prev))
+	}
+	wireSentinels = append(wireSentinels, wireSentinel{code: code, err: err})
+	wireSentinelMap[code] = err
+}
+
+// WireSentinels returns the registered sentinel errors (test support).
+func WireSentinels() []error {
+	out := make([]error, 0, len(wireSentinels))
+	for _, ws := range wireSentinels {
+		out = append(out, ws.err)
+	}
+	return out
+}
+
 // Code returns the numeric error code, or 0 for nil errors. Used by the
-// remoting layer to put status codes on the wire.
+// remoting layer to put status codes on the wire. Registered wire sentinels
+// map to their reserved codes; anything else unclassifiable is -1.
 func Code(err error) int {
 	if err == nil {
 		return 0
@@ -55,13 +99,22 @@ func Code(err error) int {
 	if e, ok := err.(Error); ok {
 		return int(e)
 	}
+	for _, ws := range wireSentinels {
+		if errors.Is(err, ws.err) {
+			return ws.code
+		}
+	}
 	return -1
 }
 
-// FromCode converts a wire status code back into an error.
+// FromCode converts a wire status code back into an error, rebuilding
+// registered sentinels so errors.Is matches across the remoting boundary.
 func FromCode(c int) error {
 	if c == 0 {
 		return nil
+	}
+	if err, ok := wireSentinelMap[c]; ok {
+		return err
 	}
 	return Error(c)
 }

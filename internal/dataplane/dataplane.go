@@ -32,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"dgsf/internal/cuda"
 	"dgsf/internal/gpu"
 	"dgsf/internal/metrics"
 	"dgsf/internal/sim"
@@ -47,12 +48,19 @@ const (
 	CtrBroadcastLoads  = "dataplane_broadcast_loads"
 	CtrBroadcastClones = "dataplane_broadcast_clones"
 	CtrFallbacks       = "dataplane_fallbacks"
+	CtrExportFrees     = "dataplane_export_frees"
+	CtrStranded        = "dataplane_exports_stranded"
+	CtrFabricFaults    = "dataplane_fabric_faults"
 )
 
 // ErrHandoffLost reports that a GPU-side handoff could not complete (export
 // missing, consumed, or stranded on a failed GPU server). Chain drivers treat
 // it as the signal to fall back to the bounce-through-host path.
 var ErrHandoffLost = errors.New("dataplane: handoff lost")
+
+// ErrHandoffLost crosses the remoting boundary: consumers of a chained
+// function see it through the generated stubs' status codes.
+func init() { cuda.RegisterWireSentinel(9010, ErrHandoffLost) }
 
 // ModelBroadcast source codes (the Src response field).
 const (
@@ -80,6 +88,11 @@ type Fabric struct {
 	reg     *metrics.Registry
 	nextID  uint64
 	exports map[uint64]*Export
+
+	// faultHook, when set, is consulted before every fabric transfer; a
+	// non-nil return aborts the transfer with that error. The fault
+	// framework interposes mid-handoff fabric failures here.
+	faultHook func(p *sim.Proc, size int64) error
 }
 
 // NewFabric creates a fabric. A nil registry gets a private one.
@@ -96,10 +109,16 @@ func NewFabric(cfg Config, reg *metrics.Registry) *Fabric {
 	for _, name := range []string{
 		CtrExports, CtrImports, CtrBypassHits, CtrPeerCopies,
 		CtrPeerBytes, CtrBroadcastLoads, CtrBroadcastClones, CtrFallbacks,
+		CtrExportFrees, CtrStranded, CtrFabricFaults,
 	} {
 		f.reg.Counter(name)
 	}
 	return f
+}
+
+// SetFaultHook installs the fabric-transfer fault hook (fault injection).
+func (f *Fabric) SetFaultHook(hook func(p *sim.Proc, size int64) error) {
+	f.faultHook = hook
 }
 
 // Metrics returns the fabric's registry.
@@ -117,9 +136,23 @@ func (f *Fabric) TransferTime(size int64) time.Duration {
 
 // PeerTransfer moves an export's contents into dst across the fabric,
 // charging link latency plus size/bandwidth on the virtual clock and both
-// devices' copy engines (gpu.FabricCopy).
-func (f *Fabric) PeerTransfer(p *sim.Proc, dst, src *gpu.PhysAlloc) {
+// devices' copy engines (gpu.FabricCopy). An injected fabric fault aborts
+// the transfer partway — roughly half the modeled time is charged, the
+// destination contents stay undefined, and the typed error surfaces to the
+// caller, which must release dst and leave the export untouched so a retry
+// or fallback can still reach the data.
+func (f *Fabric) PeerTransfer(p *sim.Proc, dst, src *gpu.PhysAlloc) error {
+	if f.faultHook != nil {
+		if err := f.faultHook(p, src.Size()); err != nil {
+			f.reg.Counter(CtrFabricFaults).Inc()
+			if half := f.TransferTime(src.Size()) / 2; half > 0 {
+				p.Sleep(half)
+			}
+			return err
+		}
+	}
 	gpu.FabricCopy(p, dst, src, f.cfg.PeerBps, f.cfg.PeerLat)
+	return nil
 }
 
 // NoteFallback records a chain driver abandoning the GPU path for the
@@ -182,10 +215,56 @@ func (f *Fabric) NotePeerCopy(size int64) {
 }
 
 // drop removes the export from the namespace and frees its backing memory.
+// Stranded exports (their machine died) leave the namespace without a Free:
+// the device memory died with the machine, and the allocation may still be
+// referenced by a consumer's zero-copy detach path.
 func (f *Fabric) drop(x *Export) {
 	x.dropped = true
 	delete(f.exports, x.id)
+	if x.stranded {
+		f.reg.Counter(CtrStranded).Inc()
+		return
+	}
+	f.reg.Counter(CtrExportFrees).Inc()
 	x.phys.Free()
+}
+
+// Abandon releases an export that will never be consumed — the chain driver
+// gave up on the GPU-side handoff (consumer failed, no healthy server to
+// land it on) and is falling back to the bounce path. Without this the
+// producer's tensor would sit on the device forever. Exports already taken
+// or still mapped are left alone: a live consumer owns the lifecycle.
+func (f *Fabric) Abandon(id uint64) {
+	x, ok := f.exports[id]
+	if !ok || x.taken || x.imports > 0 {
+		return
+	}
+	f.drop(x)
+}
+
+// LiveExports returns the number of exports still in the namespace.
+func (f *Fabric) LiveExports() int { return len(f.exports) }
+
+// strandPlane marks every export of a failed plane stranded. Exports with no
+// live zero-copy mappings leave the namespace immediately; mapped ones stay
+// until their consumers detach (EndImport drains the refcount and drop then
+// skips the Free — the backing device is gone). Conservation invariant for
+// the chaos oracle: exports == export_frees + exports_stranded + live.
+func (f *Fabric) strandPlane(pl *Plane) {
+	ids := make([]uint64, 0, len(f.exports))
+	for id, x := range f.exports {
+		if x.pl == pl {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		x := f.exports[id]
+		x.stranded = true
+		if x.imports == 0 {
+			f.drop(x)
+		}
+	}
 }
 
 // Plane is one GPU server's view of the data plane: its exports and its
@@ -219,11 +298,19 @@ func (pl *Plane) Name() string { return pl.name }
 // Fabric returns the cluster fabric.
 func (pl *Plane) Fabric() *Fabric { return pl.f }
 
-// Fail marks the GPU server dead: its exports become unreachable and its
-// broadcast sources are dropped, so consumers see prompt errors instead of
-// hanging on a machine that no longer exists.
+// Fail marks the GPU server dead: its exports are stranded (they leave the
+// namespace once unmapped, without freeing device memory that died with the
+// machine), its broadcast sources are dropped, and in-flight seed waiters
+// are released, so consumers see prompt errors instead of hanging on a
+// machine that no longer exists. Idempotent: a second Fail — a flapping
+// machine, or overlapping fault paths racing to report the same death —
+// must not re-strand exports or re-drain seed waiters.
 func (pl *Plane) Fail() {
+	if pl.failed {
+		return
+	}
 	pl.failed = true
+	pl.f.strandPlane(pl)
 	pl.sources = make(map[string]*gpu.PhysAlloc)
 	pl.loads = make(map[string]int)
 	keys := make([]string, 0, len(pl.seeding))
@@ -250,9 +337,10 @@ type Export struct {
 	tag  string
 	phys *gpu.PhysAlloc
 
-	imports int  // live zero-copy mappings held by consumer sessions
-	taken   bool // at least one consumer received the data
-	dropped bool // removed from the fabric namespace
+	imports  int  // live zero-copy mappings held by consumer sessions
+	taken    bool // at least one consumer received the data
+	dropped  bool // removed from the fabric namespace
+	stranded bool // machine died; backing memory is gone, never freed here
 }
 
 // ID returns the fabric-wide export ID.

@@ -185,3 +185,61 @@ func TestPlaneFailDrainsSeedGates(t *testing.T) {
 		}
 	})
 }
+
+// TestPlaneFailIdempotent locks in Fail's re-entry contract: a flapping
+// machine, or two fault paths racing to report the same death, must not
+// re-strand exports, double-count stranded drops, or re-drain seed gates.
+func TestPlaneFailIdempotent(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Run("test", func(p *sim.Proc) {
+		reg := metrics.NewRegistry()
+		f := NewFabric(DefaultConfig(), reg)
+		pl := f.NewPlane("gpu-0")
+		free := pl.Export("fn", "unmapped", testAlloc(t, e, 1<<20))
+		held := pl.Export("fn", "mapped", testAlloc(t, e, 1<<20))
+		f.BeginImport(held)
+
+		pl.BeginSeed(p, "model")
+		released := 0
+		done := sim.NewWaitGroup(e)
+		done.Add(1)
+		p.Spawn("waiter", func(p *sim.Proc) {
+			defer done.Done()
+			pl.WaitSeed(p, "model")
+			released++
+		})
+		p.Sleep(time.Millisecond)
+
+		pl.Fail()
+		pl.Fail() // must be a no-op
+		done.Wait(p)
+
+		if released != 1 {
+			t.Fatalf("seed waiter released %d times, want 1", released)
+		}
+		if _, ok := f.Lookup(free.ID()); ok {
+			t.Fatal("unmapped export must leave the namespace on Fail")
+		}
+		if got := reg.Get(CtrStranded); got != 1 {
+			t.Fatalf("stranded counter after double Fail: %d, want 1 (mapped export still held)", got)
+		}
+		if f.LiveExports() != 1 {
+			t.Fatalf("live exports after double Fail: %d, want 1", f.LiveExports())
+		}
+
+		// The consumer detaches: the mapped export drops as stranded (its
+		// backing memory died with the machine — never freed here).
+		f.EndImport(held)
+		if got := reg.Get(CtrStranded); got != 2 {
+			t.Fatalf("stranded counter after detach: %d, want 2", got)
+		}
+		if exp, frees, str := reg.Get(CtrExports), reg.Get(CtrExportFrees), reg.Get(CtrStranded); exp != frees+str+int64(f.LiveExports()) {
+			t.Fatalf("export balance broken: exports=%d frees=%d stranded=%d live=%d", exp, frees, str, f.LiveExports())
+		}
+
+		pl.Fail() // still a no-op after quiesce
+		if got := reg.Get(CtrStranded); got != 2 {
+			t.Fatalf("stranded counter after third Fail: %d, want 2", got)
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "dgsf/internal/chaos"
+
+// Chaos experiment: the randomized fault-schedule search engine. Each run
+// draws n schedules from the seed — alternating between the 120-server
+// fleet control plane and the data-plane pipeline workload — executes them
+// under the full fault vocabulary, and checks the cluster invariants after
+// every run. The acceptance bar is zero violations and zero hangs; any
+// failing schedule is delta-debugged to a minimal reproducer under
+// reproDir.
+
+// RunChaos executes a chaos campaign of n schedules for one seed.
+func RunChaos(seed int64, n int, reproDir string, logf func(format string, args ...any)) chaos.CampaignResult {
+	return chaos.RunCampaign(seed, n, chaos.CampaignConfig{
+		ReproDir: reproDir,
+		Log:      logf,
+	})
+}

@@ -70,6 +70,13 @@ func (b *Backend) InvokeChain(p *sim.Proc, spec ChainSpec) *ChainResult {
 		res.FellBack = true
 		if spec.Fabric != nil {
 			spec.Fabric.NoteFallback()
+			// The producer may have published its tensor before the GPU-side
+			// attempt died (consumer failed, no server to land it on). Nobody
+			// will ever import it now — release the export so the fallback
+			// does not leak device memory on every failed handoff.
+			if spec.Handoff.Export != 0 {
+				spec.Fabric.Abandon(spec.Handoff.Export)
+			}
 		}
 	}
 	b.chainBounce(p, spec, res)

@@ -88,6 +88,9 @@ type Invocation struct {
 	QueueDelay   time.Duration
 	ModelCached  bool // model bytes served from the GPU server's host cache
 	Recoveries   int  // guest session recoveries during the GPU phase
+	Redials      int  // redial attempts across those recoveries
+	Replayed     int  // journal entries replayed across those recoveries
+	Journaled    int  // journal entries recorded by the guest library
 	Server       int  // index of the GPU server that ran it (-1: never placed)
 	Err          error
 
@@ -127,6 +130,12 @@ type Backend struct {
 	// DialHook, when set, wraps every guest transport at dial time. The
 	// fault injection framework uses it to interpose connection faults.
 	DialHook func(p *sim.Proc, conn remoting.AsyncCaller) remoting.AsyncCaller
+
+	// DialServerHook is DialHook with the target machine attached: faults
+	// that depend on where a connection lands (asymmetric network
+	// partitions between machine groups) interpose here. Runs after
+	// DialHook when both are set.
+	DialServerHook func(p *sim.Proc, gs *gpuserver.GPUServer, conn remoting.AsyncCaller) remoting.AsyncCaller
 
 	// Recovery, when set, runs guests in recoverable mode: per-call
 	// deadlines, an idempotent replay journal, and redial onto a healthy GPU
@@ -369,7 +378,7 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	// recovery policy the guest redials through the backend: the old lease is
 	// dropped (the monitor usually revoked it already) and a fresh one is
 	// acquired on a healthy GPU server.
-	conn := b.dial(p, lease)
+	conn := b.dial(p, gs, lease)
 	var lib *guest.Lib
 	if b.Recovery != nil {
 		rc := *b.Recovery
@@ -386,7 +395,7 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 			b.outstanding[si]--
 			b.outstanding[nsi]++
 			si, gs, lease = nsi, b.servers[nsi], nl
-			nc := b.dial(p, nl)
+			nc := b.dial(p, gs, nl)
 			conn = nc
 			return nc, nil
 		}
@@ -404,7 +413,11 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	}
 	conn.Close()
 	_ = gs.Release(lease)
-	inv.Recoveries = lib.Stats().Recoveries
+	st := lib.Stats()
+	inv.Recoveries = st.Recoveries
+	inv.Redials = st.Redials
+	inv.Replayed = st.Replayed
+	inv.Journaled = st.Journaled
 	b.outstanding[si]--
 	inv.Server = si
 	inv.Err = err
@@ -414,11 +427,14 @@ func (b *Backend) execute(p *sim.Proc, inv *Invocation) {
 	}
 }
 
-// dial connects a guest to a leased API server, applying the DialHook.
-func (b *Backend) dial(p *sim.Proc, lease *gpuserver.Lease) remoting.AsyncCaller {
+// dial connects a guest to a leased API server, applying the dial hooks.
+func (b *Backend) dial(p *sim.Proc, gs *gpuserver.GPUServer, lease *gpuserver.Lease) remoting.AsyncCaller {
 	conn := remoting.Dial(b.e, lease.Listener(), b.env.Net)
 	if b.DialHook != nil {
 		conn = b.DialHook(p, conn)
+	}
+	if b.DialServerHook != nil {
+		conn = b.DialServerHook(p, gs, conn)
 	}
 	return conn
 }

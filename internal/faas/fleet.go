@@ -69,6 +69,12 @@ type FleetBackend struct {
 	// DialHook, when set, wraps every guest transport at dial time (fault
 	// injection interposes here, as with Backend).
 	DialHook func(p *sim.Proc, conn remoting.AsyncCaller) remoting.AsyncCaller
+
+	// DialServerHook is DialHook with the target machine attached: faults
+	// that depend on where a connection lands (asymmetric network
+	// partitions between machine groups) interpose here. Runs after
+	// DialHook when both are set.
+	DialServerHook func(p *sim.Proc, gs *gpuserver.GPUServer, conn remoting.AsyncCaller) remoting.AsyncCaller
 }
 
 // NewFleet returns a fleet backend over the given store handle.
@@ -267,6 +273,9 @@ func (b *FleetBackend) runOnce(p *sim.Proc, inv *Invocation, sess *store.Session
 	if b.DialHook != nil {
 		conn = b.DialHook(p, conn)
 	}
+	if b.DialServerHook != nil {
+		conn = b.DialServerHook(p, gs, conn)
+	}
 	lib := guest.New(conn, b.env.GuestOpt)
 	err = lib.Hello(p, fn.Name, fn.GPUMem)
 	if err == nil {
@@ -278,7 +287,11 @@ func (b *FleetBackend) runOnce(p *sim.Proc, inv *Invocation, sess *store.Session
 	}
 	conn.Close()
 	_ = gs.Release(lease)
-	inv.Recoveries += lib.Stats().Recoveries
+	st := lib.Stats()
+	inv.Recoveries += st.Recoveries
+	inv.Redials += st.Redials
+	inv.Replayed += st.Replayed
+	inv.Journaled += st.Journaled
 	return err
 }
 

@@ -14,8 +14,10 @@
 package faults
 
 import (
+	"fmt"
 	"time"
 
+	"dgsf/internal/dataplane"
 	"dgsf/internal/gpuserver"
 	"dgsf/internal/remoting"
 	"dgsf/internal/sim"
@@ -79,6 +81,52 @@ type Plan struct {
 	// reconciler mid-flight between two of its writes. The controller's
 	// supervisor is expected to restart a replacement that converges.
 	ControllerKills []ControllerKill
+
+	// Partitions schedules asymmetric network partitions between machine
+	// groups: guest traffic to the listed GPU servers is cut for a window —
+	// live connections break at onset, new dials are born broken — while
+	// the servers' own store-agent traffic stays up, so the control plane
+	// keeps advertising the machines as healthy. That asymmetry is the hard
+	// case: routing must survive placements onto machines it cannot reach.
+	Partitions []Partition
+
+	// Brownouts schedules slow-GPU windows: every device on the server
+	// executes kernels and copies Factor× slower for the duration —
+	// thermal throttling or a noisy co-tenant, a machine that is slow but
+	// not dead and never stops heartbeating.
+	Brownouts []Brownout
+
+	// ConflictStorms schedules windows during which store writes spuriously
+	// fail with ErrConflict at the given rate, as if a competing writer kept
+	// winning every CAS race. Requires BindStore.
+	ConflictStorms []ConflictStorm
+
+	// FabricFaultRate is the probability that any one data-plane fabric
+	// transfer dies mid-flight with remoting.ErrFabricFault, drawn per
+	// transfer from the transferring proc's RNG. Requires BindFabric.
+	FabricFaultRate float64
+}
+
+// Partition is one scheduled asymmetric network partition.
+type Partition struct {
+	At      time.Duration
+	Dur     time.Duration
+	Servers []int // GPU server indices cut off from guests
+}
+
+// Brownout is one scheduled slow-GPU window.
+type Brownout struct {
+	At     time.Duration
+	Dur    time.Duration
+	Server int     // GPU server index whose devices slow down
+	Factor float64 // slowdown multiplier (≥ 1)
+}
+
+// ConflictStorm is one scheduled store write-conflict window.
+type ConflictStorm struct {
+	At   time.Duration
+	Dur  time.Duration
+	Rate float64 // probability each write in the window is rejected
 }
 
 // ControllerKill schedules one fleet-controller crash.
@@ -97,14 +145,24 @@ type Injector struct {
 	servers []*gpuserver.GPUServer
 	fuses   []*store.Fuse
 
+	serverIdx   map[*gpuserver.GPUServer]int
+	partitioned []int                  // active partition count per server index
+	conns       [][]remoting.Faultable // live guest conns per server index
+	st          *store.Store
+
 	// Injection counters, for experiment reporting.
-	Killed     int // API server crashes injected
-	Failed     int // GPU server failures injected
-	Dropped    int // connections scheduled to break
-	Stalled    int // connections stalled
-	Corrupted  int // connections set to corrupt a frame
-	Downgraded int // connections forced to wire-protocol v1
-	CtrlKilled int // fleet-controller crashes armed
+	Killed       int // API server crashes injected
+	Failed       int // GPU server failures injected
+	Dropped      int // connections scheduled to break
+	Stalled      int // connections stalled
+	Corrupted    int // connections set to corrupt a frame
+	Downgraded   int // connections forced to wire-protocol v1
+	CtrlKilled   int // fleet-controller crashes armed
+	Partitioned  int // partition windows applied
+	Severed      int // connections cut by partitions
+	Browned      int // brownout windows applied
+	Stormed      int // store writes rejected by conflict storms
+	FabricFaults int // fabric transfers killed mid-flight
 }
 
 // BindControllerFuse registers a controller replica's store fuse as a kill
@@ -116,7 +174,38 @@ func (in *Injector) BindControllerFuse(f *store.Fuse) {
 
 // NewInjector returns an injector over the deployment's GPU servers.
 func NewInjector(e *sim.Engine, plan Plan, servers []*gpuserver.GPUServer) *Injector {
-	return &Injector{e: e, plan: plan, servers: servers}
+	in := &Injector{
+		e:           e,
+		plan:        plan,
+		servers:     servers,
+		serverIdx:   make(map[*gpuserver.GPUServer]int, len(servers)),
+		partitioned: make([]int, len(servers)),
+		conns:       make([][]remoting.Faultable, len(servers)),
+	}
+	for i, gs := range servers {
+		in.serverIdx[gs] = i
+	}
+	return in
+}
+
+// BindStore attaches the store the plan's conflict storms reject writes on.
+func (in *Injector) BindStore(st *store.Store) { in.st = st }
+
+// BindFabric installs the mid-handoff fabric fault hook on the data plane.
+// Each transfer draws from the transferring proc's RNG; a hit aborts the
+// transfer with remoting.ErrFabricFault partway through.
+func (in *Injector) BindFabric(fab *dataplane.Fabric) {
+	rate := in.plan.FabricFaultRate
+	if rate <= 0 {
+		return
+	}
+	fab.SetFaultHook(func(p *sim.Proc, size int64) error {
+		if p.Rand().Float64() < rate {
+			in.FabricFaults++
+			return fmt.Errorf("%w: injected mid-handoff fault (%d bytes)", remoting.ErrFabricFault, size)
+		}
+		return nil
+	})
 }
 
 // Arm schedules the plan's events on a daemon: the engine does not wait for
@@ -144,6 +233,74 @@ func (in *Injector) Arm(p *sim.Proc) {
 				in.fuses[i].Arm(k.AfterWrites)
 				in.CtrlKilled++
 			}
+		})
+	}
+	for i, part := range in.plan.Partitions {
+		part := part
+		p.SpawnDaemon(fmt.Sprintf("fault-partition-%d", i), func(p *sim.Proc) {
+			if d := part.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			in.Partitioned++
+			for _, s := range part.Servers {
+				if s < 0 || s >= len(in.partitioned) {
+					continue
+				}
+				in.partitioned[s]++
+				// Sever live guest connections to the machine; its agent
+				// link to the store is in another machine group and stays.
+				for _, f := range in.conns[s] {
+					f.Break()
+					in.Severed++
+				}
+				in.conns[s] = nil
+			}
+			p.Sleep(part.Dur)
+			for _, s := range part.Servers {
+				if s >= 0 && s < len(in.partitioned) {
+					in.partitioned[s]--
+				}
+			}
+		})
+	}
+	for i, bo := range in.plan.Brownouts {
+		bo := bo
+		if bo.Server < 0 || bo.Server >= len(in.servers) || bo.Factor <= 1 {
+			continue
+		}
+		p.SpawnDaemon(fmt.Sprintf("fault-brownout-%d", i), func(p *sim.Proc) {
+			if d := bo.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			gs := in.servers[bo.Server]
+			for _, dev := range gs.Devices() {
+				dev.SetSlowdown(bo.Factor)
+			}
+			in.Browned++
+			p.Sleep(bo.Dur)
+			for _, dev := range gs.Devices() {
+				dev.SetSlowdown(1)
+			}
+		})
+	}
+	for i, storm := range in.plan.ConflictStorms {
+		storm := storm
+		if in.st == nil || storm.Rate <= 0 {
+			continue
+		}
+		p.SpawnDaemon(fmt.Sprintf("fault-storm-%d", i), func(p *sim.Proc) {
+			if d := storm.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			in.st.SetWriteFault(func(p *sim.Proc) error {
+				if p.Rand().Float64() < storm.Rate {
+					in.Stormed++
+					return fmt.Errorf("%w: injected conflict storm", store.ErrConflict)
+				}
+				return nil
+			})
+			p.Sleep(storm.Dur)
+			in.st.SetWriteFault(nil)
 		})
 	}
 }
@@ -206,5 +363,28 @@ func (in *Injector) WrapConn(p *sim.Proc, conn remoting.AsyncCaller) remoting.As
 			in.Downgraded++
 		}
 	}
+	return conn
+}
+
+// WrapTargetConn applies target-aware faults: a dial into a currently
+// partitioned GPU server is born broken, and every live connection is
+// tracked so a later partition onset can sever it. It matches the faas
+// backends' DialServerHook signature and composes with WrapConn (which
+// handles the target-independent per-connection faults).
+func (in *Injector) WrapTargetConn(p *sim.Proc, gs *gpuserver.GPUServer, conn remoting.AsyncCaller) remoting.AsyncCaller {
+	f, ok := conn.(remoting.Faultable)
+	if !ok {
+		return conn
+	}
+	idx, ok := in.serverIdx[gs]
+	if !ok {
+		return conn
+	}
+	if in.partitioned[idx] > 0 {
+		f.Break()
+		in.Severed++
+		return conn
+	}
+	in.conns[idx] = append(in.conns[idx], f)
 	return conn
 }

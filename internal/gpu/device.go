@@ -68,9 +68,10 @@ type Device struct {
 	compute *psResource
 	copyEng *psResource
 
-	memUsed int64
-	nextID  uint64
-	allocs  map[uint64]*PhysAlloc
+	memUsed  int64
+	nextID   uint64
+	allocs   map[uint64]*PhysAlloc
+	slowdown float64 // brownout multiplier on kernel/copy nominals (0 or 1: none)
 }
 
 // New creates a device bound to engine e.
@@ -155,6 +156,43 @@ func (d *Device) FreeBytes() int64 { return d.Cfg.MemBytes - d.memUsed }
 // LiveAllocs returns the number of live physical allocations.
 func (d *Device) LiveAllocs() int { return len(d.allocs) }
 
+// SetSlowdown applies a brownout multiplier to every subsequent kernel and
+// copy nominal on this device: factor 4 makes the GPU compute and move data
+// 4× slower. Factor ≤ 1 restores full speed. The fault framework uses this
+// to model thermally throttled or contended GPUs that are slow, not dead.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slowdown = factor
+}
+
+// Slowdown returns the active brownout multiplier (1 when none).
+func (d *Device) Slowdown() float64 {
+	if d.slowdown < 1 {
+		return 1
+	}
+	return d.slowdown
+}
+
+// stretch applies the device's brownout multiplier to a nominal duration.
+func (d *Device) stretch(nominal time.Duration) time.Duration {
+	if d.slowdown > 1 {
+		return time.Duration(float64(nominal) * d.slowdown)
+	}
+	return nominal
+}
+
+// maxSlowdown returns the larger of two devices' brownout multipliers: a
+// cross-device transfer is paced by its slower endpoint.
+func maxSlowdown(a, b *Device) float64 {
+	f := a.Slowdown()
+	if g := b.Slowdown(); g > f {
+		f = g
+	}
+	return f
+}
+
 // --- content fingerprinting ---
 
 // Mix folds new data into a fingerprint (FNV-1a step over the 64-bit words).
@@ -191,7 +229,7 @@ func (d *Device) ExecKernel(p *sim.Proc, nominal time.Duration) {
 	if nominal <= 0 {
 		return
 	}
-	d.compute.Exec(p, nominal)
+	d.compute.Exec(p, d.stretch(nominal))
 }
 
 // MutateKernel applies kernel kernelName to the allocation's contents,
@@ -270,6 +308,10 @@ func FabricCopy(p *sim.Proc, dst, src *PhysAlloc, bps float64, lat time.Duration
 	}
 	if size > 0 && bps > 0 {
 		nominal := time.Duration(float64(size) / bps * float64(time.Second))
+		// A brownout on either endpoint paces the whole transfer.
+		if f := maxSlowdown(src.dev, dst.dev); f > 1 {
+			nominal = time.Duration(float64(nominal) * f)
+		}
 		dst.dev.copyEng.enter(p)
 		src.dev.copyEng.Exec(p, nominal)
 		dst.dev.copyEng.leave(p)
@@ -286,7 +328,7 @@ func (d *Device) copyTime(p *sim.Proc, size int64, bps float64) {
 		return
 	}
 	nominal := time.Duration(float64(size) / bps * float64(time.Second))
-	d.copyEng.Exec(p, nominal)
+	d.copyEng.Exec(p, d.stretch(nominal))
 }
 
 // crossCopyTime charges a peer copy: the source engine paces the transfer
@@ -299,6 +341,9 @@ func (d *Device) crossCopyTime(p *sim.Proc, dst *Device, size int64, bps float64
 		return
 	}
 	nominal := time.Duration(float64(size) / bps * float64(time.Second))
+	if f := maxSlowdown(d, dst); f > 1 {
+		nominal = time.Duration(float64(nominal) * f)
+	}
 	dst.copyEng.enter(p)
 	d.copyEng.Exec(p, nominal)
 	dst.copyEng.leave(p)

@@ -135,6 +135,10 @@ type Config struct {
 // backend) treat it as "route elsewhere or fail fast", never "retry here".
 var ErrCapacity = errors.New("gpuserver: capacity exhausted")
 
+// ErrCapacity must survive the generated stubs' status encoding: remote
+// callers shed by a GPU server route on errors.Is(err, ErrCapacity).
+func init() { cuda.RegisterWireSentinel(9020, ErrCapacity) }
+
 // ErrNotLeased is the typed error for lease-lifecycle misuse: releasing a
 // nil lease (an Acquire that failed), releasing twice, or releasing a lease
 // the monitor already revoked when its server died.
@@ -416,8 +420,13 @@ func (gs *GPUServer) Healthy() bool { return !gs.failed && gs.Capacity() > 0 }
 // Fail injects a whole-GPU-server failure: every API server crashes, all
 // leases are revoked, waiting requests fail with ErrCapacity, and the
 // machine reports unhealthy forever after. The fault framework calls this;
-// there is no recovery for the machine itself, only around it.
+// there is no recovery for the machine itself, only around it. Idempotent:
+// a second Fail (machine flap, or two fault paths reporting one death) is a
+// no-op — in particular the plane must not re-strand its exports.
 func (gs *GPUServer) Fail() {
+	if gs.failed {
+		return
+	}
 	gs.failed = true // flip eagerly so routing reacts before the monitor drains
 	if gs.cfg.Plane != nil {
 		// The machine's device memory is gone: exports published here become

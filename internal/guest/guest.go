@@ -63,6 +63,7 @@ type Stats struct {
 	Recoveries int // recovery episodes entered after a transport fault
 	Redials    int // redial attempts across all episodes
 	Replayed   int // journal entries replayed onto fresh sessions
+	Journaled  int // state-establishing calls recorded in the replay journal
 }
 
 // Roundtrips returns the number of network round trips performed.

@@ -341,6 +341,7 @@ func (l *Lib) journalPutPtr(key string, base cuda.DevPtr, replay func(p *sim.Pro
 	en := &journalEntry{key: key, base: base, replay: replay}
 	l.journal = append(l.journal, en)
 	l.journalKeys[key] = en
+	l.stats.Journaled++
 }
 
 // journalDrop kills the entry for a released resource.

@@ -77,8 +77,13 @@ func checkSelector(pass *lint.Pass, sel *ast.SelectorExpr) {
 }
 
 // checkRange flags `for k := range m` over a map when the loop body makes a
-// call involving a *sim.Proc or other internal/sim value: map order is
-// random per run, so such a loop emits simulated events in random order.
+// call involving a *sim.Proc or other internal/sim value — map order is
+// random per run, so such a loop emits simulated events in random order — or
+// draws from a *rand.Rand: even an explicitly-seeded generator becomes
+// nondeterministic when its draw order follows map order. The chaos schedule
+// generator is the canonical client of the second rule: a fault plan must be
+// a pure function of (seed, trial), which randomized draw order breaks
+// silently.
 func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
 	t := pass.TypeOf(rng.X)
 	if t == nil {
@@ -87,9 +92,9 @@ func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
 	if _, ok := t.Underlying().(*types.Map); !ok {
 		return
 	}
-	var bad ast.Node
+	var badSim, badRand ast.Node
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		if bad != nil {
+		if badSim != nil {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -97,13 +102,20 @@ func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
 			return true
 		}
 		if callTouchesSim(pass, call) {
-			bad = call
+			badSim = call
 			return false
+		}
+		if badRand == nil && callDrawsRand(pass, call) {
+			badRand = call
 		}
 		return true
 	})
-	if bad != nil {
-		pass.Reportf(rng.Pos(), "map iteration order is randomized but this loop drives simulated events (%s); collect and sort the keys first", exprString(pass, bad))
+	if badSim != nil {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized but this loop drives simulated events (%s); collect and sort the keys first", exprString(pass, badSim))
+		return
+	}
+	if badRand != nil {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized but this loop draws from an RNG (%s), so the draw sequence differs per run; collect and sort the keys first", exprString(pass, badRand))
 	}
 }
 
@@ -125,6 +137,32 @@ func callTouchesSim(pass *lint.Pass, call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// callDrawsRand reports whether the call is a method on a math/rand
+// generator (*rand.Rand, rand.Source) — a draw whose position in the stream,
+// and therefore its value, depends on the surrounding iteration order.
+func callDrawsRand(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isRandType(pass.TypeOf(sel.X))
+}
+
+func isRandType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
 }
 
 func isSimType(t types.Type) bool {

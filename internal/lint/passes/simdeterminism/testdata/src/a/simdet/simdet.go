@@ -17,6 +17,12 @@ func bad(p *sim.Proc, m map[int]string) {
 	for k := range m {                 // want "map iteration order is randomized"
 		emit(p, k)
 	}
+	r := rand.New(rand.NewSource(1))
+	sum := 0
+	for k := range m { // want "draws from an RNG"
+		sum += k + r.Intn(4) // seeded, but draw order follows map order
+	}
+	_ = sum
 }
 
 func good(p *sim.Proc, m map[int]string) {

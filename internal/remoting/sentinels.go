@@ -1,0 +1,14 @@
+package remoting
+
+import "dgsf/internal/cuda"
+
+// The transport's typed faults are registered as wire sentinels so a server
+// that surfaces one as an application error (a proxied failure, a fabric
+// fault inside a remoted data-plane call) still matches errors.Is on the
+// client side of the generated stubs.
+func init() {
+	cuda.RegisterWireSentinel(9001, ErrConnClosed)
+	cuda.RegisterWireSentinel(9002, ErrFrameCorrupt)
+	cuda.RegisterWireSentinel(9003, ErrCallTimeout)
+	cuda.RegisterWireSentinel(9004, ErrFabricFault)
+}

@@ -571,16 +571,23 @@ var ErrFrameCorrupt = connErr("remoting: frame corrupt")
 // connection is broken afterwards: a late reply cannot be re-matched.
 var ErrCallTimeout = connErr("remoting: call deadline exceeded")
 
+// ErrFabricFault reports a data-plane fabric transfer (PeerCopy/FabricCopy)
+// that died mid-flight — the RDMA-class link dropped, not the guest's own
+// control connection. It counts as a connection fault: guests and chain
+// drivers treat it like any severed transport and retry or fall back.
+var ErrFabricFault = connErr("remoting: data-plane fabric fault")
+
 type connErr string
 
 func (e connErr) Error() string { return string(e) }
 
 // IsConnFault reports whether err is a transport-level connection fault
-// (closed/severed connection, corrupt frame, or reply deadline) as opposed
-// to an application-level error. Guests map these to
-// cudaErrorDevicesUnavailable and trigger session recovery.
+// (closed/severed connection, corrupt frame, reply deadline, or a data-plane
+// fabric fault) as opposed to an application-level error. Guests map these
+// to cudaErrorDevicesUnavailable and trigger session recovery.
 func IsConnFault(err error) bool {
 	return errors.Is(err, ErrConnClosed) ||
 		errors.Is(err, ErrFrameCorrupt) ||
-		errors.Is(err, ErrCallTimeout)
+		errors.Is(err, ErrCallTimeout) ||
+		errors.Is(err, ErrFabricFault)
 }

@@ -552,7 +552,7 @@ func TestRoundtripTimeoutHappyPathUnaffected(t *testing.T) {
 // TestConnFaultClassification pins down which sentinels count as connection
 // faults (recoverable transport failures) and which do not.
 func TestConnFaultClassification(t *testing.T) {
-	for _, err := range []error{ErrConnClosed, ErrFrameCorrupt, ErrCallTimeout} {
+	for _, err := range []error{ErrConnClosed, ErrFrameCorrupt, ErrCallTimeout, ErrFabricFault} {
 		if !IsConnFault(err) {
 			t.Errorf("IsConnFault(%v) = false, want true", err)
 		}

@@ -162,7 +162,17 @@ type Store struct {
 	watchSends *metrics.Counter
 	objects    *metrics.Gauge
 	watchGauge *metrics.Gauge
+
+	// writeFault, when set, is consulted before applying any Update,
+	// UpdateStatus or Delete; a non-nil return rejects the write with that
+	// error and nothing is applied. The fault framework injects conflict
+	// storms here — every writer's CAS loop gets exercised against spurious
+	// rejections, exactly as if a competing writer kept winning the race.
+	writeFault func(p *sim.Proc) error
 }
+
+// SetWriteFault installs (or clears, with nil) the write-fault hook.
+func (s *Store) SetWriteFault(fn func(p *sim.Proc) error) { s.writeFault = fn }
 
 // New returns an empty store. The registry may be nil; metrics are then
 // discarded into unregistered instruments.
@@ -293,6 +303,14 @@ func (s *Store) update(p *sim.Proc, r Resource, withSpec bool) (Resource, error)
 		return nil, fmt.Errorf("%w: %s/%s rv %d != stored %d",
 			ErrConflict, r.Kind(), name, rm.ResourceVersion, cm.ResourceVersion)
 	}
+	if s.writeFault != nil {
+		if err := s.writeFault(p); err != nil {
+			if IsConflict(err) {
+				s.conflicts.Inc()
+			}
+			return nil, err
+		}
+	}
 	if rm.UID != 0 && rm.UID != cm.UID {
 		return nil, fmt.Errorf("%w: %s/%s uid is immutable", ErrBadRequest, r.Kind(), name)
 	}
@@ -331,6 +349,14 @@ func (s *Store) Delete(p *sim.Proc, kind Kind, name string, rv uint64) error {
 		s.conflicts.Inc()
 		return fmt.Errorf("%w: %s/%s rv %d != stored %d",
 			ErrConflict, kind, name, rv, cur.Meta().ResourceVersion)
+	}
+	if s.writeFault != nil {
+		if err := s.writeFault(p); err != nil {
+			if IsConflict(err) {
+				s.conflicts.Inc()
+			}
+			return err
+		}
 	}
 	delete(ks, name)
 	s.rv++
