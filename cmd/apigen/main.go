@@ -256,6 +256,7 @@ func results(c Call) string {
 func main() {
 	out := flag.String("out", "internal/remoting/gen/gen.go", "output file")
 	table := flag.String("table", "internal/remoting/gen/calltable.go", "call-classification table output file")
+	bufTable := flag.String("buftable", "internal/remoting/gen/buftable.go", "buffer-ownership contract table output file")
 	storeOut := flag.String("storeout", "internal/store/storegen/storegen.go", "store protocol stubs output file")
 	flag.Parse()
 	calls := buildSpec()
@@ -275,6 +276,13 @@ func main() {
 		log.Fatalf("gen table: %v", err)
 	}
 	if err := os.WriteFile(*table, tsrc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	bsrc, err := genBufTable(calls)
+	if err != nil {
+		log.Fatalf("gen buftable: %v", err)
+	}
+	if err := os.WriteFile(*bufTable, bsrc, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	storeCalls := buildStoreSpec()
@@ -306,7 +314,7 @@ func main() {
 		}
 		fmt.Printf("%d %s", classes[k], k)
 	}
-	fmt.Printf(") -> %s, %s\n", *out, *table)
+	fmt.Printf(") -> %s, %s, %s\n", *out, *table, *bufTable)
 	fmt.Printf("apigen: %d store calls -> %s\n", len(storeCalls), *storeOut)
 }
 
@@ -624,6 +632,101 @@ func genTable(calls []Call) ([]byte, error) {
 	if err != nil {
 		_ = os.WriteFile("calltable.go.bad", b.Bytes(), 0o644)
 		return nil, fmt.Errorf("format: %w (unformatted source in calltable.go.bad)", err)
+	}
+	return src, nil
+}
+
+// genBufTable emits the buffer-ownership contract table consumed by the
+// dgsfvet bufown and sharedretain analyzers: which request fields decode
+// through a scratch-aliasing Shared variant (and at what server-method
+// argument position), which wire pool functions pair with which releases,
+// and which transport entry points hand out borrowed results or borrow
+// their byte-slice arguments. Keeping it generated means a spec edit that
+// adds a shared-decodable field extends the analyzers automatically.
+func genBufTable(calls []Call) ([]byte, error) {
+	var b bytes.Buffer
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	p("// Code generated by cmd/apigen. DO NOT EDIT.")
+	p("")
+	p("package gen")
+	p("")
+	p("// A SharedParam identifies one request field whose server-side decode")
+	p("// aliases the dispatch decoder's scratch: the backend method receives a")
+	p("// value that dies when the decoder resets, so it must not be retained")
+	p("// without a deep copy. Arg is the 0-based position among the method's")
+	p("// parameters after the *sim.Proc — positional, because implementations")
+	p("// are free to rename parameters.")
+	p("type SharedParam struct {")
+	p("\tField string // request field name")
+	p("\tArg   int    // 0-based position after the Proc parameter")
+	p("\tKind  string // spec kind: strs, launch, bulk")
+	p("}")
+	p("")
+	p("// SharedDecodeParams maps call name to the request fields that reach the")
+	p("// backend through a Shared (decoder-aliasing) decode.")
+	p("var SharedDecodeParams = map[string][]SharedParam{")
+	for _, c := range calls {
+		var params []string
+		for i, f := range c.Req {
+			if kinds[f.Kind].DecShared == "" {
+				continue
+			}
+			params = append(params, fmt.Sprintf("{Field: %q, Arg: %d, Kind: %q}", f.Name, i, f.Kind))
+		}
+		if len(params) > 0 {
+			p("\t%q: {%s},", c.Name, strings.Join(params, ", "))
+		}
+	}
+	p("}")
+	p("")
+	p("// PoolAcquire maps wire pool acquire functions to the release that must")
+	p("// eventually be called on their result. Between the two, the value is")
+	p("// owned by exactly one goroutine and must not outlive the release.")
+	p("var PoolAcquire = map[string]string{")
+	p("\t\"GetEncoder\": \"PutEncoder\",")
+	p("\t\"GetDecoder\": \"PutDecoder\",")
+	p("}")
+	p("")
+	p("// PoolRelease is the inverse of PoolAcquire.")
+	p("var PoolRelease = map[string]string{")
+	p("\t\"PutEncoder\": \"GetEncoder\",")
+	p("\t\"PutDecoder\": \"GetDecoder\",")
+	p("}")
+	p("")
+	p("// BorrowedResultCalls names the transport entry points whose returned")
+	p("// byte slices are borrowed from the transport: valid only until the next")
+	p("// call on the same caller. Retaining one past that point (a field, a")
+	p("// channel, a goroutine) races the next reply. ReadFrameReuse is absent")
+	p("// by design — its results are caller-owned.")
+	p("var BorrowedResultCalls = map[string]bool{")
+	p("\t\"Roundtrip\":        true,")
+	p("\t\"RoundtripTimeout\": true,")
+	p("\t\"RoundtripVec\":     true,")
+	p("}")
+	p("")
+	p("// BorrowedArgCalls maps transport functions to the 0-based positions of")
+	p("// byte-slice arguments they borrow only until they return; the callee")
+	p("// must not retain them.")
+	p("var BorrowedArgCalls = map[string][]int{")
+	p("\t\"RoundtripVec\":  {2}, // reqBulk")
+	p("\t\"WriteFrameVec\": {1, 2}, // payload, bulk")
+	p("}")
+	p("")
+	p("// SharedDecodeMethods names the wire.Decoder methods (and the generated")
+	p("// per-request DecodeShared) whose results alias the decoder's buffer or")
+	p("// scratch and die at PutDecoder / Reset.")
+	p("var SharedDecodeMethods = map[string]bool{")
+	p("\t\"StrsShared\":   true,")
+	p("\t\"LaunchShared\": true,")
+	p("\t\"BytesShared\":  true,")
+	p("\t\"DecodeShared\": true,")
+	p("}")
+
+	src, err := format.Source(b.Bytes())
+	if err != nil {
+		_ = os.WriteFile("buftable.go.bad", b.Bytes(), 0o644)
+		return nil, fmt.Errorf("format: %w (unformatted source in buftable.go.bad)", err)
 	}
 	return src, nil
 }

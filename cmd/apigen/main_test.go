@@ -24,6 +24,7 @@ func TestGeneratedFilesInSync(t *testing.T) {
 	}{
 		{"../../internal/remoting/gen/gen.go", genAPI},
 		{"../../internal/remoting/gen/calltable.go", genTable},
+		{"../../internal/remoting/gen/buftable.go", genBufTable},
 	} {
 		want, err := tc.gen(calls)
 		if err != nil {

@@ -1,12 +1,16 @@
 // Command dgsfvet runs the project's custom static analyzers: the
 // cross-cutting invariants behind the simulator's determinism, the
 // transport's typed sentinels, the async lane's deferrable-call table, the
-// crash-recovery journal and server goroutine hygiene. See DESIGN.md
-// "Invariants" for the full list and the //lint:allow escape hatch.
+// buffer-ownership and shared-decode lifetimes of the wire path, the mutex
+// acquisition order, the crash-recovery journal and server goroutine
+// hygiene. See DESIGN.md "Invariants" for the full list and the
+// //lint:allow escape hatch.
 //
 // Standalone:
 //
 //	go run ./cmd/dgsfvet ./...
+//	go run ./cmd/dgsfvet -json ./...      # one JSON record per diagnostic
+//	go run ./cmd/dgsfvet -stale=false ... # don't report dead //lint:allow
 //
 // As a vet tool (integrates with go vet's caching and package graph):
 //
@@ -15,12 +19,24 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"dgsf/internal/lint"
 	"dgsf/internal/lint/passes"
 )
+
+// jsonRecord is the -json output shape: one object per diagnostic, one per
+// line, so the stream is greppable and trivially machine-readable.
+type jsonRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	analyzers := passes.All()
@@ -31,17 +47,24 @@ func main() {
 		return
 	}
 
-	patterns := os.Args[1:]
+	fs := flag.NewFlagSet("dgsfvet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON record per diagnostic (file/line/col/analyzer/message)")
+	stale := fs.Bool("stale", true, "report //lint:allow directives that suppress nothing")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dgsfvet [-json] [-stale=false] [packages]")
+		fmt.Fprintln(os.Stderr)
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nanalyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		fatal(err)
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
-	}
-	if patterns[0] == "-h" || patterns[0] == "--help" || patterns[0] == "help" {
-		fmt.Println("usage: dgsfvet [packages]")
-		fmt.Println()
-		for _, a := range analyzers {
-			fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
-		}
-		return
 	}
 
 	cwd, err := os.Getwd()
@@ -52,6 +75,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	exit := 0
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
@@ -61,12 +85,24 @@ func main() {
 			exit = 1
 			continue
 		}
-		diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers)
+		diags, err := lint.RunAnalyzersOpts(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers, lint.Options{ReportStale: *stale})
 		if err != nil {
 			fatal(err)
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			if *jsonOut {
+				if err := enc.Encode(jsonRecord{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				}); err != nil {
+					fatal(err)
+				}
+			} else {
+				fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			}
 			exit = 2
 		}
 	}

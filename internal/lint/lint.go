@@ -92,10 +92,16 @@ type allowKey struct {
 	line int
 }
 
-// collectAllows scans the files for //lint:allow directives and returns the
-// set of (analyzer, file, line) suppressions they grant.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[allowKey]bool {
-	allows := map[string]map[allowKey]bool{}
+// An allowDirective is one (analyzer name, //lint:allow comment) pair; a
+// directive naming several analyzers expands to several entries.
+type allowDirective struct {
+	name string
+	pos  token.Position // the directive's own position
+}
+
+// collectAllowDirectives scans the files for //lint:allow directives.
+func collectAllowDirectives(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var dirs []allowDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -115,23 +121,36 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[allowK
 					if name == "" {
 						continue
 					}
-					if allows[name] == nil {
-						allows[name] = map[allowKey]bool{}
-					}
-					// The directive covers its own line (trailing comment)
-					// and the line below (comment above the statement).
-					allows[name][allowKey{pos.Filename, pos.Line}] = true
-					allows[name][allowKey{pos.Filename, pos.Line + 1}] = true
+					dirs = append(dirs, allowDirective{name: name, pos: pos})
 				}
 			}
 		}
 	}
-	return allows
+	return dirs
+}
+
+// StaleAllowName is the analyzer name stale //lint:allow reports carry.
+const StaleAllowName = "staleallow"
+
+// Options configures RunAnalyzersOpts.
+type Options struct {
+	// ReportStale reports //lint:allow directives that suppressed nothing,
+	// under the StaleAllowName analyzer. Only directives naming an analyzer
+	// in the run set are judged: a partial run cannot tell a stale
+	// directive from one whose analyzer simply did not run.
+	ReportStale bool
 }
 
 // RunAnalyzers applies each analyzer to the package and returns the
 // diagnostics that survive //lint:allow filtering, sorted by position.
+// A panicking analyzer does not crash the process: the panic becomes a
+// diagnostic on the package (analysis by that analyzer is incomplete).
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersOpts(fset, files, pkg, info, analyzers, Options{})
+}
+
+// RunAnalyzersOpts is RunAnalyzers with explicit options.
+func RunAnalyzersOpts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -142,17 +161,51 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Info:     info,
 			diags:    &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		if err := runProtected(a, pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	allows := collectAllows(fset, files)
+
+	dirs := collectAllowDirectives(fset, files)
+	// grant maps analyzer -> covered line -> indices of granting directives:
+	// a directive covers its own line (trailing comment) and the line below
+	// (comment above the statement).
+	grant := map[string]map[allowKey][]int{}
+	for i, d := range dirs {
+		if grant[d.name] == nil {
+			grant[d.name] = map[allowKey][]int{}
+		}
+		for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+			k := allowKey{d.pos.Filename, line}
+			grant[d.name][k] = append(grant[d.name][k], i)
+		}
+	}
+	used := make([]bool, len(dirs))
 	kept := diags[:0]
 	for _, d := range diags {
-		if allows[d.Analyzer][allowKey{d.Pos.Filename, d.Pos.Line}] {
+		if idxs := grant[d.Analyzer][allowKey{d.Pos.Filename, d.Pos.Line}]; len(idxs) > 0 {
+			for _, i := range idxs {
+				used[i] = true
+			}
 			continue
 		}
 		kept = append(kept, d)
+	}
+	if opts.ReportStale {
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for i, d := range dirs {
+			if used[i] || !ran[d.name] {
+				continue
+			}
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: StaleAllowName,
+				Message:  fmt.Sprintf("//lint:allow %s suppresses no diagnostic; remove the stale directive", d.name),
+			})
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Pos.Filename != kept[j].Pos.Filename {
@@ -164,6 +217,22 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
 	return kept, nil
+}
+
+// runProtected applies one analyzer, converting a panic into a diagnostic
+// on the package instead of crashing the whole run: one broken analyzer
+// should fail its package visibly, not take down the other checks.
+func runProtected(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pos := token.NoPos
+			if len(pass.Files) > 0 {
+				pos = pass.Files[0].Package
+			}
+			pass.Reportf(pos, "analyzer %s panicked: %v (analysis of this package is incomplete)", a.Name, r)
+		}
+	}()
+	return a.Run(pass)
 }
 
 // NewInfo returns a types.Info with every map allocated, ready for

@@ -1,0 +1,221 @@
+// Package bufownt exercises the bufown analyzer: pooled codec lifecycle
+// (double release, use after release, escape past a local release),
+// borrowed transport results, and borrowed byte arguments.
+package bufownt
+
+import (
+	"e/internal/remoting"
+	"e/internal/remoting/wire"
+	"e/internal/sim"
+)
+
+type holder struct {
+	enc *wire.Encoder
+	buf []byte
+}
+
+var globalEnc *wire.Encoder
+
+// --- positives ---
+
+func doublePut() {
+	e := wire.GetEncoder()
+	e.U64(1)
+	wire.PutEncoder(e)
+	wire.PutEncoder(e) // want "called again on the same pooled value"
+}
+
+func deferAndExplicitPut(payload []byte) {
+	d := wire.GetDecoder(payload)
+	defer wire.PutDecoder(d)
+	_ = d.U64()
+	wire.PutDecoder(d) // want "again by the deferred PutDecoder"
+}
+
+func useAfterPut() uint64 {
+	d := wire.GetDecoder(nil)
+	wire.PutDecoder(d)
+	return d.U64() // want "after its PutDecoder"
+}
+
+func useAfterPutViaAlias(h *holder) []byte {
+	e := wire.GetEncoder()
+	b := e.Bytes()
+	wire.PutEncoder(e)
+	return b // want "after its PutEncoder"
+}
+
+func escapeFieldWithPut(h *holder) {
+	e := wire.GetEncoder()
+	h.enc = e // want "escapes (store to field) but is also released locally"
+	wire.PutEncoder(e)
+}
+
+func escapeGlobalWithPut() {
+	e := wire.GetEncoder()
+	globalEnc = e // want "escapes (store to package-level variable) but is also released locally"
+	wire.PutEncoder(e)
+}
+
+func escapeChanWithPut(ch chan *wire.Encoder) {
+	e := wire.GetEncoder()
+	ch <- e // want "escapes (channel send) but is also released locally"
+	wire.PutEncoder(e)
+}
+
+func escapeGoWithPut() {
+	e := wire.GetEncoder()
+	go func() { // want "escapes (goroutine capture) but is also released locally"
+		e.U64(1)
+	}()
+	wire.PutEncoder(e)
+}
+
+func putInLoop(n int) {
+	e := wire.GetEncoder()
+	for i := 0; i < n; i++ {
+		wire.PutEncoder(e) // want "inside a loop releases the same pooled value"
+	}
+}
+
+func retainBorrowedReply(p *sim.Proc, c *remoting.Caller, h *holder, req []byte) error {
+	rep, err := c.Roundtrip(p, req, 0)
+	if err != nil {
+		return err
+	}
+	h.buf = rep // want "borrowed from the transport"
+	return nil
+}
+
+func retainBorrowedVec(p *sim.Proc, c *remoting.Caller, h *holder, req, bulk []byte) error {
+	_, respBulk, err := c.RoundtripVec(p, req, bulk, nil)
+	if err != nil {
+		return err
+	}
+	h.buf = respBulk // want "borrowed from the transport"
+	return nil
+}
+
+var retainedBulk []byte
+
+// WriteFrameVec mirrors the transport entry point: argument positions 1
+// and 2 are borrowed from the caller until return.
+func WriteFrameVec(w *holder, payload, bulk []byte, data int64) error {
+	retainedBulk = bulk // want "borrowed from the caller only until WriteFrameVec returns"
+	return nil
+}
+
+// --- negatives ---
+
+func straightLine() uint64 {
+	d := wire.GetDecoder(nil)
+	v := d.U64()
+	wire.PutDecoder(d)
+	return v
+}
+
+func earlyReturnPut(fail bool) error {
+	e := wire.GetEncoder()
+	e.U64(1)
+	if fail {
+		wire.PutEncoder(e)
+		return nil
+	}
+	e.U64(2)
+	wire.PutEncoder(e)
+	return nil
+}
+
+func exclusiveArmsPut(fail bool) {
+	e := wire.GetEncoder()
+	if fail {
+		wire.PutEncoder(e)
+	} else {
+		e.U64(1)
+		wire.PutEncoder(e)
+	}
+}
+
+// transferOwnership hands the encoder to another owner without a local
+// release: the transfer idiom, not a violation.
+func transferOwnership(ch chan *wire.Encoder) {
+	e := wire.GetEncoder()
+	e.U64(1)
+	ch <- e
+}
+
+// dropOnError loses the codec on the error path on purpose: the transport
+// may still hold the request, and the pool reallocates.
+func dropOnError(fail bool) error {
+	e := wire.GetEncoder()
+	e.U64(1)
+	if fail {
+		return nil
+	}
+	wire.PutEncoder(e)
+	return nil
+}
+
+func acquireAndPutInLoop(n int) {
+	for i := 0; i < n; i++ {
+		e := wire.GetEncoder()
+		e.U64(uint64(i))
+		wire.PutEncoder(e)
+	}
+}
+
+func deferThenUse(payload []byte) uint64 {
+	d := wire.GetDecoder(payload)
+	defer wire.PutDecoder(d)
+	return d.U64()
+}
+
+// guardedDeferRelease is the conditional-cleanup idiom: the deferred Put
+// only runs when the explicit path did not.
+func guardedDeferRelease(fail bool) {
+	e := wire.GetEncoder()
+	done := false
+	defer func() {
+		if !done {
+			wire.PutEncoder(e)
+		}
+	}()
+	if fail {
+		return
+	}
+	done = true
+	wire.PutEncoder(e)
+}
+
+// decodeBorrowedReply consumes the borrowed reply before the next call:
+// decoding copies what it needs.
+func decodeBorrowedReply(p *sim.Proc, c *remoting.Caller, req []byte) (uint64, error) {
+	rep, err := c.Roundtrip(p, req, 0)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.GetDecoder(rep)
+	v := d.U64()
+	wire.PutDecoder(d)
+	return v, nil
+}
+
+// copyBorrowedReply retains a copy, not the borrow.
+func copyBorrowedReply(p *sim.Proc, c *remoting.Caller, h *holder, req []byte) error {
+	rep, err := c.Roundtrip(p, req, 0)
+	if err != nil {
+		return err
+	}
+	h.buf = append([]byte(nil), rep...)
+	return nil
+}
+
+// reacquireAfterPut rebinds the variable; the second value is fresh.
+func reacquireAfterPut() {
+	e := wire.GetEncoder()
+	e.U64(1)
+	wire.PutEncoder(e)
+	e = wire.GetEncoder()
+	e.U64(2)
+	wire.PutEncoder(e)
+}

@@ -1,0 +1,6 @@
+// Package sim is a miniature mirror of the blocking-primitive package:
+// transport signatures take a *Proc.
+package sim
+
+// Proc is a simulated process handle.
+type Proc struct{}

@@ -4,10 +4,13 @@ package passes
 import (
 	"dgsf/internal/lint"
 	"dgsf/internal/lint/passes/asyncsafe"
+	"dgsf/internal/lint/passes/bufown"
 	"dgsf/internal/lint/passes/errsentinel"
 	"dgsf/internal/lint/passes/goroutineleak"
 	"dgsf/internal/lint/passes/journalcover"
+	"dgsf/internal/lint/passes/lockorder"
 	"dgsf/internal/lint/passes/rawconn"
+	"dgsf/internal/lint/passes/sharedretain"
 	"dgsf/internal/lint/passes/simdeterminism"
 )
 
@@ -20,5 +23,8 @@ func All() []*lint.Analyzer {
 		asyncsafe.Analyzer,
 		journalcover.Analyzer,
 		goroutineleak.Analyzer,
+		bufown.Analyzer,
+		sharedretain.Analyzer,
+		lockorder.Analyzer,
 	}
 }

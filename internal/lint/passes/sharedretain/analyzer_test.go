@@ -1,0 +1,31 @@
+package sharedretain_test
+
+import (
+	"testing"
+
+	"dgsf/internal/lint/linttest"
+	"dgsf/internal/lint/passes/sharedretain"
+	"dgsf/internal/remoting/gen"
+)
+
+func TestSharedretain(t *testing.T) {
+	linttest.Run(t, "testdata", sharedretain.Analyzer, "f/sharedt")
+}
+
+// TestDefaultTablesAreGenerated pins the analyzer to apigen's generated
+// shared-decode contract tables, not a hand-maintained copy.
+func TestDefaultTablesAreGenerated(t *testing.T) {
+	for _, m := range []string{"StrsShared", "LaunchShared", "BytesShared", "DecodeShared"} {
+		if !sharedretain.SharedMethods[m] {
+			t.Errorf("SharedMethods is missing %s", m)
+		}
+	}
+	for _, call := range []string{"RegisterKernels", "LaunchKernel", "MemWrite"} {
+		if len(sharedretain.SharedParams[call]) == 0 {
+			t.Errorf("SharedParams is missing %s", call)
+		}
+		if len(sharedretain.SharedParams[call]) != len(gen.SharedDecodeParams[call]) {
+			t.Errorf("SharedParams[%s] diverges from gen.SharedDecodeParams", call)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package cuda mirrors the device types carried by launch requests.
+package cuda
+
+// DevPtr is a device address.
+type DevPtr uint64
+
+// FnPtr is a registered kernel handle.
+type FnPtr uint64
+
+// LaunchParams describes one kernel launch. Mutates aliases decoder
+// scratch when decoded with LaunchShared.
+type LaunchParams struct {
+	Fn      FnPtr
+	Grid    [3]uint32
+	Mutates []DevPtr
+}

@@ -1,0 +1,17 @@
+// Package gen mirrors the generated request types: DecodeShared populates
+// the request in place with decoder-aliasing fields.
+package gen
+
+import "f/internal/remoting/wire"
+
+// RegisterKernelsReq is the mirror of the generated request struct.
+type RegisterKernelsReq struct {
+	Names []string
+}
+
+// DecodeShared deserializes the request without copying: Names aliases the
+// decoder's scratch afterwards. The store below is the mechanism the
+// analyzer exempts by function name.
+func (m *RegisterKernelsReq) DecodeShared(d *wire.Decoder) {
+	m.Names = d.StrsShared()
+}

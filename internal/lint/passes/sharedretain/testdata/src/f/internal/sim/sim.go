@@ -1,0 +1,7 @@
+// Package sim mirrors the scheduler types the analyzer keys on.
+package sim
+
+// Proc is the simulated process handle.
+type Proc struct {
+	ID int
+}

@@ -1,0 +1,153 @@
+// Package sharedt exercises the sharedretain analyzer: retention of
+// shared-decode results, of requests populated in place by DecodeShared,
+// and of backend parameters listed in gen.SharedDecodeParams.
+package sharedt
+
+import (
+	"strings"
+
+	"f/internal/cuda"
+	"f/internal/remoting/gen"
+	"f/internal/remoting/wire"
+	"f/internal/sim"
+)
+
+type srv struct {
+	names []string
+	buf   []byte
+	devs  []cuda.DevPtr
+	cache map[string][]string
+}
+
+var gBuf []byte
+
+// --- positives ---
+
+func storeNamesField(s *srv, d *wire.Decoder) {
+	names := d.StrsShared()
+	s.names = names // want "result of StrsShared aliases the decoder's scratch (dead once the decoder is released or reused) and must not be retained (store to field)"
+}
+
+func returnShared(d *wire.Decoder) []string {
+	return d.StrsShared() // want "result of StrsShared aliases the decoder's scratch (dead once the decoder is released or reused) and must not be returned"
+}
+
+func storeGlobal(d *wire.Decoder) {
+	gBuf = d.BytesShared() // want "result of BytesShared aliases the decoder's scratch (dead once the decoder is released or reused) and must not be retained (store to package-level variable)"
+}
+
+func storeMutates(s *srv, d *wire.Decoder) {
+	lp := d.LaunchShared()
+	s.devs = lp.Mutates // want "result of LaunchShared aliases the decoder's scratch (dead once the decoder is released or reused) and must not be retained (store to field)"
+}
+
+func sendShared(d *wire.Decoder, ch chan []string) {
+	names := d.StrsShared()
+	ch <- names // want "must not be retained (channel send)"
+}
+
+func goShared(d *wire.Decoder) {
+	names := d.StrsShared()
+	go func() { // want "must not be retained (goroutine capture)"
+		_ = names[0]
+	}()
+}
+
+func cacheShared(s *srv, d *wire.Decoder) {
+	names := d.StrsShared()
+	s.cache["last"] = names // want "must not be retained (store into map/slice element)"
+}
+
+func retainReqField(s *srv, d *wire.Decoder) {
+	var req gen.RegisterKernelsReq
+	req.DecodeShared(d)
+	s.names = req.Names // want "request decoded in place by DecodeShared aliases the decoder's scratch (dead once the decoder is released or reused) and must not be retained (store to field)"
+}
+
+func (s *srv) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
+	s.names = names // want "parameter names of RegisterKernels (shared-decoded request field Names) aliases the decoder's scratch"
+	return nil, nil
+}
+
+func (s *srv) MemWrite(p *sim.Proc, dst cuda.DevPtr, data []byte) error {
+	s.buf = data // want "parameter data of MemWrite (shared-decoded request field Data) aliases the decoder's scratch"
+	return nil
+}
+
+func (s *srv) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
+	s.devs = lp.Mutates // want "parameter lp of LaunchKernel (shared-decoded request field LP) aliases the decoder's scratch"
+	return nil
+}
+
+type srv2 struct {
+	names []string
+}
+
+// A shallow append copies the slice header array but the strings still
+// point into decoder scratch.
+func (s *srv2) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
+	s.names = append([]string(nil), names...) // want "parameter names of RegisterKernels (shared-decoded request field Names) aliases the decoder's scratch"
+	return nil, nil
+}
+
+var stash []string
+
+func keep(names []string) { stash = names }
+
+func helperEscape(d *wire.Decoder) {
+	names := d.StrsShared()
+	keep(names) // want "keep retains its argument"
+}
+
+// --- negatives ---
+
+type okSrv struct {
+	names []string
+	devs  []cuda.DevPtr
+	str   string
+}
+
+// Cloning every element before the store produces an owned slice.
+func (s *okSrv) RegisterKernels(p *sim.Proc, names []string) ([]cuda.FnPtr, error) {
+	cloned := make([]string, len(names))
+	for i := range names {
+		cloned[i] = strings.Clone(names[i])
+	}
+	s.names = cloned
+	return nil, nil
+}
+
+// A string conversion copies the bytes.
+func (s *okSrv) MemWrite(p *sim.Proc, dst cuda.DevPtr, data []byte) error {
+	s.str = string(data)
+	return nil
+}
+
+// DevPtr is shallow-safe, so the append deep-copies.
+func (s *okSrv) LaunchKernel(p *sim.Proc, lp cuda.LaunchParams) error {
+	s.devs = append([]cuda.DevPtr(nil), lp.Mutates...)
+	return nil
+}
+
+// Reading the shared value before the decoder moves on is the intended use.
+func transientUse(d *wire.Decoder) int {
+	names := d.StrsShared()
+	total := 0
+	for _, n := range names {
+		total += len(n)
+	}
+	return total
+}
+
+// The copying decode variants return owned values.
+func copyingDecode(s *srv, d *wire.Decoder) {
+	s.names = d.Strs()
+}
+
+func measure(names []string) int { return len(names) }
+
+// Passing the shared value to a callee that only reads it is fine.
+func dispatchOnly(d *wire.Decoder) int {
+	names := d.StrsShared()
+	return measure(names)
+}

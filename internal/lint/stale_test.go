@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// flagFuncs reports every function declaration; name is configurable so
+// tests can match or miss the fixture's //lint:allow directives.
+func flagFuncs(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "flags every function declaration",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func silent(name string) *Analyzer {
+	return &Analyzer{Name: name, Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+}
+
+// TestStaleAllowReported checks that a //lint:allow which suppresses
+// nothing is itself reported when ReportStale is on, and that directives
+// naming analyzers outside the run set are left alone.
+func TestStaleAllowReported(t *testing.T) {
+	pkgs, err := Load("", "dgsf/internal/lint/internal/allowtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+
+	// "demo" runs but reports nothing: its directive is stale. The
+	// "otheranalyzer" directive names an analyzer not in the run set, so it
+	// cannot be judged and is not reported.
+	diags, err := RunAnalyzersOpts(p.Fset, p.Files, p.Pkg, p.Info, []*Analyzer{silent("demo")}, Options{ReportStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 stale report: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != StaleAllowName || !strings.Contains(d.Message, "suppresses no diagnostic") {
+		t.Fatalf("unexpected stale diagnostic: %v", d)
+	}
+	if !strings.Contains(d.Message, "demo") {
+		t.Fatalf("stale report does not name the analyzer: %v", d)
+	}
+}
+
+// TestStaleAllowQuietWhenUsed checks that a directive which did suppress a
+// diagnostic is not reported as stale, and that the suppression itself
+// still works with ReportStale on.
+func TestStaleAllowQuietWhenUsed(t *testing.T) {
+	pkgs, err := Load("", "dgsf/internal/lint/internal/allowtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	diags, err := RunAnalyzersOpts(p.Fset, p.Files, p.Pkg, p.Info, []*Analyzer{flagFuncs("demo")}, Options{ReportStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == StaleAllowName {
+			t.Fatalf("used directive reported as stale: %v", d)
+		}
+	}
+	var names []string
+	for _, d := range diags {
+		names = append(names, d.Message)
+	}
+	if got := strings.Join(names, ","); got != "func flagged,func wrongname" {
+		t.Fatalf("diagnostics = %q, want the unsuppressed functions only", got)
+	}
+}
+
+// TestAnalyzerPanicBecomesDiagnostic checks that a panicking analyzer
+// fails its package with a diagnostic instead of crashing the run, and
+// that later analyzers still execute.
+func TestAnalyzerPanicBecomesDiagnostic(t *testing.T) {
+	pkgs, err := Load("", "dgsf/internal/lint/internal/allowtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	panicky := &Analyzer{
+		Name: "panicky",
+		Doc:  "always panics",
+		Run: func(*Pass) error {
+			var m map[string]int
+			m["boom"] = 1 // nil map write: a realistic analyzer bug
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, []*Analyzer{panicky, flagFuncs("after")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawPanic, sawAfter bool
+	for _, d := range diags {
+		if d.Analyzer == "panicky" && strings.Contains(d.Message, "panicked") {
+			sawPanic = true
+			if d.Pos.Filename == "" {
+				t.Errorf("panic diagnostic has no position: %v", d)
+			}
+		}
+		if d.Analyzer == "after" {
+			sawAfter = true
+		}
+	}
+	if !sawPanic {
+		t.Fatalf("no panic diagnostic in %v", diags)
+	}
+	if !sawAfter {
+		t.Fatalf("analyzers after the panicking one did not run: %v", diags)
+	}
+}
